@@ -1,0 +1,97 @@
+// Ablation D: continuous-query answer quality under churn.
+//
+// The paper demonstrates PIER under real PlanetLab dynamism: the continuous
+// sum counts whichever nodes respond each window. We sweep churn intensity
+// (mean session length) and measure coverage (responding nodes / alive
+// nodes) and the relative error of the measured sum against the workload
+// oracle.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/network.h"
+#include "planner/planner.h"
+#include "workload/workloads.h"
+
+namespace pier {
+namespace {
+
+void RunChurn(Duration mean_session, const char* label) {
+  const size_t kNodes = 128;
+  core::PierNetworkOptions opts;
+  opts.seed = 555;
+  opts.node.router_kind = core::RouterKind::kChord;
+  opts.node.engine.result_wait = Seconds(8);
+  opts.node.engine.agg_hold_base = Millis(600);
+  opts.join_stagger = Millis(100);
+  core::PierNetwork net(kNodes, opts);
+  net.Boot(Seconds(60));
+
+  workload::TrafficOptions traffic_opts;
+  traffic_opts.flaky_fraction = 0;  // churn is the only disturbance
+  workload::TrafficWorkload traffic(&net, traffic_opts, /*seed=*/3);
+  traffic.Start();
+  net.RunFor(Seconds(30));
+
+  if (mean_session > 0) {
+    sim::ChurnOptions churn;
+    churn.mean_session = mean_session;
+    churn.mean_downtime = Seconds(30);
+    churn.start_at = net.sim()->now();
+    net.EnableChurn(churn);
+  }
+
+  std::vector<double> coverage, rel_err;
+  auto r = planner::ExecuteSql(
+      net.node(0)->query_engine(),
+      "SELECT SUM(out_kbps) AS kbps, COUNT(*) AS nodes FROM node_stats "
+      "EVERY 10 SECONDS WINDOW 30 SECONDS",
+      [&](const query::ResultBatch& b) {
+        if (b.rows.empty()) return;
+        double kbps = 0;
+        int64_t nodes = 0;
+        (void)b.rows[0][0].AsDouble(&kbps);
+        (void)b.rows[0][1].AsInt64(&nodes);
+        double alive = static_cast<double>(net.alive_count());
+        double oracle = traffic.OracleSumKbps();
+        if (alive > 0) {
+          coverage.push_back(static_cast<double>(nodes) / alive);
+        }
+        if (oracle > 0) {
+          rel_err.push_back(std::abs(kbps - oracle) / oracle);
+        }
+      });
+  if (!r.ok()) return;
+  net.RunFor(Seconds(240));
+  net.node(0)->query_engine()->Cancel(r.value());
+  net.RunFor(Seconds(10));
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  uint64_t transitions = 0;  // alive count at end as a dynamism proxy
+  std::printf("%-14s %7zu %10.1f%% %10.1f%% %8zu\n", label, coverage.size(),
+              100.0 * mean(coverage), 100.0 * mean(rel_err),
+              net.alive_count());
+  (void)transitions;
+}
+
+}  // namespace
+}  // namespace pier
+
+int main() {
+  std::printf("== Ablation D: continuous aggregates under churn ==\n");
+  std::printf("nodes=128, 10s epochs for 4 virtual minutes\n\n");
+  std::printf("%-14s %7s %11s %11s %8s\n", "churn", "epochs", "coverage",
+              "sum.err", "alive@end");
+  pier::RunChurn(0, "none");
+  pier::RunChurn(pier::Seconds(600), "mild(600s)");
+  pier::RunChurn(pier::Seconds(180), "medium(180s)");
+  pier::RunChurn(pier::Seconds(60), "heavy(60s)");
+  std::printf("\nexpected shape: coverage and accuracy degrade gracefully — "
+              "the query keeps answering over responding nodes\n");
+  return 0;
+}

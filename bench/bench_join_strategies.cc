@@ -1,0 +1,141 @@
+// Ablation B: the four PIER distributed join strategies.
+//
+// Reproduces the design-space comparison from the PIER papers: symmetric
+// hash (rehash both sides), fetch matches (probe the pre-partitioned inner),
+// symmetric semi-join (rehash keys + ids, fetch matched tuples), and Bloom
+// join (filter both sides before rehash). We report answer completeness,
+// latency, and — the interesting axis — bytes shipped, under a low-match
+// workload where semi/Bloom strategies should win on traffic.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/network.h"
+#include "query/plan.h"
+#include "workload/workloads.h"
+
+namespace pier {
+namespace {
+
+using catalog::Schema;
+using catalog::TableDef;
+using catalog::Tuple;
+
+constexpr size_t kNodes = 48;
+constexpr int kLeftRows = 400;
+constexpr int kRightRows = 400;
+constexpr int kKeySpace = 2000;  // sparse keys: ~8% of pairs match
+
+TableDef MakeTable(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.schema = Schema(name, {{"k", ValueType::kInt64},
+                             {"payload", ValueType::kString}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(3600);
+  return def;
+}
+
+void RunStrategy(query::JoinStrategy strategy) {
+  core::PierNetworkOptions opts;
+  opts.seed = 4242;  // identical data for every strategy
+  opts.node.router_kind = core::RouterKind::kChord;
+  opts.node.engine.result_wait = Seconds(20);
+  opts.node.engine.bloom_wait = Seconds(5);
+  opts.join_stagger = Millis(100);
+  core::PierNetwork net(kNodes, opts);
+  net.Boot(Seconds(60));
+
+  workload::RegisterTableEverywhere(&net, MakeTable("r_tab"));
+  workload::RegisterTableEverywhere(&net, MakeTable("s_tab"));
+  Rng rng(7);
+  std::string payload(40, 'x');
+  int64_t expected = 0;
+  std::vector<int> left_keys(kKeySpace, 0), right_keys(kKeySpace, 0);
+  for (int i = 0; i < kLeftRows; ++i) {
+    int key = static_cast<int>(rng.NextBelow(kKeySpace));
+    ++left_keys[key];
+    Tuple t{Value::Int64(key), Value::String(payload)};
+    (void)net.node(i % kNodes)->query_engine()->Publish("r_tab", t);
+  }
+  for (int i = 0; i < kRightRows; ++i) {
+    int key = static_cast<int>(rng.NextBelow(kKeySpace));
+    ++right_keys[key];
+    Tuple t{Value::Int64(key), Value::String(payload)};
+    (void)net.node((i + 11) % kNodes)->query_engine()->Publish("s_tab", t);
+  }
+  for (int k = 0; k < kKeySpace; ++k) {
+    expected += static_cast<int64_t>(left_keys[k]) * right_keys[k];
+  }
+  net.RunFor(Seconds(15));
+
+  uint64_t bytes_before = net.TotalBytesOut(overlay::Proto::kOverlay) +
+                          net.TotalBytesOut(overlay::Proto::kDht) +
+                          net.TotalBytesOut(overlay::Proto::kQuery) +
+                          net.TotalBytesOut(overlay::Proto::kBroadcast);
+
+  query::QueryPlan plan;
+  plan.kind = query::PlanKind::kJoin;
+  plan.join_strategy = strategy;
+  plan.table = "r_tab";
+  plan.scan_schema = MakeTable("r_tab").schema;
+  plan.right_table = "s_tab";
+  plan.right_schema = MakeTable("s_tab").schema;
+  plan.left_key_cols = {0};
+  plan.right_key_cols = {0};
+  plan.projections = {exec::Expr::Column(0)};
+
+  TimePoint t0 = net.sim()->now();
+  TimePoint t_done = 0;
+  size_t got = 0;
+  auto r = net.node(0)->query_engine()->Execute(
+      plan, [&](const query::ResultBatch& b) {
+        got = b.rows.size();
+        t_done = net.sim()->now();
+      });
+  if (!r.ok()) {
+    std::printf("%-15s FAILED: %s\n", query::JoinStrategyName(strategy),
+                r.status().ToString().c_str());
+    return;
+  }
+  net.RunFor(Seconds(40));
+
+  uint64_t bytes_after = net.TotalBytesOut(overlay::Proto::kOverlay) +
+                         net.TotalBytesOut(overlay::Proto::kDht) +
+                         net.TotalBytesOut(overlay::Proto::kQuery) +
+                         net.TotalBytesOut(overlay::Proto::kBroadcast);
+  uint64_t rehash = 0, fetches = 0, suppressed = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    const auto& st = net.node(i)->query_engine()->stats();
+    rehash += st.rehash_puts;
+    fetches += st.fetch_gets + st.semijoin_fetches;
+    suppressed += st.bloom_suppressed;
+  }
+  std::printf("%-15s %8zu/%-8" PRId64 " %9.1f %12.1f %10" PRIu64
+              " %9" PRIu64 " %10" PRIu64 "\n",
+              query::JoinStrategyName(strategy), got, expected,
+              ToSecondsF(t_done - t0),
+              static_cast<double>(bytes_after - bytes_before) / 1024.0,
+              rehash, fetches, suppressed);
+}
+
+}  // namespace
+}  // namespace pier
+
+int main() {
+  std::printf("== Ablation B: distributed join strategies ==\n");
+  std::printf("nodes=%zu |R|=%d |S|=%d keyspace=%d (low match rate)\n\n",
+              pier::kNodes, pier::kLeftRows, pier::kRightRows,
+              pier::kKeySpace);
+  std::printf("%-15s %17s %9s %12s %10s %9s %10s\n", "strategy",
+              "results/expected", "time.s", "traffic.KiB", "rehashed",
+              "fetches", "bloom.cut");
+  pier::RunStrategy(pier::query::JoinStrategy::kSymmetricHash);
+  pier::RunStrategy(pier::query::JoinStrategy::kFetchMatches);
+  pier::RunStrategy(pier::query::JoinStrategy::kSymmetricSemi);
+  pier::RunStrategy(pier::query::JoinStrategy::kBloom);
+  std::printf("\nexpected shape: symmetric hash ships everything; "
+              "fetch-matches trades rehash for per-tuple gets; Bloom cuts "
+              "non-matching rehash traffic\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the hot paths every message in a
+// PIER deployment crosses: SHA-1 key derivation, ring arithmetic, tuple and
+// value serialization, Bloom filters, and expression evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/tuple.h"
+#include "common/bloom.h"
+#include "common/id160.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "exec/expr.h"
+
+namespace pier {
+namespace {
+
+void BM_Sha1Name(benchmark::State& state) {
+  std::string name = "planetlab-node-123.example.org:5000";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(name));
+  }
+}
+BENCHMARK(BM_Sha1Name);
+
+void BM_Id160FromName(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Id160::FromName("key-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_Id160FromName);
+
+void BM_Id160IntervalCheck(benchmark::State& state) {
+  Id160 a = Id160::FromName("a"), b = Id160::FromName("b");
+  Id160 x = Id160::FromName("x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.InIntervalOpenClosed(a, b));
+  }
+}
+BENCHMARK(BM_Id160IntervalCheck);
+
+catalog::Tuple MakeTuple() {
+  return catalog::Tuple{Value::Int64(1322),
+                        Value::String("BAD-TRAFFIC bad frag bits"),
+                        Value::Int64(465770), Value::Double(3.25)};
+}
+
+void BM_TupleSerialize(benchmark::State& state) {
+  catalog::Tuple t = MakeTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog::TupleToBytes(t));
+  }
+}
+BENCHMARK(BM_TupleSerialize);
+
+void BM_TupleRoundTrip(benchmark::State& state) {
+  std::string bytes = catalog::TupleToBytes(MakeTuple());
+  for (auto _ : state) {
+    catalog::Tuple out;
+    benchmark::DoNotOptimize(catalog::TupleFromBytes(bytes, &out));
+  }
+}
+BENCHMARK(BM_TupleRoundTrip);
+
+void BM_TupleHash(benchmark::State& state) {
+  catalog::Tuple t = MakeTuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog::HashTuple(t));
+  }
+}
+BENCHMARK(BM_TupleHash);
+
+void BM_BloomAddQuery(benchmark::State& state) {
+  BloomFilter filter(1 << 14, 5);
+  Rng rng(1);
+  for (auto _ : state) {
+    uint64_t h = rng.Next();
+    filter.Add(h);
+    benchmark::DoNotOptimize(filter.MayContain(h ^ 1));
+  }
+}
+BENCHMARK(BM_BloomAddQuery);
+
+void BM_ExprEvalPredicate(benchmark::State& state) {
+  // hits >= 10000 AND rule_id <> 0
+  using exec::CompareOp;
+  using exec::Expr;
+  auto pred = Expr::And(
+      Expr::Compare(CompareOp::kGe, Expr::Column(2),
+                    Expr::Literal(Value::Int64(10000))),
+      Expr::Compare(CompareOp::kNe, Expr::Column(0),
+                    Expr::Literal(Value::Int64(0))));
+  catalog::Tuple t = MakeTuple();
+  for (auto _ : state) {
+    bool pass = false;
+    benchmark::DoNotOptimize(exec::EvalPredicate(*pred, t, &pass));
+  }
+}
+BENCHMARK(BM_ExprEvalPredicate);
+
+}  // namespace
+}  // namespace pier
+
+BENCHMARK_MAIN();

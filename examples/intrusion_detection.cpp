@@ -1,0 +1,57 @@
+// Distributed intrusion detection (the paper's Table 1 scenario): every node
+// runs a local IDS; PIER answers "what are the top intrusions network-wide?"
+// with an in-network GROUP BY / ORDER BY / LIMIT — no central collector.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/network.h"
+#include "planner/planner.h"
+#include "workload/workloads.h"
+
+using namespace pier;
+
+int main() {
+  core::PierNetworkOptions opts;
+  opts.seed = 3;
+  opts.node.router_kind = core::RouterKind::kChord;
+  opts.node.engine.result_wait = Seconds(10);
+  core::PierNetwork net(64, opts);
+  net.Boot(Seconds(60));
+
+  size_t rows = workload::PublishSnortAlerts(&net, /*seed=*/21, /*decoys=*/6);
+  net.RunFor(Seconds(10));
+  std::printf("64 nodes, %zu local alert rows published\n\n", rows);
+
+  std::printf("network-wide top 5 intrusion rules:\n");
+  auto q = planner::ExecuteSql(
+      net.node(7)->query_engine(),
+      "SELECT rule_id, descr, SUM(hits) AS hits FROM snort_alerts "
+      "GROUP BY rule_id, descr ORDER BY hits DESC LIMIT 5",
+      [](const query::ResultBatch& b) {
+        std::printf("%-6s %-40s %12s\n", "rule", "description", "hits");
+        for (const auto& t : b.rows) {
+          std::printf("%-6" PRId64 " %-40s %12" PRId64 "\n",
+                      t[0].int64_value(), t[1].string_value().c_str(),
+                      t[2].int64_value());
+        }
+      });
+  PIER_CHECK(q.ok());
+  net.RunFor(Seconds(20));
+
+  // Drill down: which severe rules fired anywhere? (HAVING demo.)
+  std::printf("\nrules exceeding 100k total hits:\n");
+  auto q2 = planner::ExecuteSql(
+      net.node(12)->query_engine(),
+      "SELECT rule_id, SUM(hits) AS hits FROM snort_alerts "
+      "GROUP BY rule_id HAVING SUM(hits) > 100000 ORDER BY hits DESC",
+      [](const query::ResultBatch& b) {
+        for (const auto& t : b.rows) {
+          std::printf("  rule %" PRId64 ": %" PRId64 " hits\n",
+                      t[0].int64_value(), t[1].int64_value());
+        }
+      });
+  PIER_CHECK(q2.ok());
+  net.RunFor(Seconds(20));
+  return 0;
+}

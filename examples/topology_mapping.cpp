@@ -1,0 +1,73 @@
+// Network topology mapping with recursive queries (the paper's third
+// application): the link table is distributed across nodes; a WITH
+// RECURSIVE query computes multi-hop reachability entirely in-network via
+// semi-naive expansion through the DHT.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/network.h"
+#include "planner/planner.h"
+#include "workload/workloads.h"
+
+using namespace pier;
+
+int main() {
+  core::PierNetworkOptions opts;
+  opts.seed = 5;
+  opts.node.router_kind = core::RouterKind::kChord;
+  opts.node.engine.quiesce_window = Seconds(6);
+  core::PierNetwork net(24, opts);
+  net.Boot(Seconds(60));
+
+  workload::TopologyOptions topo;
+  topo.num_vertices = 20;
+  topo.out_degree = 2;
+  auto edges = workload::PublishTopology(&net, topo, /*seed=*/8);
+  net.RunFor(Seconds(10));
+  std::printf("published %zu directed links over 24 PIER nodes\n\n",
+              edges.size());
+
+  std::printf("WITH RECURSIVE reach(src,dst): what can v0 reach within 4 "
+              "hops?\n");
+  auto q = planner::ExecuteSql(
+      net.node(0)->query_engine(),
+      "WITH RECURSIVE reach(src, dst) AS ("
+      "  SELECT src, dst FROM links "
+      "  UNION SELECT reach.src, l.dst FROM reach JOIN links l "
+      "    ON reach.dst = l.src"
+      ") SELECT src, dst, hops FROM reach WHERE src = 'v0' MAXHOPS 4",
+      [](const query::ResultBatch& b) {
+        for (const auto& t : b.rows) {
+          std::printf("  %s -> %-6s (%" PRId64 " hops)\n",
+                      t[0].string_value().c_str(),
+                      t[1].string_value().c_str(), t[2].int64_value());
+        }
+        std::printf("  (%zu destinations reachable)\n", b.rows.size());
+      });
+  PIER_CHECK(q.ok());
+  net.RunFor(Seconds(90));
+
+  std::printf("\nfull closure size per hop bound --\n");
+  auto q2 = planner::ExecuteSql(
+      net.node(5)->query_engine(),
+      "WITH RECURSIVE reach(src, dst) AS ("
+      "  SELECT src, dst FROM links "
+      "  UNION SELECT reach.src, l.dst FROM reach JOIN links l "
+      "    ON reach.dst = l.src"
+      ") SELECT hops, COUNT(*) AS pairs FROM reach GROUP BY hops "
+      "ORDER BY hops MAXHOPS 6",
+      [](const query::ResultBatch& b) {
+        for (const auto& t : b.rows) {
+          std::printf("  %" PRId64 " hops: %" PRId64 " pairs\n",
+                      t[0].int64_value(), t[1].int64_value());
+        }
+      });
+  if (!q2.ok()) {
+    // Aggregates over the closure run at the origin in this build.
+    std::printf("  (aggregate-over-closure: %s)\n",
+                q2.status().ToString().c_str());
+  }
+  net.RunFor(Seconds(90));
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "catalog/schema.h"
+
+namespace pier {
+namespace catalog {
+
+Status Schema::Resolve(const std::string& name, int* index) const {
+  std::string qualifier, bare = name;
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    qualifier = name.substr(0, dot);
+    bare = name.substr(dot + 1);
+  }
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& cname = columns_[i].name;
+    // Stored column names may themselves be qualified (join outputs).
+    std::string cqual, cbare = cname;
+    size_t cdot = cname.find('.');
+    if (cdot != std::string::npos) {
+      cqual = cname.substr(0, cdot);
+      cbare = cname.substr(cdot + 1);
+    }
+    bool name_matches = (cbare == bare) || (cname == name);
+    if (!name_matches) continue;
+    if (!qualifier.empty()) {
+      const std::string& eff_qual = cqual.empty() ? relation_ : cqual;
+      if (eff_qual != qualifier) continue;
+    }
+    if (found != -1) {
+      return Status::InvalidArgument("ambiguous column: " + name);
+    }
+    found = static_cast<int>(i);
+  }
+  if (found == -1) {
+    return Status::InvalidArgument("unknown column: " + name);
+  }
+  *index = found;
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  auto qualify = [](const Schema& s, const Column& c) {
+    if (c.name.find('.') != std::string::npos || s.relation().empty()) {
+      return c;
+    }
+    return Column{s.relation() + "." + c.name, c.type};
+  };
+  for (const Column& c : left.columns()) cols.push_back(qualify(left, c));
+  for (const Column& c : right.columns()) cols.push_back(qualify(right, c));
+  return Schema("", std::move(cols));
+}
+
+void Schema::Serialize(Writer* w) const {
+  w->PutString(relation_);
+  w->PutVarint32(static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Status Schema::Deserialize(Reader* r, Schema* out) {
+  std::string relation;
+  uint32_t n = 0;
+  PIER_RETURN_IF_ERROR(r->GetString(&relation));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 10000) return Status::Corruption("schema too wide");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    uint8_t type = 0;
+    PIER_RETURN_IF_ERROR(r->GetString(&c.name));
+    PIER_RETURN_IF_ERROR(r->GetU8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kBytes)) {
+      return Status::Corruption("bad column type");
+    }
+    c.type = static_cast<ValueType>(type);
+    cols.push_back(std::move(c));
+  }
+  *out = Schema(std::move(relation), std::move(cols));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = relation_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace catalog
+}  // namespace pier

@@ -1,0 +1,69 @@
+// Relational schemas for PIER tuples.
+//
+// Schemas are declared at query time (or by data publishers) and shipped
+// inside query plans, so they serialize. Column lookup supports qualified
+// names ("alerts.rule_id") and bare names ("rule_id"); bare lookup fails as
+// ambiguous when two columns share a name.
+
+#ifndef PIER_CATALOG_SCHEMA_H_
+#define PIER_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pier {
+namespace catalog {
+
+/// One column: a name and a declared type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// An ordered list of columns, optionally qualified by a relation name.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string relation, std::vector<Column> columns)
+      : relation_(std::move(relation)), columns_(std::move(columns)) {}
+
+  const std::string& relation() const { return relation_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Resolves "col" or "rel.col" to a column index. Returns
+  /// InvalidArgument for unknown names and for ambiguous bare names.
+  Status Resolve(const std::string& name, int* index) const;
+
+  /// Concatenation for join outputs: columns of `left` then `right`, each
+  /// keeping its own qualifier.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  bool operator==(const Schema& o) const {
+    return relation_ == o.relation_ && columns_ == o.columns_;
+  }
+
+  void Serialize(Writer* w) const;
+  static Status Deserialize(Reader* r, Schema* out);
+
+  /// "alerts(rule_id INT64, hits INT64)".
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace catalog
+}  // namespace pier
+
+#endif  // PIER_CATALOG_SCHEMA_H_

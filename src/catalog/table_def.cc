@@ -1,0 +1,58 @@
+#include "catalog/table_def.h"
+
+namespace pier {
+namespace catalog {
+
+void TableDef::Serialize(Writer* w) const {
+  w->PutString(name);
+  schema.Serialize(w);
+  w->PutVarint32(static_cast<uint32_t>(partition_cols.size()));
+  for (int c : partition_cols) w->PutVarint32(static_cast<uint32_t>(c));
+  w->PutVarint64(static_cast<uint64_t>(ttl));
+}
+
+Status TableDef::Deserialize(Reader* r, TableDef* out) {
+  PIER_RETURN_IF_ERROR(r->GetString(&out->name));
+  PIER_RETURN_IF_ERROR(Schema::Deserialize(r, &out->schema));
+  uint32_t n = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 1000) return Status::Corruption("too many partition cols");
+  out->partition_cols.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t c = 0;
+    PIER_RETURN_IF_ERROR(r->GetVarint32(&c));
+    out->partition_cols.push_back(static_cast<int>(c));
+  }
+  uint64_t ttl = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&ttl));
+  out->ttl = static_cast<Duration>(ttl);
+  return Status::OK();
+}
+
+Status Catalog::Register(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  for (int c : def.partition_cols) {
+    if (c < 0 || static_cast<size_t>(c) >= def.schema.num_columns()) {
+      return Status::InvalidArgument("partition column out of range");
+    }
+  }
+  tables_[def.name] = std::move(def);
+  return Status::OK();
+}
+
+const TableDef* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace catalog
+}  // namespace pier

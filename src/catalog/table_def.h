@@ -1,0 +1,66 @@
+// Table definitions and the per-node catalog.
+//
+// A PIER "table" is a DHT namespace plus a schema plus the partitioning
+// columns whose values place each tuple on the ring. There is no global
+// catalog service: every node registers the same definitions (in the demo,
+// shipped with the application), and query plans carry the schemas they
+// need.
+
+#ifndef PIER_CATALOG_TABLE_DEF_H_
+#define PIER_CATALOG_TABLE_DEF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/time_util.h"
+#include "dht/key.h"
+
+namespace pier {
+namespace catalog {
+
+/// Binding of a relation to its DHT storage layout.
+struct TableDef {
+  /// Relation name == DHT namespace.
+  std::string name;
+  Schema schema;
+  /// Indices of the columns that form the DHT resource (partitioning key).
+  std::vector<int> partition_cols;
+  /// Soft-state lifetime applied to published tuples.
+  Duration ttl = Seconds(120);
+
+  /// DHT resource string for a tuple of this table.
+  std::string ResourceFor(const Tuple& t) const {
+    return ResourceForCols(t, partition_cols);
+  }
+  /// Full DHT key for a tuple; `instance` must be unique per publisher
+  /// (e.g. a local sequence number mixed with the host id).
+  dht::DhtKey KeyFor(const Tuple& t, uint64_t instance) const {
+    return dht::DhtKey{name, ResourceFor(t), instance};
+  }
+
+  void Serialize(Writer* w) const;
+  static Status Deserialize(Reader* r, TableDef* out);
+};
+
+/// Node-local registry of table definitions.
+class Catalog {
+ public:
+  /// Registers or replaces a definition. Fails on empty name or partition
+  /// column indices out of range.
+  Status Register(TableDef def);
+  /// Looks up by name; nullptr if absent.
+  const TableDef* Find(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, TableDef> tables_;
+};
+
+}  // namespace catalog
+}  // namespace pier
+
+#endif  // PIER_CATALOG_TABLE_DEF_H_

@@ -1,0 +1,14 @@
+#include "common/hash.h"
+
+namespace pier {
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+}  // namespace pier

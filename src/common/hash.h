@@ -1,0 +1,31 @@
+// Small non-cryptographic hashing helpers (64-bit mixers, FNV-1a bytes hash).
+// Used for value hashing, hash-partitioned join buckets, and Bloom filters.
+
+#ifndef PIER_COMMON_HASH_H_
+#define PIER_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace pier {
+
+/// SplitMix64 finalizer: a fast, well-dispersed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string, finished with Mix64 for avalanche.
+uint64_t HashBytes(std::string_view bytes);
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_HASH_H_

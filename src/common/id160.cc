@@ -1,0 +1,140 @@
+#include "common/id160.h"
+
+#include "common/sha1.h"
+
+namespace pier {
+
+Id160 Id160::FromName(std::string_view name) {
+  Sha1Digest digest = Sha1::Hash(name);
+  std::array<uint8_t, kBytes> bytes;
+  for (int i = 0; i < kBytes; ++i) bytes[i] = digest[i];
+  return Id160(bytes);
+}
+
+Id160 Id160::FromUint64(uint64_t hi) {
+  std::array<uint8_t, kBytes> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>((hi >> (56 - 8 * i)) & 0xff);
+  }
+  return Id160(bytes);
+}
+
+Id160 Id160::Max() {
+  std::array<uint8_t, kBytes> bytes;
+  bytes.fill(0xff);
+  return Id160(bytes);
+}
+
+namespace {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Status Id160::FromHex(std::string_view hex, Id160* out) {
+  if (hex.size() != 2 * kBytes) {
+    return Status::InvalidArgument("Id160 hex must be 40 chars");
+  }
+  std::array<uint8_t, kBytes> bytes;
+  for (int i = 0; i < kBytes; ++i) {
+    int hi = HexValue(hex[2 * i]);
+    int lo = HexValue(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("Id160 hex has non-hex char");
+    }
+    bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  *out = Id160(bytes);
+  return Status::OK();
+}
+
+Id160 Id160::AddPowerOfTwo(int power) const {
+  // 2^power sets bit `power`, i.e. byte (kBytes-1 - power/8), bit power%8.
+  std::array<uint8_t, kBytes> addend{};
+  int byte_index = kBytes - 1 - power / 8;
+  addend[byte_index] = static_cast<uint8_t>(1u << (power % 8));
+  return Add(Id160(addend));
+}
+
+Id160 Id160::Add(const Id160& other) const {
+  std::array<uint8_t, kBytes> out;
+  unsigned carry = 0;
+  for (int i = kBytes - 1; i >= 0; --i) {
+    unsigned sum = static_cast<unsigned>(bytes_[i]) +
+                   static_cast<unsigned>(other.bytes_[i]) + carry;
+    out[i] = static_cast<uint8_t>(sum & 0xff);
+    carry = sum >> 8;
+  }
+  return Id160(out);  // overflow wraps: mod 2^160
+}
+
+Id160 Id160::DistanceTo(const Id160& other) const {
+  // (other - this) mod 2^160, schoolbook subtraction with borrow.
+  std::array<uint8_t, kBytes> out;
+  int borrow = 0;
+  for (int i = kBytes - 1; i >= 0; --i) {
+    int diff = static_cast<int>(other.bytes_[i]) -
+               static_cast<int>(bytes_[i]) - borrow;
+    if (diff < 0) {
+      diff += 256;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint8_t>(diff);
+  }
+  return Id160(out);
+}
+
+bool Id160::InIntervalOpenClosed(const Id160& from, const Id160& to) const {
+  if (from == to) {
+    // Degenerate interval covers the whole ring (a node that is its own
+    // successor owns everything).
+    return true;
+  }
+  if (from < to) return from < *this && *this <= to;
+  // Interval wraps through zero.
+  return *this > from || *this <= to;
+}
+
+bool Id160::InIntervalOpenOpen(const Id160& from, const Id160& to) const {
+  if (from == to) return *this != from;
+  if (from < to) return from < *this && *this < to;
+  return *this > from || *this < to;
+}
+
+int Id160::HighestBit() const {
+  for (int i = 0; i < kBytes; ++i) {
+    if (bytes_[i] != 0) {
+      for (int b = 7; b >= 0; --b) {
+        if (bytes_[i] & (1u << b)) return (kBytes - 1 - i) * 8 + b;
+      }
+    }
+  }
+  return -1;
+}
+
+std::string Id160::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kBytes);
+  for (uint8_t b : bytes_) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::string Id160::ToShortHex() const { return ToHex().substr(0, 8); }
+
+Status Id160::Deserialize(Reader* r, Id160* out) {
+  std::array<uint8_t, kBytes> bytes;
+  PIER_RETURN_IF_ERROR(r->GetRaw(bytes.data(), kBytes));
+  *out = Id160(bytes);
+  return Status::OK();
+}
+
+}  // namespace pier

@@ -1,0 +1,90 @@
+// Id160: a 160-bit identifier on the DHT's circular key space.
+//
+// Both node identifiers and data keys live on the same ring (consistent
+// hashing). The ring is ordered by unsigned big-endian comparison and wraps
+// at 2^160. The operations here are exactly what a Chord-style overlay
+// needs: clockwise interval membership, addition of 2^k offsets (finger
+// targets), and clockwise distance.
+
+#ifndef PIER_COMMON_ID160_H_
+#define PIER_COMMON_ID160_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace pier {
+
+/// A 160-bit unsigned integer on the identifier ring, stored big-endian.
+class Id160 {
+ public:
+  static constexpr int kBits = 160;
+  static constexpr int kBytes = 20;
+
+  /// Zero identifier.
+  Id160() : bytes_{} {}
+
+  explicit Id160(const std::array<uint8_t, kBytes>& bytes) : bytes_(bytes) {}
+
+  /// Identifier at SHA-1(name): how PIER maps names (node addresses,
+  /// namespace/resource keys) onto the ring.
+  static Id160 FromName(std::string_view name);
+  /// Builds an id whose top 64 bits are `hi` and the rest zero; handy for
+  /// evenly spacing test nodes.
+  static Id160 FromUint64(uint64_t hi);
+  /// Parses 40 hex characters. Returns InvalidArgument on malformed input.
+  static Status FromHex(std::string_view hex, Id160* out);
+  /// The maximum identifier (2^160 - 1).
+  static Id160 Max();
+
+  const std::array<uint8_t, kBytes>& bytes() const { return bytes_; }
+
+  /// Ring arithmetic: this + 2^power (mod 2^160). Finger i of node n targets
+  /// n + 2^i.
+  Id160 AddPowerOfTwo(int power) const;
+  /// Ring arithmetic: this + other (mod 2^160).
+  Id160 Add(const Id160& other) const;
+  /// Clockwise distance from this to other: (other - this) mod 2^160.
+  Id160 DistanceTo(const Id160& other) const;
+
+  /// True iff this lies in the clockwise-open interval (from, to]. Used for
+  /// successor responsibility: node s owns keys in (predecessor, s].
+  bool InIntervalOpenClosed(const Id160& from, const Id160& to) const;
+  /// True iff this lies in the clockwise-open interval (from, to).
+  bool InIntervalOpenOpen(const Id160& from, const Id160& to) const;
+
+  /// Index of the highest set bit (159..0), or -1 for zero. log2 of the
+  /// clockwise distance approximates "ring hops remaining".
+  int HighestBit() const;
+
+  /// 40-character lowercase hex.
+  std::string ToHex() const;
+  /// First 8 hex chars — enough to disambiguate in logs.
+  std::string ToShortHex() const;
+
+  void Serialize(Writer* w) const { w->PutRaw(bytes_.data(), kBytes); }
+  static Status Deserialize(Reader* r, Id160* out);
+
+  auto operator<=>(const Id160& other) const = default;
+
+  /// Hash for use in unordered containers (keyspace is uniform already).
+  struct Hasher {
+    size_t operator()(const Id160& id) const {
+      uint64_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | id.bytes_[i];
+      return static_cast<size_t>(h);
+    }
+  };
+
+ private:
+  std::array<uint8_t, kBytes> bytes_;  // big-endian
+};
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_ID160_H_

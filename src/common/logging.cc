@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+namespace pier {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& who,
+                 const std::string& msg) {
+  if (!Enabled(level)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kNone:
+      return;
+  }
+  if (now_ != nullptr) {
+    fprintf(stderr, "[%s %10.3fs %s] %s\n", tag, ToSecondsF(*now_),
+            who.c_str(), msg.c_str());
+  } else {
+    fprintf(stderr, "[%s %s] %s\n", tag, who.c_str(), msg.c_str());
+  }
+}
+
+}  // namespace pier

@@ -1,0 +1,88 @@
+// Leveled logging with a process-global sink.
+//
+// Log lines carry the simulated timestamp and the emitting node when set via
+// LogContext, so a trace of a 300-node run reads like a distributed log.
+// Default level is kWarn to keep test output quiet; experiments raise it.
+
+#ifndef PIER_COMMON_LOGGING_H_
+#define PIER_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/time_util.h"
+
+namespace pier {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+/// Process-global logging configuration and emit path.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Set by the simulator so log lines carry virtual time.
+  void set_clock_source(const TimePoint* now) { now_ = now; }
+
+  /// Writes one formatted line to stderr if `level` passes the filter.
+  void Log(LogLevel level, const std::string& who, const std::string& msg);
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  const TimePoint* now_ = nullptr;
+};
+
+namespace log_internal {
+/// Stream-collecting helper behind the PLOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string who)
+      : level_(level), who_(std::move(who)) {}
+  ~LogLine() { Logger::Instance().Log(level_, who_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string who_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+}  // namespace pier
+
+/// PLOG(kInfo, "node3") << "joined ring";
+#define PLOG(level, who)                                      \
+  if (::pier::Logger::Instance().Enabled(::pier::LogLevel::level)) \
+  ::pier::log_internal::LogLine(::pier::LogLevel::level, (who))
+
+/// Invariant check that survives NDEBUG: aborts with a message on violation.
+/// Used for programming bugs, never for data errors (those get Status).
+#define PIER_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      fprintf(stderr, "PIER_CHECK failed at %s:%d: %s\n", __FILE__,         \
+              __LINE__, #cond);                                             \
+      abort();                                                              \
+    }                                                                       \
+  } while (0)
+
+#endif  // PIER_COMMON_LOGGING_H_

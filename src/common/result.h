@@ -1,0 +1,63 @@
+// Result<T>: a Status plus a value, for fallible functions that produce data.
+
+#ifndef PIER_COMMON_RESULT_H_
+#define PIER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pier {
+
+/// Either a value of type T or an error Status. Accessing value() on an
+/// error Result is a programming bug (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return MakeThing();`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pier
+
+/// Evaluates a Result-returning expression; on error returns the Status, on
+/// success assigns the value to `lhs` (which must already be declared).
+#define PIER_ASSIGN_OR_RETURN(lhs, expr)             \
+  do {                                               \
+    auto _pier_result = (expr);                      \
+    if (!_pier_result.ok()) return _pier_result.status(); \
+    lhs = std::move(_pier_result).value();           \
+  } while (0)
+
+#endif  // PIER_COMMON_RESULT_H_

@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace pier {
+
+namespace {
+inline uint64_t Rotl64(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  seed_ = seed;
+  // SplitMix64 expansion of the seed into 256 bits of state.
+  uint64_t x = seed;
+  for (auto& s : state_) {
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    s = z ^ (z >> 31);
+  }
+  have_gaussian_spare_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl64(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl64(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (have_gaussian_spare_) {
+    have_gaussian_spare_ = false;
+    return mean + stddev * gaussian_spare_;
+  }
+  double u1 = NextDouble(), u2 = NextDouble();
+  if (u1 <= 0) u1 = 1e-18;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gaussian_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gaussian_spare_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Direct inverse-CDF on the fly; fine for occasional draws. Heavy users
+  // should use ZipfDistribution.
+  double norm = 0;
+  for (uint64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double target = NextDouble() * norm;
+  double acc = 0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (acc >= target) return k;
+  }
+  return n;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  return Rng(Mix64(seed_ ^ Mix64(stream + 0x5DEECE66Dull)));
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace pier

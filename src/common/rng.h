@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of a PIER experiment (latency jitter, workload
+// draws, churn schedules, node placement) derives from one seed, so any run
+// is reproducible bit-for-bit. The core generator is xoshiro256**.
+
+#ifndef PIER_COMMON_RNG_H_
+#define PIER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pier {
+
+/// xoshiro256** seeded via SplitMix64. Not thread-safe; the simulator is
+/// single-threaded by design.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  /// Bernoulli trial.
+  bool Chance(double p);
+  /// Exponentially distributed with the given mean (inter-arrival times,
+  /// session lengths).
+  double Exponential(double mean);
+  /// Gaussian via Box–Muller.
+  double Gaussian(double mean, double stddev);
+  /// Zipf-distributed rank in [1, n] with exponent `s` (skewed popularity —
+  /// file keywords, intrusion rules).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Derives an independent child generator; stream `i` of seed `s` is
+  /// stable across runs.
+  Rng Fork(uint64_t stream) const;
+
+ private:
+  uint64_t state_[4];
+  uint64_t seed_ = 0;
+  bool have_gaussian_spare_ = false;
+  double gaussian_spare_ = 0.0;
+};
+
+/// Precomputed CDF for repeated Zipf draws over a fixed n (O(log n) a draw).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+  /// Rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_RNG_H_

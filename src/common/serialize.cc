@@ -1,0 +1,176 @@
+#include "common/serialize.h"
+
+namespace pier {
+
+void Writer::PutFixed16(uint16_t v) {
+  char b[2];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  buf_.append(b, 2);
+}
+
+void Writer::PutFixed32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void Writer::PutFixed64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void Writer::PutVarint32(uint32_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void Writer::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void Writer::PutVarint64Signed(int64_t v) {
+  // Zig-zag: maps -1 -> 1, 1 -> 2, -2 -> 3, ...
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint64(zz);
+}
+
+void Writer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutVarint64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void Writer::PutRaw(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+Status Reader::Fail(const char* what) {
+  failed_ = true;
+  return Status::Corruption(what);
+}
+
+Status Reader::GetU8(uint8_t* v) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  if (remaining() < 1) return Fail("truncated u8");
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status Reader::GetBool(bool* v) {
+  uint8_t b = 0;
+  PIER_RETURN_IF_ERROR(GetU8(&b));
+  *v = (b != 0);
+  return Status::OK();
+}
+
+Status Reader::GetFixed16(uint16_t* v) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  if (remaining() < 2) return Fail("truncated fixed16");
+  uint16_t out = 0;
+  for (int i = 0; i < 2; ++i) {
+    out |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 2;
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetFixed32(uint32_t* v) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  if (remaining() < 4) return Fail("truncated fixed32");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetFixed64(uint64_t* v) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  if (remaining() < 8) return Fail("truncated fixed64");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetVarint32(uint32_t* v) {
+  uint64_t wide = 0;
+  PIER_RETURN_IF_ERROR(GetVarint64(&wide));
+  if (wide > UINT32_MAX) return Fail("varint32 overflow");
+  *v = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+Status Reader::GetVarint64(uint64_t* v) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return Fail("truncated varint");
+    if (shift >= 64) return Fail("varint too long");
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetVarint64Signed(int64_t* v) {
+  uint64_t zz = 0;
+  PIER_RETURN_IF_ERROR(GetVarint64(&zz));
+  *v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status Reader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  PIER_RETURN_IF_ERROR(GetFixed64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Reader::GetString(std::string* s) {
+  uint64_t n = 0;
+  PIER_RETURN_IF_ERROR(GetVarint64(&n));
+  if (n > remaining()) return Fail("truncated string");
+  s->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Reader::GetRaw(void* out, size_t n) {
+  if (failed_) return Status::Corruption("reader poisoned");
+  if (n > remaining()) return Fail("truncated raw bytes");
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace pier

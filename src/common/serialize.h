@@ -1,0 +1,90 @@
+// Byte-level wire format used for every message that crosses the simulated
+// network and for tuples stored in the DHT.
+//
+// Encoding rules:
+//   - fixed-width integers are little-endian;
+//   - varint32/varint64 use LEB128 (protobuf-compatible);
+//   - strings/bytes are varint length followed by raw bytes;
+//   - doubles are the IEEE-754 bit pattern as fixed64.
+//
+// Writer appends to an internal buffer; Reader consumes a borrowed buffer and
+// reports malformed input via Status (never crashes on corrupt bytes — the
+// simulator can inject corruption).
+
+#ifndef PIER_COMMON_SERIALIZE_H_
+#define PIER_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pier {
+
+/// Append-only encoder producing a byte string.
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutFixed16(uint16_t v);
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  void PutVarint32(uint32_t v);
+  void PutVarint64(uint64_t v);
+  /// Zig-zag encodes so small negative values stay small on the wire.
+  void PutVarint64Signed(int64_t v);
+  void PutDouble(double v);
+  /// Varint length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes with no length prefix (caller knows the width).
+  void PutRaw(const void* data, size_t n);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consuming decoder over a borrowed byte range. All getters return a Status
+/// and write through an out-parameter; after the first error the reader is
+/// poisoned and all subsequent reads fail.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetBool(bool* v);
+  Status GetFixed16(uint16_t* v);
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint32(uint32_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetVarint64Signed(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+  /// Reads exactly `n` raw bytes.
+  Status GetRaw(void* out, size_t n);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Fail(const char* what);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_SERIALIZE_H_

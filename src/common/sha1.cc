@@ -1,0 +1,124 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace pier {
+
+namespace {
+inline uint32_t Rotl(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(std::string_view data) {
+  length_ += static_cast<uint64_t>(data.size()) * 8;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  if (buffered_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
+  // bit length.
+  uint64_t bit_length = length_;
+  uint8_t pad[72];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  while ((buffered_ + pad_len) % 64 != 56) pad[pad_len++] = 0;
+  Update(std::string_view(reinterpret_cast<char*>(pad), pad_len));
+  length_ -= pad_len * 8;  // padding does not count toward message length
+
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>((bit_length >> (56 - 8 * i)) & 0xff);
+  }
+  Update(std::string_view(reinterpret_cast<char*>(len_bytes), 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>((h_[i] >> 24) & 0xff);
+    digest[i * 4 + 1] = static_cast<uint8_t>((h_[i] >> 16) & 0xff);
+    digest[i * 4 + 2] = static_cast<uint8_t>((h_[i] >> 8) & 0xff);
+    digest[i * 4 + 3] = static_cast<uint8_t>(h_[i] & 0xff);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::Hash(std::string_view data) {
+  Sha1 hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+}  // namespace pier

@@ -1,0 +1,47 @@
+// SHA-1 message digest (FIPS 180-1), implemented from the specification.
+//
+// PIER derives both node identifiers and DHT keys by hashing names into a
+// 160-bit circular identifier space; SHA-1 is the hash the original DHTs
+// (Chord, Bamboo) used. Cryptographic strength is irrelevant here — we need
+// only uniform dispersion over the ring.
+
+#ifndef PIER_COMMON_SHA1_H_
+#define PIER_COMMON_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pier {
+
+/// 20-byte SHA-1 digest.
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/// Incremental SHA-1 hasher: Update() any number of times, then Finish().
+class Sha1 {
+ public:
+  Sha1() { Reset(); }
+
+  /// Re-initializes to the empty-message state.
+  void Reset();
+  /// Absorbs `data`.
+  void Update(std::string_view data);
+  /// Completes padding and returns the digest. The hasher must be Reset()
+  /// before reuse.
+  Sha1Digest Finish();
+
+  /// One-shot convenience.
+  static Sha1Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t length_ = 0;          // total message bits
+  uint8_t buffer_[64];           // partial block
+  size_t buffered_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_SHA1_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace pier {
+
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kTimeout:
+      return "Timeout";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pier

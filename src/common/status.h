@@ -1,0 +1,111 @@
+// Status: the error-reporting type used throughout PIER.
+//
+// Library code never throws exceptions (per the project style rules);
+// fallible operations return a Status or a Result<T> (see result.h).
+// Modeled on the RocksDB / Abseil status idiom.
+
+#ifndef PIER_COMMON_STATUS_H_
+#define PIER_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace pier {
+
+/// A Status encodes the outcome of an operation: OK, or an error code plus a
+/// human-readable message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Error categories. Keep stable: codes cross the simulated wire in some
+  /// control responses.
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kNotSupported = 4,
+    kTimeout = 5,
+    kUnavailable = 6,
+    kInternal = 7,
+    kBusy = 8,
+    kCancelled = 9,
+    kAlreadyExists = 10,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "") {
+    return Status(Code::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Cancelled(std::string msg = "") {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "NotFound".
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace pier
+
+/// Propagates errors to the caller: evaluates `expr`; if the resulting Status
+/// is not OK, returns it from the enclosing function.
+#define PIER_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::pier::Status _pier_status = (expr);          \
+    if (!_pier_status.ok()) return _pier_status;   \
+  } while (0)
+
+#endif  // PIER_COMMON_STATUS_H_

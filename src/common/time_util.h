@@ -1,0 +1,44 @@
+// Virtual-time units. All PIER timing is expressed in simulated microseconds;
+// the discrete-event simulator owns the clock (sim/event_queue.h).
+
+#ifndef PIER_COMMON_TIME_UTIL_H_
+#define PIER_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pier {
+
+/// A point in virtual time, in microseconds since simulation start.
+using TimePoint = int64_t;
+/// A span of virtual time, in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+constexpr Duration Millis(int64_t ms) { return ms * kMillisecond; }
+constexpr Duration Seconds(int64_t s) { return s * kSecond; }
+constexpr double ToSecondsF(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Renders a duration as "12.345s" / "87ms" / "250us" for logs and reports.
+inline std::string FormatDuration(Duration d) {
+  char buf[32];
+  if (d >= kSecond) {
+    snprintf(buf, sizeof(buf), "%.3fs", ToSecondsF(d));
+  } else if (d >= kMillisecond) {
+    snprintf(buf, sizeof(buf), "%lldms",
+             static_cast<long long>(d / kMillisecond));
+  } else {
+    snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace pier
+
+#endif  // PIER_COMMON_TIME_UTIL_H_

@@ -1,0 +1,85 @@
+#include "core/network.h"
+
+#include "common/logging.h"
+
+namespace pier {
+namespace core {
+
+PierNetwork::PierNetwork(size_t n, PierNetworkOptions options)
+    : options_(options),
+      sim_(std::make_unique<sim::Simulation>(options.seed)),
+      net_(std::make_unique<sim::Network>(sim_.get(), options.net)) {
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<PierNode>(
+        net_.get(), "pier-node-" + std::to_string(i), options_.node,
+        &directory_));
+  }
+}
+
+PierNetwork::~PierNetwork() = default;
+
+size_t PierNetwork::Boot(Duration settle) {
+  if (nodes_.empty()) return 0;
+  nodes_[0]->CreateRing();
+  joined_ok_ = 1;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    sim_->ScheduleAt(options_.join_stagger * static_cast<Duration>(i),
+                     [this, i] {
+                       nodes_[i]->JoinRing(nodes_[0]->host(), [this](Status s) {
+                         if (s.ok()) ++joined_ok_;
+                       });
+                     });
+  }
+  sim_->RunFor(options_.join_stagger * static_cast<Duration>(nodes_.size()) +
+               settle);
+  return joined_ok_;
+}
+
+size_t PierNetwork::alive_count() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node->alive() ? 1 : 0;
+  return n;
+}
+
+sim::HostId PierNetwork::AnyAliveHost() const {
+  for (const auto& node : nodes_) {
+    if (node->alive()) return node->host();
+  }
+  return sim::kInvalidHost;
+}
+
+void PierNetwork::Reboot(size_t i) {
+  sim::HostId bootstrap = AnyAliveHost();
+  if (bootstrap == sim::kInvalidHost) return;
+  nodes_[i]->Reboot(bootstrap, nullptr);
+}
+
+void PierNetwork::EnableChurn(sim::ChurnOptions options) {
+  churn_ = std::make_unique<sim::ChurnScheduler>(
+      sim_.get(), options, [this](sim::HostId host, bool up) {
+        // Host ids are node indices in this harness.
+        size_t i = static_cast<size_t>(host);
+        if (i >= nodes_.size()) return;
+        if (up) {
+          if (!nodes_[i]->alive()) Reboot(i);
+        } else {
+          nodes_[i]->Crash();
+        }
+      });
+  // Node 0 stays up: it is the observation point for experiments.
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    churn_->Manage(nodes_[i]->host());
+  }
+}
+
+uint64_t PierNetwork::TotalBytesOut(overlay::Proto proto) const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->transport()->traffic(proto).bytes_out;
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace pier

@@ -1,0 +1,79 @@
+// PierNetwork: the deployment harness — builds an N-node PIER network on a
+// simulated wide-area topology, boots the ring, and provides the crash /
+// reboot / churn controls experiments need. This plays the role PlanetLab
+// played for the paper's demo (see DESIGN.md, substitutions).
+
+#ifndef PIER_CORE_NETWORK_H_
+#define PIER_CORE_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "sim/churn.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace core {
+
+struct PierNetworkOptions {
+  uint64_t seed = 42;
+  sim::NetworkOptions net;
+  NodeOptions node;
+  /// Gap between consecutive joins during boot (staggered arrival).
+  Duration join_stagger = Millis(250);
+};
+
+/// An experiment-scale PIER deployment.
+class PierNetwork {
+ public:
+  explicit PierNetwork(size_t n, PierNetworkOptions options = {});
+  ~PierNetwork();
+
+  PierNetwork(const PierNetwork&) = delete;
+  PierNetwork& operator=(const PierNetwork&) = delete;
+
+  /// Creates the ring at node 0, joins the rest staggered, then runs the
+  /// simulation for `settle` so the overlay stabilizes. Returns the number
+  /// of nodes that joined successfully.
+  size_t Boot(Duration settle = Seconds(60));
+
+  PierNode* node(size_t i) { return nodes_[i].get(); }
+  PierNode* operator[](size_t i) { return nodes_[i].get(); }
+  size_t size() const { return nodes_.size(); }
+  size_t alive_count() const;
+  /// Host id of some currently-alive node (bootstrap target for reboots).
+  sim::HostId AnyAliveHost() const;
+
+  sim::Simulation* sim() { return sim_.get(); }
+  sim::Network* net() { return net_.get(); }
+  overlay::Directory* directory() { return &directory_; }
+
+  void RunFor(Duration d) { sim_->RunFor(d); }
+
+  void Crash(size_t i) { nodes_[i]->Crash(); }
+  void Reboot(size_t i);
+
+  /// Attaches a churn scheduler that crashes/reboots nodes per `options`.
+  /// Node 0 is kept stable as the experiment's observation point.
+  void EnableChurn(sim::ChurnOptions options);
+
+  /// Sum of a per-node traffic counter across nodes (experiment accounting).
+  uint64_t TotalBytesOut(overlay::Proto proto) const;
+
+ private:
+  PierNetworkOptions options_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<sim::Network> net_;
+  overlay::Directory directory_;
+  std::vector<std::unique_ptr<PierNode>> nodes_;
+  std::unique_ptr<sim::ChurnScheduler> churn_;
+  size_t joined_ok_ = 0;
+};
+
+}  // namespace core
+}  // namespace pier
+
+#endif  // PIER_CORE_NETWORK_H_

@@ -1,0 +1,112 @@
+#include "dht/broadcast.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pier {
+namespace dht {
+
+BroadcastService::BroadcastService(overlay::Transport* transport,
+                                   overlay::Router* router)
+    : transport_(transport), router_(router) {
+  transport_->RegisterHandler(
+      overlay::Proto::kBroadcast,
+      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+}
+
+uint64_t BroadcastService::Broadcast(std::string payload) {
+  if (!running_) return 0;
+  uint64_t seq = next_seq_++;
+  ++stats_.initiated;
+  sim::HostId self = transport_->self();
+  AlreadySeen(self, seq);  // mark, so loops back to us are suppressed
+  Deliver(self, seq, /*parent=*/self, 0, payload);
+  // Whole ring: limit == own id (the interval (self, self) wraps all the
+  // way around).
+  Relay(self, seq, router_->self().id, 0, payload);
+  return seq;
+}
+
+void BroadcastService::Relay(sim::HostId origin, uint64_t seq,
+                             const Id160& limit, int depth,
+                             const std::string& payload) {
+  if (depth >= kMaxDepth) return;
+  const Id160 self_id = router_->self().id;
+  std::vector<overlay::NodeInfo> neighbors = router_->RoutingNeighbors();
+  // Keep only neighbors strictly inside (self, limit), sorted clockwise.
+  std::vector<overlay::NodeInfo> in_range;
+  for (const auto& n : neighbors) {
+    if (limit == self_id || n.id.InIntervalOpenOpen(self_id, limit)) {
+      in_range.push_back(n);
+    }
+  }
+  std::sort(in_range.begin(), in_range.end(),
+            [&](const overlay::NodeInfo& a, const overlay::NodeInfo& b) {
+              return self_id.DistanceTo(a.id) < self_id.DistanceTo(b.id);
+            });
+  in_range.erase(std::unique(in_range.begin(), in_range.end(),
+                             [](const overlay::NodeInfo& a,
+                                const overlay::NodeInfo& b) {
+                               return a.host == b.host;
+                             }),
+                 in_range.end());
+  for (size_t i = 0; i < in_range.size(); ++i) {
+    // Neighbor i covers up to the next neighbor (or our limit for the last).
+    const Id160& sub_limit =
+        (i + 1 < in_range.size()) ? in_range[i + 1].id : limit;
+    Writer w;
+    w.PutFixed32(origin);
+    w.PutVarint64(seq);
+    sub_limit.Serialize(&w);
+    w.PutVarint32(static_cast<uint32_t>(depth + 1));
+    w.PutString(payload);
+    transport_->Send(in_range[i].host, overlay::Proto::kBroadcast, w);
+    ++stats_.forwarded;
+  }
+}
+
+void BroadcastService::OnMessage(sim::HostId from, Reader* r) {
+  uint32_t origin = 0, depth = 0;
+  uint64_t seq = 0;
+  Id160 limit;
+  std::string payload;
+  if (!r->GetFixed32(&origin).ok() || !r->GetVarint64(&seq).ok() ||
+      !Id160::Deserialize(r, &limit).ok() || !r->GetVarint32(&depth).ok() ||
+      !r->GetString(&payload).ok()) {
+    return;
+  }
+  if (!running_) return;
+  if (AlreadySeen(origin, seq)) {
+    ++stats_.duplicates;
+    return;
+  }
+  stats_.max_depth_seen =
+      std::max(stats_.max_depth_seen, static_cast<int>(depth));
+  Deliver(origin, seq, from, static_cast<int>(depth), payload);
+  Relay(origin, seq, limit, static_cast<int>(depth), payload);
+}
+
+void BroadcastService::Deliver(sim::HostId origin, uint64_t seq,
+                               sim::HostId parent, int depth,
+                               const std::string& payload) {
+  ++stats_.delivered;
+  if (handler_) handler_(origin, seq, parent, depth, payload);
+}
+
+bool BroadcastService::AlreadySeen(sim::HostId origin, uint64_t seq) {
+  TimePoint now = transport_->simulation()->now();
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (it->second <= now) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto [it, inserted] = seen_.emplace(std::make_pair(origin, seq),
+                                      now + kSeenTtl);
+  (void)it;
+  return !inserted;
+}
+
+}  // namespace dht
+}  // namespace pier

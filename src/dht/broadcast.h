@@ -1,0 +1,83 @@
+// BroadcastService: O(log n)-depth dissemination trees over the overlay.
+//
+// PIER pushes query plans to every node ("query dissemination") and needs
+// namespace-wide scans to start everywhere. The algorithm is the classic
+// interval-partitioned DHT broadcast: a node responsible for the ring
+// interval (self, limit) splits it among its routing neighbors, giving each
+// neighbor the sub-interval up to the next neighbor. Every node is reached
+// once on a stabilized ring; duplicates arising from imperfect neighbor
+// views are suppressed by a seen-cache.
+
+#ifndef PIER_DHT_BROADCAST_H_
+#define PIER_DHT_BROADCAST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "overlay/router.h"
+#include "overlay/transport.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace dht {
+
+struct BroadcastStats {
+  uint64_t initiated = 0;
+  uint64_t delivered = 0;   ///< local deliveries (once per broadcast)
+  uint64_t forwarded = 0;   ///< messages sent downstream
+  uint64_t duplicates = 0;  ///< suppressed re-deliveries
+  int max_depth_seen = 0;
+};
+
+/// Per-node broadcast component; registers for Proto::kBroadcast.
+class BroadcastService {
+ public:
+  /// Delivery upcall: `origin` initiated broadcast `seq`; `parent` is the
+  /// node that forwarded it to us (self at the origin) — the edge of the
+  /// dissemination tree, which aggregation re-uses in reverse; `depth` is
+  /// the tree depth at this node.
+  using Handler =
+      std::function<void(sim::HostId origin, uint64_t seq, sim::HostId parent,
+                         int depth, const std::string& payload)>;
+
+  BroadcastService(overlay::Transport* transport, overlay::Router* router);
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Disseminates `payload` to every reachable node, including this one.
+  /// Returns the broadcast sequence number.
+  uint64_t Broadcast(std::string payload);
+
+  void Start() { running_ = true; }
+  void Stop() { running_ = false; }
+
+  const BroadcastStats& stats() const { return stats_; }
+
+ private:
+  void OnMessage(sim::HostId from, Reader* r);
+  /// Forwards into (self, limit), splitting among neighbors.
+  void Relay(sim::HostId origin, uint64_t seq, const Id160& limit, int depth,
+             const std::string& payload);
+  void Deliver(sim::HostId origin, uint64_t seq, sim::HostId parent,
+               int depth, const std::string& payload);
+  bool AlreadySeen(sim::HostId origin, uint64_t seq);
+
+  overlay::Transport* transport_;
+  overlay::Router* router_;
+  Handler handler_;
+  bool running_ = true;
+  uint64_t next_seq_ = 1;
+  /// (origin, seq) -> expiry of the dedup entry.
+  std::map<std::pair<sim::HostId, uint64_t>, TimePoint> seen_;
+  BroadcastStats stats_;
+
+  static constexpr int kMaxDepth = 64;
+  static constexpr Duration kSeenTtl = Seconds(120);
+};
+
+}  // namespace dht
+}  // namespace pier
+
+#endif  // PIER_DHT_BROADCAST_H_

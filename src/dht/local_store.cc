@@ -1,0 +1,85 @@
+#include "dht/local_store.h"
+
+namespace pier {
+namespace dht {
+
+void LocalStore::Put(StoredItem item) {
+  ResourceMap& rm = by_namespace_[item.key.ns];
+  auto map_key = std::make_pair(item.key.resource, item.key.instance);
+  auto it = rm.find(map_key);
+  if (it == rm.end()) {
+    rm.emplace(map_key, std::move(item));
+    ++size_;
+  } else {
+    // Renewal: replace value, keep the later expiry.
+    TimePoint expiry = std::max(it->second.expires_at, item.expires_at);
+    it->second = std::move(item);
+    it->second.expires_at = expiry;
+  }
+}
+
+std::vector<StoredItem> LocalStore::Get(const std::string& ns,
+                                        const std::string& resource,
+                                        TimePoint now) const {
+  std::vector<StoredItem> out;
+  auto nit = by_namespace_.find(ns);
+  if (nit == by_namespace_.end()) return out;
+  auto lo = nit->second.lower_bound({resource, 0});
+  for (auto it = lo; it != nit->second.end() && it->first.first == resource;
+       ++it) {
+    if (it->second.expires_at > now) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<StoredItem> LocalStore::Scan(const std::string& ns,
+                                         TimePoint now) const {
+  std::vector<StoredItem> out;
+  auto nit = by_namespace_.find(ns);
+  if (nit == by_namespace_.end()) return out;
+  for (const auto& [k, item] : nit->second) {
+    if (item.expires_at > now) out.push_back(item);
+  }
+  return out;
+}
+
+size_t LocalStore::Sweep(TimePoint now) {
+  size_t reclaimed = 0;
+  for (auto nit = by_namespace_.begin(); nit != by_namespace_.end();) {
+    ResourceMap& rm = nit->second;
+    for (auto it = rm.begin(); it != rm.end();) {
+      if (it->second.expires_at <= now) {
+        it = rm.erase(it);
+        ++reclaimed;
+        --size_;
+      } else {
+        ++it;
+      }
+    }
+    if (rm.empty()) {
+      nit = by_namespace_.erase(nit);
+    } else {
+      ++nit;
+    }
+  }
+  return reclaimed;
+}
+
+size_t LocalStore::DropNamespace(const std::string& ns) {
+  auto nit = by_namespace_.find(ns);
+  if (nit == by_namespace_.end()) return 0;
+  size_t n = nit->second.size();
+  size_ -= n;
+  by_namespace_.erase(nit);
+  return n;
+}
+
+std::vector<std::string> LocalStore::Namespaces() const {
+  std::vector<std::string> out;
+  out.reserve(by_namespace_.size());
+  for (const auto& [ns, rm] : by_namespace_) out.push_back(ns);
+  return out;
+}
+
+}  // namespace dht
+}  // namespace pier

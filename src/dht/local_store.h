@@ -1,0 +1,72 @@
+// LocalStore: one node's slice of the DHT — a soft-state item store.
+//
+// Every item carries an absolute expiry time; expired items are invisible to
+// reads and reclaimed by periodic sweeps. There is no delete operation in
+// the hot path: publishers keep data alive by renewing (re-putting), and
+// stale data ages out. This is the paper's "soft state" storage model.
+
+#ifndef PIER_DHT_LOCAL_STORE_H_
+#define PIER_DHT_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_util.h"
+#include "dht/key.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace dht {
+
+/// One stored item with its lifetime metadata.
+struct StoredItem {
+  DhtKey key;
+  std::string value;
+  TimePoint expires_at = 0;
+  /// When this copy arrived at this node (windowed scans filter on it).
+  TimePoint stored_at = 0;
+  sim::HostId publisher = sim::kInvalidHost;
+  /// True when this copy was pushed here by replication rather than routed
+  /// ownership; replicas answer reads only after ownership changes.
+  bool replica = false;
+};
+
+/// In-memory multimap from (namespace, resource, instance) to items.
+class LocalStore {
+ public:
+  /// Upserts by exact key. A renewal with a later expiry extends lifetime.
+  void Put(StoredItem item);
+
+  /// All live (non-expired) items under (ns, resource).
+  std::vector<StoredItem> Get(const std::string& ns,
+                              const std::string& resource,
+                              TimePoint now) const;
+
+  /// All live items in a namespace — PIER's "lscan" access method.
+  std::vector<StoredItem> Scan(const std::string& ns, TimePoint now) const;
+
+  /// Drops expired items; returns how many were reclaimed.
+  size_t Sweep(TimePoint now);
+
+  /// Drops an entire namespace (end-of-query cleanup for temp namespaces).
+  size_t DropNamespace(const std::string& ns);
+
+  /// Live + not-yet-swept expired items currently held.
+  size_t size() const { return size_; }
+  /// Namespaces currently present (diagnostics).
+  std::vector<std::string> Namespaces() const;
+
+ private:
+  // resource -> instance -> item. An ordered map keeps scans deterministic.
+  using ResourceMap = std::map<std::pair<std::string, uint64_t>, StoredItem>;
+  std::unordered_map<std::string, ResourceMap> by_namespace_;
+  size_t size_ = 0;
+};
+
+}  // namespace dht
+}  // namespace pier
+
+#endif  // PIER_DHT_LOCAL_STORE_H_

@@ -1,0 +1,143 @@
+#include "exec/agg.h"
+
+namespace pier {
+namespace exec {
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Numeric addition preserving integerness when both sides are INT64.
+Value AddValues(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Value::Int64(a.int64_value() + b.int64_value());
+  }
+  double x = 0, y = 0;
+  (void)a.AsDouble(&x);
+  (void)b.AsDouble(&y);
+  return Value::Double(x + y);
+}
+
+}  // namespace
+
+void AggInit(const AggSpec& spec, Value* v1, Value* v2) {
+  switch (spec.fn) {
+    case AggFunc::kCount:
+      *v1 = Value::Int64(0);
+      *v2 = Value::Null();
+      break;
+    case AggFunc::kSum:
+      *v1 = Value::Null();  // SUM of nothing is NULL
+      *v2 = Value::Null();
+      break;
+    case AggFunc::kAvg:
+      *v1 = Value::Null();
+      *v2 = Value::Int64(0);
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      *v1 = Value::Null();
+      *v2 = Value::Null();
+      break;
+  }
+}
+
+void AggUpdate(const AggSpec& spec, const catalog::Tuple& row, Value* v1,
+               Value* v2) {
+  Value input;
+  if (spec.col >= 0 && static_cast<size_t>(spec.col) < row.size()) {
+    input = row[spec.col];
+  }
+  switch (spec.fn) {
+    case AggFunc::kCount: {
+      // COUNT(*) counts rows; COUNT(col) counts non-null values.
+      bool counts = (spec.col < 0) || !input.is_null();
+      if (counts) *v1 = Value::Int64(v1->int64_value() + 1);
+      break;
+    }
+    case AggFunc::kSum:
+      if (!input.is_null()) *v1 = AddValues(*v1, input);
+      break;
+    case AggFunc::kAvg:
+      if (!input.is_null()) {
+        *v1 = AddValues(*v1, input);
+        *v2 = Value::Int64(v2->int64_value() + 1);
+      }
+      break;
+    case AggFunc::kMin:
+      if (!input.is_null() && (v1->is_null() || input.Compare(*v1) < 0)) {
+        *v1 = input;
+      }
+      break;
+    case AggFunc::kMax:
+      if (!input.is_null() && (v1->is_null() || input.Compare(*v1) > 0)) {
+        *v1 = input;
+      }
+      break;
+  }
+}
+
+void AggMerge(const AggSpec& spec, const Value& in1, const Value& in2,
+              Value* v1, Value* v2) {
+  switch (spec.fn) {
+    case AggFunc::kCount:
+      *v1 = AddValues(*v1, in1);
+      break;
+    case AggFunc::kSum:
+      *v1 = AddValues(*v1, in1);
+      break;
+    case AggFunc::kAvg:
+      *v1 = AddValues(*v1, in1);
+      *v2 = AddValues(*v2, in2);
+      break;
+    case AggFunc::kMin:
+      if (!in1.is_null() && (v1->is_null() || in1.Compare(*v1) < 0)) {
+        *v1 = in1;
+      }
+      break;
+    case AggFunc::kMax:
+      if (!in1.is_null() && (v1->is_null() || in1.Compare(*v1) > 0)) {
+        *v1 = in1;
+      }
+      break;
+  }
+}
+
+Value AggFinalize(const AggSpec& spec, const Value& v1, const Value& v2) {
+  switch (spec.fn) {
+    case AggFunc::kCount:
+      return v1.is_null() ? Value::Int64(0) : v1;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return v1;
+    case AggFunc::kAvg: {
+      if (v1.is_null() || v2.is_null()) return Value::Null();
+      int64_t count = v2.int64_value();
+      if (count == 0) return Value::Null();
+      double sum = 0;
+      (void)v1.AsDouble(&sum);
+      return Value::Double(sum / static_cast<double>(count));
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace exec
+}  // namespace pier

@@ -1,0 +1,71 @@
+// Scalar expressions over tuples.
+//
+// Expressions are built by the SQL planner (or directly via the factory
+// functions — the algebraic API) with column references already bound to
+// tuple indices, so evaluation needs no schema. They serialize, because
+// query plans carrying predicates are shipped to every node.
+//
+// NULL semantics follow SQL: comparisons involving NULL are false,
+// arithmetic involving NULL is NULL, and IS NULL tests explicitly.
+
+#ifndef PIER_EXEC_EXPR_H_
+#define PIER_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pier {
+namespace exec {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+
+/// Immutable expression tree node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `t`. Type errors (e.g. 'a' + 1) return
+  /// InvalidArgument; data-dependent hazards (division by zero) yield NULL.
+  virtual Status Eval(const catalog::Tuple& t, Value* out) const = 0;
+
+  /// Wire encoding (kind tag + operands).
+  virtual void Serialize(Writer* w) const = 0;
+  /// Rebuilds a tree from the wire (depth-limited against malicious input).
+  static Status Deserialize(Reader* r, ExprPtr* out);
+
+  /// Human-readable rendering for EXPLAIN-style output.
+  virtual std::string ToString() const = 0;
+
+  // Factories (the algebraic expression-building API).
+  static ExprPtr Literal(Value v);
+  /// Reference to tuple column `index`; `name` is cosmetic (ToString).
+  static ExprPtr Column(int index, std::string name = "");
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr Negate(ExprPtr e);
+  static ExprPtr IsNull(ExprPtr e, bool negated = false);
+};
+
+/// Evaluates `e` as a predicate: NULL and non-bool results are false.
+Status EvalPredicate(const Expr& e, const catalog::Tuple& t, bool* out);
+
+}  // namespace exec
+}  // namespace pier
+
+#endif  // PIER_EXEC_EXPR_H_

@@ -1,0 +1,106 @@
+// The "boxes and arrows" dataflow protocol.
+//
+// PIER is a push-based engine: sources push tuples downstream; blocking
+// operators (group-by, top-k) accumulate and release on end-of-stream or on
+// an explicit Flush (continuous queries flush per window; recursive queries
+// never see EOS and rely on quiescence instead). An operator may feed
+// multiple downstream boxes (DAGs) and may receive from multiple upstream
+// boxes on distinct input ports (joins, unions).
+//
+// Operators are single-threaded within a node, matching the event-driven
+// simulator.
+
+#ifndef PIER_EXEC_OPERATOR_H_
+#define PIER_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/tuple.h"
+
+namespace pier {
+namespace exec {
+
+/// Base class for all dataflow boxes.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Wires `downstream` to receive this operator's output on `port`.
+  void AddOutput(Operator* downstream, int port = 0) {
+    outputs_.push_back({downstream, port});
+  }
+
+  /// Declares how many upstream streams feed this operator (default 1);
+  /// EOS propagates downstream only after all inputs reported EOS.
+  void SetNumInputs(int n) { num_inputs_ = n; }
+
+  /// Receives one tuple on `port`.
+  virtual void Push(const catalog::Tuple& t, int port) = 0;
+
+  /// Receives end-of-stream on one input.
+  virtual void PushEos(int port) {
+    if (++eos_seen_ >= num_inputs_) {
+      OnAllInputsEos();
+      EmitEos();
+    }
+  }
+
+  /// Diagnostic name ("filter", "groupby", ...).
+  virtual std::string name() const = 0;
+
+  /// Tuples emitted downstream so far.
+  uint64_t emitted() const { return emitted_; }
+
+ protected:
+  /// Hook for blocking operators to release buffered state before EOS
+  /// propagates.
+  virtual void OnAllInputsEos() {}
+
+  void Emit(const catalog::Tuple& t) {
+    ++emitted_;
+    for (const Out& o : outputs_) o.op->Push(t, o.port);
+  }
+  void EmitEos() {
+    for (const Out& o : outputs_) o.op->PushEos(o.port);
+  }
+
+  struct Out {
+    Operator* op;
+    int port;
+  };
+  std::vector<Out> outputs_;
+  int num_inputs_ = 1;
+  int eos_seen_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// Owns a set of operators forming one local dataflow graph; the building
+/// block of the algebraic API. Operators are destroyed with the graph.
+class Dataflow {
+ public:
+  /// Constructs an operator of type T in place and returns it.
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto op = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = op.get();
+    ops_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Arrow from `from` to `to` (input `port` of `to`).
+  void Connect(Operator* from, Operator* to, int port = 0) {
+    from->AddOutput(to, port);
+  }
+
+  size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+}  // namespace exec
+}  // namespace pier
+
+#endif  // PIER_EXEC_OPERATOR_H_

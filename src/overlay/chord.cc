@@ -1,0 +1,666 @@
+#include "overlay/chord.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pier {
+namespace overlay {
+
+namespace {
+std::string Who(const NodeInfo& n) { return n.ToString(); }
+}  // namespace
+
+ChordNode::ChordNode(Transport* transport, const Id160& id,
+                     ChordOptions options)
+    : transport_(transport),
+      self_{transport->self(), id},
+      options_(options),
+      rpc_(transport->simulation()) {
+  transport_->RegisterHandler(
+      Proto::kOverlay,
+      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+}
+
+ChordNode::~ChordNode() { StopTasks(); }
+
+void ChordNode::Create() {
+  PIER_CHECK(state_ == State::kIdle || state_ == State::kStopped);
+  pred_.reset();
+  successors_.clear();
+  state_ = State::kActive;
+  StartTasks();
+  PLOG(kInfo, Who(self_)) << "created ring";
+}
+
+void ChordNode::Join(sim::HostId bootstrap, std::function<void(Status)> done) {
+  PIER_CHECK(state_ == State::kIdle || state_ == State::kStopped);
+  state_ = State::kJoining;
+  join_bootstrap_ = bootstrap;
+  join_done_ = std::move(done);
+  join_attempts_ = 0;
+  AttemptJoin();
+}
+
+void ChordNode::AttemptJoin() {
+  if (state_ != State::kJoining) return;
+  ++join_attempts_;
+  if (join_attempts_ > options_.max_join_attempts) {
+    state_ = State::kIdle;
+    if (join_done_) join_done_(Status::Unavailable("join: no response"));
+    return;
+  }
+  // FIND_SUCCESSOR(self.id) answered directly to us.
+  uint64_t req_id = rpc_.Begin(
+      [this](Status s, Reader* r) {
+        if (state_ != State::kJoining) return;
+        if (!s.ok()) {
+          // Back off and retry; the bootstrap may be down or slow.
+          transport_->simulation()->ScheduleAfter(
+              options_.join_retry_interval, [this] { AttemptJoin(); });
+          return;
+        }
+        NodeInfo owner;
+        uint32_t hops = 0;
+        if (!NodeInfo::Deserialize(r, &owner).ok() ||
+            !r->GetVarint32(&hops).ok()) {
+          return;  // malformed; timeout path will retry
+        }
+        successors_.assign(1, owner);
+        state_ = State::kActive;
+        StartTasks();
+        PLOG(kInfo, Who(self_)) << "joined; successor=" << Who(owner);
+        NotifyNeighborsChanged();
+        if (join_done_) join_done_(Status::OK());
+        // Kick off an immediate stabilize to learn the successor list.
+        Stabilize();
+      },
+      options_.rpc_timeout);
+
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kFindSuccReq));
+  self_.id.Serialize(&w);
+  w.PutVarint64(req_id);
+  w.PutFixed32(self_.host);
+  w.PutVarint32(0);  // hops
+  SendMsg(join_bootstrap_, w);
+}
+
+void ChordNode::Leave() {
+  if (state_ != State::kActive) {
+    state_ = State::kStopped;
+    StopTasks();
+    return;
+  }
+  // Tell predecessor and successor to splice around us. Stored state is NOT
+  // transferred: PIER's soft-state model re-publishes data continuously, so
+  // ownership migrates with the next renewal cycle.
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kLeaveNotice));
+  self_.Serialize(&w);
+  w.PutBool(!successors_.empty());
+  if (!successors_.empty()) successors_[0].Serialize(&w);
+  w.PutBool(pred_.has_value());
+  if (pred_.has_value()) pred_->Serialize(&w);
+  if (!successors_.empty()) SendMsg(successors_[0].host, w);
+  if (pred_.has_value()) SendMsg(pred_->host, w);
+  state_ = State::kStopped;
+  StopTasks();
+  PLOG(kInfo, Who(self_)) << "left ring";
+}
+
+void ChordNode::Fail() {
+  state_ = State::kStopped;
+  StopTasks();
+}
+
+void ChordNode::StartTasks() {
+  sim::Simulation* sim = transport_->simulation();
+  // Phase-shift the first firing per node so protocol ticks don't
+  // synchronize across the network.
+  Duration phase0 = static_cast<Duration>(
+      sim->rng().Fork(self_.host ^ 0x74696d65ull)
+          .NextBelow(static_cast<uint64_t>(options_.stabilize_interval) + 1));
+  stabilize_task_.Start(sim, phase0, options_.stabilize_interval,
+                        [this] { Stabilize(); });
+  fix_fingers_task_.Start(sim, phase0 + Millis(50),
+                          options_.fix_fingers_interval,
+                          [this] { FixFingers(); });
+  check_pred_task_.Start(sim, phase0 + Millis(100),
+                         options_.check_predecessor_interval,
+                         [this] { CheckPredecessor(); });
+}
+
+void ChordNode::StopTasks() {
+  stabilize_task_.Stop();
+  fix_fingers_task_.Stop();
+  check_pred_task_.Stop();
+  rpc_.CancelAll();
+}
+
+Status ChordNode::SendMsg(sim::HostId to, const Writer& w) {
+  return transport_->Send(to, Proto::kOverlay, w);
+}
+
+// ---------------------------------------------------------------------------
+// Ring geometry
+// ---------------------------------------------------------------------------
+
+bool ChordNode::IsResponsibleFor(const Id160& key) const {
+  if (state_ != State::kActive) return false;
+  if (!pred_.has_value()) {
+    // Either singleton or our predecessor just died. Claiming responsibility
+    // errs toward local delivery; soft state tolerates the transient.
+    return true;
+  }
+  return key.InIntervalOpenClosed(pred_->id, self_.id);
+}
+
+NodeInfo ChordNode::successor() const {
+  return successors_.empty() ? self_ : successors_[0];
+}
+
+NodeInfo ChordNode::NextHop(const Id160& key) const {
+  if (IsResponsibleFor(key) || successors_.empty()) return self_;
+  // Immediate successor owns (self, successor].
+  if (key.InIntervalOpenClosed(self_.id, successors_[0].id) &&
+      !IsSuspect(successors_[0].host)) {
+    return successors_[0];
+  }
+  // Closest preceding live node across fingers and the successor list.
+  NodeInfo best = self_;
+  Id160 best_dist = Id160::Max();
+  auto consider = [&](const NodeInfo& cand) {
+    if (!cand.valid() || cand.host == self_.host) return;
+    if (IsSuspect(cand.host)) return;
+    if (!cand.id.InIntervalOpenOpen(self_.id, key)) return;
+    // Prefer the candidate closest to (but before) the key: smallest
+    // clockwise distance cand -> key.
+    Id160 dist = cand.id.DistanceTo(key);
+    if (!(best.valid() && best.host != self_.host) || dist < best_dist) {
+      best = cand;
+      best_dist = dist;
+    }
+  };
+  for (const auto& f : fingers_) {
+    if (f.has_value()) consider(*f);
+  }
+  for (const auto& s : successors_) consider(s);
+  if (best.host != self_.host) return best;
+  // Fall back to any live successor.
+  for (const auto& s : successors_) {
+    if (!IsSuspect(s.host)) return s;
+  }
+  return self_;  // nowhere to go; deliver locally rather than drop
+}
+
+std::vector<NodeInfo> ChordNode::RoutingNeighbors() const {
+  std::vector<NodeInfo> out;
+  auto add = [&](const NodeInfo& n) {
+    if (!n.valid() || n.host == self_.host || IsSuspect(n.host)) return;
+    for (const auto& e : out) {
+      if (e.host == n.host) return;
+    }
+    out.push_back(n);
+  };
+  for (const auto& s : successors_) add(s);
+  // Fingers in increasing clockwise distance from self.
+  std::vector<NodeInfo> fs;
+  for (const auto& f : fingers_) {
+    if (f.has_value()) fs.push_back(*f);
+  }
+  std::sort(fs.begin(), fs.end(), [this](const NodeInfo& a, const NodeInfo& b) {
+    return self_.id.DistanceTo(a.id) < self_.id.DistanceTo(b.id);
+  });
+  for (const auto& f : fs) add(f);
+  return out;
+}
+
+std::vector<NodeInfo> ChordNode::FingerEntries() const {
+  std::vector<NodeInfo> out;
+  for (const auto& f : fingers_) {
+    if (!f.has_value()) continue;
+    bool dup = false;
+    for (const auto& e : out) dup = dup || e.host == f->host;
+    if (!dup) out.push_back(*f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void ChordNode::Route(const Id160& key, uint8_t app_tag, std::string payload) {
+  if (state_ != State::kActive) return;
+  ++stats_.routes_initiated;
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRoute));
+  key.Serialize(&w);
+  w.PutU8(app_tag);
+  w.PutFixed32(self_.host);
+  w.PutVarint32(0);
+  w.PutString(payload);
+  NodeInfo hop = NextHop(key);
+  if (hop.host == self_.host) {
+    if (deliver_) {
+      deliver_(RoutedMessage{key, self_.host, app_tag, 0, std::move(payload)});
+    }
+    return;
+  }
+  SendMsg(hop.host, w);
+}
+
+void ChordNode::HandleRoute(Reader* r) {
+  Id160 key;
+  uint8_t app_tag = 0;
+  uint32_t origin = 0, hops = 0;
+  std::string payload;
+  if (!Id160::Deserialize(r, &key).ok() || !r->GetU8(&app_tag).ok() ||
+      !r->GetFixed32(&origin).ok() || !r->GetVarint32(&hops).ok() ||
+      !r->GetString(&payload).ok()) {
+    return;
+  }
+  if (state_ != State::kActive) return;
+  if (static_cast<int>(hops) >= options_.max_route_hops) return;  // loop guard
+  NodeInfo hop = NextHop(key);
+  if (hop.host == self_.host) {
+    if (deliver_) {
+      deliver_(RoutedMessage{key, origin, app_tag, static_cast<int>(hops),
+                             std::move(payload)});
+    }
+    return;
+  }
+  ++stats_.messages_forwarded;
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRoute));
+  key.Serialize(&w);
+  w.PutU8(app_tag);
+  w.PutFixed32(origin);
+  w.PutVarint32(hops + 1);
+  w.PutString(payload);
+  SendMsg(hop.host, w);
+}
+
+void ChordNode::Lookup(const Id160& key, LookupCallback cb) {
+  if (state_ != State::kActive) {
+    cb(Status::Unavailable("node not active"), NodeInfo{}, 0);
+    return;
+  }
+  if (IsResponsibleFor(key)) {
+    ++stats_.lookups_ok;
+    stats_.lookup_hops.Add(0);
+    cb(Status::OK(), self_, 0);
+    return;
+  }
+  uint64_t req_id = rpc_.Begin(
+      [this, cb](Status s, Reader* r) {
+        if (!s.ok()) {
+          ++stats_.lookups_failed;
+          cb(s, NodeInfo{}, 0);
+          return;
+        }
+        NodeInfo owner;
+        uint32_t hops = 0;
+        if (!NodeInfo::Deserialize(r, &owner).ok() ||
+            !r->GetVarint32(&hops).ok()) {
+          ++stats_.lookups_failed;
+          cb(Status::Corruption("bad lookup response"), NodeInfo{}, 0);
+          return;
+        }
+        ++stats_.lookups_ok;
+        stats_.lookup_hops.Add(hops);
+        cb(Status::OK(), owner, static_cast<int>(hops));
+      },
+      options_.rpc_timeout);
+  ForwardFindSucc(key, req_id, self_.host, 0);
+}
+
+void ChordNode::ForwardFindSucc(const Id160& key, uint64_t req_id,
+                                sim::HostId reply_to, int hops) {
+  if (IsResponsibleFor(key)) {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(MsgType::kFindSuccResp));
+    w.PutVarint64(req_id);
+    self_.Serialize(&w);
+    w.PutVarint32(static_cast<uint32_t>(hops));
+    if (reply_to == self_.host) {
+      // Local completion without a network round trip.
+      Reader r(w.buffer());
+      uint8_t type = 0;
+      uint64_t id = 0;
+      (void)r.GetU8(&type);
+      (void)r.GetVarint64(&id);
+      rpc_.Complete(id, &r);
+    } else {
+      SendMsg(reply_to, w);
+    }
+    return;
+  }
+  if (hops >= options_.max_route_hops) return;
+  NodeInfo hop = NextHop(key);
+  if (hop.host == self_.host) {
+    // Inconsistent transient state: answer with our best known successor.
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(MsgType::kFindSuccResp));
+    w.PutVarint64(req_id);
+    successor().Serialize(&w);
+    w.PutVarint32(static_cast<uint32_t>(hops));
+    if (reply_to == self_.host) {
+      Reader r(w.buffer());
+      uint8_t type = 0;
+      uint64_t id = 0;
+      (void)r.GetU8(&type);
+      (void)r.GetVarint64(&id);
+      rpc_.Complete(id, &r);
+    } else {
+      SendMsg(reply_to, w);
+    }
+    return;
+  }
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kFindSuccReq));
+  key.Serialize(&w);
+  w.PutVarint64(req_id);
+  w.PutFixed32(reply_to);
+  w.PutVarint32(static_cast<uint32_t>(hops));
+  SendMsg(hop.host, w);
+}
+
+void ChordNode::HandleFindSuccReq(Reader* r) {
+  Id160 key;
+  uint64_t req_id = 0;
+  uint32_t reply_to = 0, hops = 0;
+  if (!Id160::Deserialize(r, &key).ok() || !r->GetVarint64(&req_id).ok() ||
+      !r->GetFixed32(&reply_to).ok() || !r->GetVarint32(&hops).ok()) {
+    return;
+  }
+  if (state_ != State::kActive) return;
+  ForwardFindSucc(key, req_id, reply_to, static_cast<int>(hops) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance protocol
+// ---------------------------------------------------------------------------
+
+void ChordNode::Stabilize() {
+  if (state_ != State::kActive) return;
+  ++stats_.stabilize_rounds;
+  // Drop suspect successors from the head.
+  while (!successors_.empty() && IsSuspect(successors_[0].host)) {
+    ++stats_.successor_failovers;
+    successors_.erase(successors_.begin());
+    NotifyNeighborsChanged();
+  }
+  if (successors_.empty()) return;  // singleton
+
+  NodeInfo succ = successors_[0];
+  uint64_t req_id = rpc_.Begin(
+      [this, succ](Status s, Reader* r) {
+        if (state_ != State::kActive) return;
+        if (!s.ok()) {
+          Suspect(succ.host);
+          return;
+        }
+        bool has_pred = false;
+        NodeInfo pred;
+        uint32_t n = 0;
+        if (!r->GetBool(&has_pred).ok()) return;
+        if (has_pred && !NodeInfo::Deserialize(r, &pred).ok()) return;
+        if (!r->GetVarint32(&n).ok()) return;
+        std::vector<NodeInfo> their_list;
+        for (uint32_t i = 0; i < n; ++i) {
+          NodeInfo e;
+          if (!NodeInfo::Deserialize(r, &e).ok()) return;
+          their_list.push_back(e);
+        }
+        // Rule 1: successor's predecessor may be a closer successor for us.
+        if (has_pred && pred.host != self_.host && !IsSuspect(pred.host) &&
+            pred.id.InIntervalOpenOpen(self_.id, succ.id)) {
+          AdoptSuccessorCandidate(pred);
+        }
+        // Rule 2: merge successor list = [succ] + succ's list.
+        std::vector<NodeInfo> merged;
+        merged.push_back(successors_[0]);
+        for (const auto& e : their_list) {
+          if (e.host == self_.host) continue;
+          if (IsSuspect(e.host)) continue;
+          bool dup = false;
+          for (const auto& m : merged) dup = dup || m.host == e.host;
+          if (!dup) merged.push_back(e);
+          if (static_cast<int>(merged.size()) >=
+              options_.successor_list_size) {
+            break;
+          }
+        }
+        if (merged != successors_) {
+          successors_ = std::move(merged);
+          NotifyNeighborsChanged();
+        }
+        // Rule 3: notify our successor about us.
+        Writer w;
+        w.PutU8(static_cast<uint8_t>(MsgType::kNotify));
+        self_.Serialize(&w);
+        SendMsg(successors_[0].host, w);
+      },
+      options_.rpc_timeout);
+
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kGetNeighborsReq));
+  w.PutVarint64(req_id);
+  SendMsg(succ.host, w);
+}
+
+void ChordNode::AdoptSuccessorCandidate(const NodeInfo& candidate) {
+  successors_.insert(successors_.begin(), candidate);
+  if (static_cast<int>(successors_.size()) > options_.successor_list_size) {
+    successors_.resize(options_.successor_list_size);
+  }
+  NotifyNeighborsChanged();
+}
+
+void ChordNode::HandleGetNeighborsReq(sim::HostId from, Reader* r) {
+  uint64_t req_id = 0;
+  if (!r->GetVarint64(&req_id).ok()) return;
+  if (state_ != State::kActive) return;
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kGetNeighborsResp));
+  w.PutVarint64(req_id);
+  w.PutBool(pred_.has_value());
+  if (pred_.has_value()) pred_->Serialize(&w);
+  w.PutVarint32(static_cast<uint32_t>(successors_.size()));
+  for (const auto& s : successors_) s.Serialize(&w);
+  SendMsg(from, w);
+}
+
+void ChordNode::HandleNotify(Reader* r) {
+  NodeInfo candidate;
+  if (!NodeInfo::Deserialize(r, &candidate).ok()) return;
+  if (state_ != State::kActive) return;
+  if (candidate.host == self_.host) return;
+  if (!pred_.has_value() ||
+      candidate.id.InIntervalOpenOpen(pred_->id, self_.id) ||
+      IsSuspect(pred_->host)) {
+    pred_ = candidate;
+    NotifyNeighborsChanged();
+  }
+  if (successors_.empty()) {
+    // Second node of the ring: our notifier is also our successor.
+    successors_.push_back(candidate);
+    NotifyNeighborsChanged();
+  }
+}
+
+void ChordNode::HandleLeaveNotice(Reader* r) {
+  NodeInfo leaving, succ, pred;
+  bool has_succ = false, has_pred = false;
+  if (!NodeInfo::Deserialize(r, &leaving).ok() ||
+      !r->GetBool(&has_succ).ok()) {
+    return;
+  }
+  if (has_succ && !NodeInfo::Deserialize(r, &succ).ok()) return;
+  if (!r->GetBool(&has_pred).ok()) return;
+  if (has_pred && !NodeInfo::Deserialize(r, &pred).ok()) return;
+  if (state_ != State::kActive) return;
+
+  if (pred_.has_value() && pred_->host == leaving.host) {
+    if (has_pred && pred.host != self_.host) {
+      pred_ = pred;
+    } else {
+      pred_.reset();
+    }
+    NotifyNeighborsChanged();
+  }
+  if (!successors_.empty() && successors_[0].host == leaving.host) {
+    successors_.erase(successors_.begin());
+    if (has_succ && succ.host != self_.host && !IsSuspect(succ.host)) {
+      AdoptSuccessorCandidate(succ);
+    } else {
+      NotifyNeighborsChanged();
+    }
+  } else {
+    RemoveSuccessor(leaving.host);
+  }
+  // Make sure stale finger entries do not route through the departed node.
+  for (auto& f : fingers_) {
+    if (f.has_value() && f->host == leaving.host) f.reset();
+  }
+}
+
+void ChordNode::FixFingers() {
+  if (state_ != State::kActive || successors_.empty()) return;
+  for (int i = 0; i < options_.fingers_per_tick; ++i) {
+    int index = next_finger_;
+    next_finger_ = (next_finger_ - 1 + Id160::kBits) % Id160::kBits;
+    Id160 target = self_.id.AddPowerOfTwo(index);
+    uint64_t req_id = rpc_.Begin(
+        [this, index](Status s, Reader* r) {
+          if (!s.ok() || state_ != State::kActive) return;
+          NodeInfo owner;
+          uint32_t hops = 0;
+          if (!NodeInfo::Deserialize(r, &owner).ok() ||
+              !r->GetVarint32(&hops).ok()) {
+            return;
+          }
+          if (owner.host == self_.host) {
+            fingers_[index].reset();
+          } else {
+            fingers_[index] = owner;
+          }
+        },
+        options_.rpc_timeout);
+    ForwardFindSucc(target, req_id, self_.host, 0);
+  }
+}
+
+void ChordNode::CheckPredecessor() {
+  if (state_ != State::kActive || !pred_.has_value()) return;
+  NodeInfo pred = *pred_;
+  uint64_t req_id = rpc_.Begin(
+      [this, pred](Status s, Reader* r) {
+        if (state_ != State::kActive) return;
+        if (!s.ok()) {
+          Suspect(pred.host);
+          if (pred_.has_value() && pred_->host == pred.host) {
+            pred_.reset();
+            NotifyNeighborsChanged();
+          }
+        }
+      },
+      options_.rpc_timeout);
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPingReq));
+  w.PutVarint64(req_id);
+  SendMsg(pred.host, w);
+}
+
+// ---------------------------------------------------------------------------
+// Failure suspicion
+// ---------------------------------------------------------------------------
+
+void ChordNode::Suspect(sim::HostId host) {
+  suspects_[host] = transport_->simulation()->now() + options_.suspect_ttl;
+  RemoveSuccessor(host);
+  for (auto& f : fingers_) {
+    if (f.has_value() && f->host == host) f.reset();
+  }
+}
+
+bool ChordNode::IsSuspect(sim::HostId host) const {
+  auto it = suspects_.find(host);
+  if (it == suspects_.end()) return false;
+  return transport_->simulation()->now() < it->second;
+}
+
+void ChordNode::RemoveSuccessor(sim::HostId host) {
+  auto it = std::remove_if(
+      successors_.begin(), successors_.end(),
+      [host](const NodeInfo& n) { return n.host == host; });
+  if (it != successors_.end()) {
+    successors_.erase(it, successors_.end());
+    NotifyNeighborsChanged();
+  }
+}
+
+void ChordNode::NotifyNeighborsChanged() {
+  if (on_neighbors_changed_) on_neighbors_changed_();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void ChordNode::OnMessage(sim::HostId from, Reader* r) {
+  uint8_t type = 0;
+  if (!r->GetU8(&type).ok()) return;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kRoute:
+      HandleRoute(r);
+      break;
+    case MsgType::kFindSuccReq:
+      HandleFindSuccReq(r);
+      break;
+    case MsgType::kFindSuccResp: {
+      uint64_t req_id = 0;
+      if (!r->GetVarint64(&req_id).ok()) return;
+      rpc_.Complete(req_id, r);
+      break;
+    }
+    case MsgType::kGetNeighborsReq:
+      HandleGetNeighborsReq(from, r);
+      break;
+    case MsgType::kGetNeighborsResp: {
+      uint64_t req_id = 0;
+      if (!r->GetVarint64(&req_id).ok()) return;
+      rpc_.Complete(req_id, r);
+      break;
+    }
+    case MsgType::kNotify:
+      HandleNotify(r);
+      break;
+    case MsgType::kPingReq: {
+      uint64_t req_id = 0;
+      if (!r->GetVarint64(&req_id).ok()) return;
+      if (state_ != State::kActive) return;
+      Writer w;
+      w.PutU8(static_cast<uint8_t>(MsgType::kPingResp));
+      w.PutVarint64(req_id);
+      SendMsg(from, w);
+      break;
+    }
+    case MsgType::kPingResp: {
+      uint64_t req_id = 0;
+      if (!r->GetVarint64(&req_id).ok()) return;
+      rpc_.Complete(req_id, r);
+      break;
+    }
+    case MsgType::kLeaveNotice:
+      HandleLeaveNotice(r);
+      break;
+    default:
+      break;  // unknown message: drop
+  }
+}
+
+}  // namespace overlay
+}  // namespace pier

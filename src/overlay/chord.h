@@ -1,0 +1,189 @@
+// Chord-style structured overlay (Stoica et al., SIGCOMM 2001 — reference
+// [7] of the paper): consistent hashing on a 160-bit ring, successor lists
+// for fault tolerance, finger tables for O(log n) routing, and periodic
+// soft-state stabilization. This is the DHT routing layer PIER runs on.
+//
+// Protocol sketch (all messages under Proto::kOverlay):
+//   - join:     FIND_SUCCESSOR(self.id) via a bootstrap node
+//   - routing:  greedy forwarding to the closest preceding finger/successor
+//   - repair:   stabilize (successor's predecessor + successor-list merge),
+//               notify, fix-fingers, predecessor liveness pings
+//   - failure:  RPC timeouts mark hosts suspect; suspects are routed around
+//               until stabilization removes them
+//
+// Everything is timer-driven soft state: no operation blocks, every remote
+// exchange can be lost, and the ring heals as long as successor lists
+// retain one live entry.
+
+#ifndef PIER_OVERLAY_CHORD_H_
+#define PIER_OVERLAY_CHORD_H_
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id160.h"
+#include "overlay/node_info.h"
+#include "overlay/router.h"
+#include "overlay/rpc.h"
+#include "overlay/transport.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+
+namespace pier {
+namespace overlay {
+
+/// Tuning knobs for the Chord protocol.
+struct ChordOptions {
+  /// Successor-list length; the ring survives up to this many simultaneous
+  /// adjacent failures.
+  int successor_list_size = 8;
+  /// How often to run the stabilize exchange with our successor.
+  Duration stabilize_interval = Millis(500);
+  /// How often to refresh a batch of finger-table entries.
+  Duration fix_fingers_interval = Millis(500);
+  /// Finger entries refreshed per fix-fingers tick.
+  int fingers_per_tick = 8;
+  /// Predecessor liveness probe period.
+  Duration check_predecessor_interval = Seconds(1);
+  /// Timeout for all overlay RPCs.
+  Duration rpc_timeout = Millis(1500);
+  /// How long a timed-out host stays on the suspects list.
+  Duration suspect_ttl = Seconds(8);
+  /// Join retry backoff.
+  Duration join_retry_interval = Seconds(1);
+  int max_join_attempts = 8;
+  /// Routing loop guard.
+  int max_route_hops = 64;
+};
+
+/// Counters exposed for experiments.
+struct ChordStats {
+  uint64_t lookups_ok = 0;
+  uint64_t lookups_failed = 0;
+  uint64_t routes_initiated = 0;
+  uint64_t messages_forwarded = 0;
+  uint64_t stabilize_rounds = 0;
+  uint64_t successor_failovers = 0;
+  sim::Histogram lookup_hops;
+};
+
+/// One node's Chord protocol instance.
+class ChordNode : public Router {
+ public:
+  /// `transport` must outlive the node. The node registers itself as the
+  /// Proto::kOverlay handler.
+  ChordNode(Transport* transport, const Id160& id, ChordOptions options);
+  ~ChordNode() override;
+
+  /// Becomes the first node of a fresh ring (no bootstrap needed).
+  void Create();
+
+  /// Joins the ring known to `bootstrap`. `done` fires once the node has a
+  /// successor (or with an error after max_join_attempts timeouts).
+  void Join(sim::HostId bootstrap, std::function<void(Status)> done);
+
+  /// Graceful departure: tells neighbors to splice around us, then stops.
+  void Leave();
+  /// Crash: stops all protocol activity without telling anyone.
+  void Fail();
+  /// True once joined/created and not stopped.
+  bool active() const { return state_ == State::kActive; }
+
+  // Router interface.
+  void SetDeliverCallback(DeliverFn fn) override { deliver_ = std::move(fn); }
+  void Route(const Id160& key, uint8_t app_tag, std::string payload) override;
+  bool IsResponsibleFor(const Id160& key) const override;
+  NodeInfo self() const override { return self_; }
+  std::vector<NodeInfo> RoutingNeighbors() const override;
+  void Lookup(const Id160& key, LookupCallback cb) override;
+
+  /// Current immediate successor (self when singleton).
+  NodeInfo successor() const;
+  std::optional<NodeInfo> predecessor() const { return pred_; }
+  const std::vector<NodeInfo>& successor_list() const { return successors_; }
+  /// Distinct live finger entries (diagnostics).
+  std::vector<NodeInfo> FingerEntries() const;
+
+  const ChordStats& stats() const { return stats_; }
+  ChordStats* mutable_stats() { return &stats_; }
+
+  /// Fired after predecessor/successor changes (replication hooks).
+  void SetNeighborsChangedCallback(std::function<void()> fn) {
+    on_neighbors_changed_ = std::move(fn);
+  }
+
+ private:
+  enum class State { kIdle, kJoining, kActive, kStopped };
+
+  // Wire message types under Proto::kOverlay.
+  enum class MsgType : uint8_t {
+    kRoute = 1,
+    kFindSuccReq = 2,
+    kFindSuccResp = 3,
+    kGetNeighborsReq = 4,
+    kGetNeighborsResp = 5,
+    kNotify = 6,
+    kPingReq = 7,
+    kPingResp = 8,
+    kLeaveNotice = 9,
+  };
+
+  void OnMessage(sim::HostId from, Reader* r);
+  void HandleRoute(Reader* r);
+  void HandleFindSuccReq(Reader* r);
+  void HandleGetNeighborsReq(sim::HostId from, Reader* r);
+  void HandleNotify(Reader* r);
+  void HandleLeaveNotice(Reader* r);
+
+  /// Greedy next hop for `key`; self when locally responsible.
+  NodeInfo NextHop(const Id160& key) const;
+  /// Forwards a find-successor query one hop (or answers it).
+  void ForwardFindSucc(const Id160& key, uint64_t req_id,
+                       sim::HostId reply_to, int hops);
+  void StartTasks();
+  void StopTasks();
+  void Stabilize();
+  void FixFingers();
+  void CheckPredecessor();
+  void AttemptJoin();
+  void AdoptSuccessorCandidate(const NodeInfo& candidate);
+  void RemoveSuccessor(sim::HostId host);
+  void Suspect(sim::HostId host);
+  bool IsSuspect(sim::HostId host) const;
+  void NotifyNeighborsChanged();
+  Status SendMsg(sim::HostId to, const Writer& w);
+
+  Transport* transport_;
+  NodeInfo self_;
+  ChordOptions options_;
+  State state_ = State::kIdle;
+
+  std::optional<NodeInfo> pred_;
+  std::vector<NodeInfo> successors_;  // clockwise from self; [0] = successor
+  std::array<std::optional<NodeInfo>, Id160::kBits> fingers_;
+  int next_finger_ = Id160::kBits - 1;
+
+  std::unordered_map<sim::HostId, TimePoint> suspects_;
+
+  RpcManager rpc_;
+  sim::PeriodicTask stabilize_task_;
+  sim::PeriodicTask fix_fingers_task_;
+  sim::PeriodicTask check_pred_task_;
+
+  DeliverFn deliver_;
+  std::function<void()> on_neighbors_changed_;
+  std::function<void(Status)> join_done_;
+  sim::HostId join_bootstrap_ = sim::kInvalidHost;
+  int join_attempts_ = 0;
+
+  ChordStats stats_;
+};
+
+}  // namespace overlay
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_CHORD_H_

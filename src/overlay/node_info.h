@@ -1,0 +1,44 @@
+// NodeInfo: the (host address, ring identifier) pair that overlay protocols
+// gossip about. This is the only way nodes learn of each other.
+
+#ifndef PIER_OVERLAY_NODE_INFO_H_
+#define PIER_OVERLAY_NODE_INFO_H_
+
+#include <string>
+
+#include "common/id160.h"
+#include "common/serialize.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace overlay {
+
+/// A remote node as known to overlay protocols.
+struct NodeInfo {
+  sim::HostId host = sim::kInvalidHost;
+  Id160 id;
+
+  bool valid() const { return host != sim::kInvalidHost; }
+
+  bool operator==(const NodeInfo& o) const {
+    return host == o.host && id == o.id;
+  }
+
+  void Serialize(Writer* w) const {
+    w->PutFixed32(host);
+    id.Serialize(w);
+  }
+  static Status Deserialize(Reader* r, NodeInfo* out) {
+    PIER_RETURN_IF_ERROR(r->GetFixed32(&out->host));
+    return Id160::Deserialize(r, &out->id);
+  }
+
+  std::string ToString() const {
+    return "node" + std::to_string(host) + "@" + id.ToShortHex();
+  }
+};
+
+}  // namespace overlay
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_NODE_INFO_H_

@@ -1,0 +1,100 @@
+#include "overlay/one_hop.h"
+
+namespace pier {
+namespace overlay {
+
+OneHopRouter::OneHopRouter(Transport* transport, const Id160& id,
+                           Directory* directory)
+    : transport_(transport),
+      self_{transport->self(), id},
+      directory_(directory) {
+  transport_->RegisterHandler(
+      Proto::kOverlay,
+      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+}
+
+OneHopRouter::~OneHopRouter() { Deactivate(); }
+
+void OneHopRouter::Activate() {
+  directory_->Register(self_);
+  active_ = true;
+}
+
+void OneHopRouter::Deactivate() {
+  if (active_) directory_->Unregister(self_.id);
+  active_ = false;
+}
+
+void OneHopRouter::Route(const Id160& key, uint8_t app_tag,
+                         std::string payload) {
+  if (!active_) return;
+  NodeInfo owner = directory_->Owner(key);
+  if (!owner.valid()) return;
+  if (owner.host == self_.host) {
+    if (deliver_) {
+      deliver_(RoutedMessage{key, self_.host, app_tag, 0, std::move(payload)});
+    }
+    return;
+  }
+  Writer w;
+  key.Serialize(&w);
+  w.PutU8(app_tag);
+  w.PutFixed32(self_.host);
+  w.PutString(payload);
+  transport_->Send(owner.host, Proto::kOverlay, w);
+}
+
+void OneHopRouter::OnMessage(sim::HostId from, Reader* r) {
+  Id160 key;
+  uint8_t app_tag = 0;
+  uint32_t origin = 0;
+  std::string payload;
+  if (!Id160::Deserialize(r, &key).ok() || !r->GetU8(&app_tag).ok() ||
+      !r->GetFixed32(&origin).ok() || !r->GetString(&payload).ok()) {
+    return;
+  }
+  if (!active_) return;
+  if (deliver_) {
+    deliver_(RoutedMessage{key, origin, app_tag, 1, std::move(payload)});
+  }
+}
+
+bool OneHopRouter::IsResponsibleFor(const Id160& key) const {
+  if (!active_) return false;
+  NodeInfo owner = directory_->Owner(key);
+  return owner.valid() && owner.host == self_.host;
+}
+
+std::vector<NodeInfo> OneHopRouter::RoutingNeighbors() const {
+  std::vector<NodeInfo> all = directory_->Members();
+  // Rotate so neighbors start just after self in ring order and exclude self.
+  std::vector<NodeInfo> out;
+  out.reserve(all.size());
+  size_t start = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].id > self_.id) {
+      start = i;
+      break;
+    }
+  }
+  for (size_t i = 0; i < all.size(); ++i) {
+    const NodeInfo& n = all[(start + i) % all.size()];
+    if (n.host != self_.host) out.push_back(n);
+  }
+  return out;
+}
+
+void OneHopRouter::Lookup(const Id160& key, LookupCallback cb) {
+  NodeInfo owner = directory_->Owner(key);
+  // Stay asynchronous so callers cannot depend on re-entrancy.
+  transport_->simulation()->ScheduleAfter(0, [owner, cb] {
+    if (owner.valid()) {
+      cb(Status::OK(), owner, owner.valid() ? 1 : 0);
+    } else {
+      cb(Status::Unavailable("empty directory"), owner, 0);
+    }
+  });
+}
+
+}  // namespace overlay
+}  // namespace pier

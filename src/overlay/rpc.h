@@ -1,0 +1,90 @@
+// RpcManager: request/response matching with virtual-time timeouts.
+//
+// Overlay and DHT protocols are built on one-shot request/response exchanges
+// over the (unreliable) transport. Each outstanding request has an id, a
+// completion callback, and a timeout; a response that arrives late or twice
+// is ignored. This is soft-state thinking: nothing blocks, everything that
+// can be lost has a timeout.
+
+#ifndef PIER_OVERLAY_RPC_H_
+#define PIER_OVERLAY_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace overlay {
+
+/// Tracks outstanding requests for one node subsystem.
+class RpcManager {
+ public:
+  /// Callback receives OK + Reader positioned at the response payload, or a
+  /// Timeout status with a null reader.
+  using Callback = std::function<void(Status, Reader*)>;
+
+  explicit RpcManager(sim::Simulation* sim) : sim_(sim) {}
+
+  RpcManager(const RpcManager&) = delete;
+  RpcManager& operator=(const RpcManager&) = delete;
+
+  ~RpcManager() { CancelAll(); }
+
+  /// Registers a new request; returns the id to embed in the wire message.
+  uint64_t Begin(Callback cb, Duration timeout) {
+    uint64_t id = next_id_++;
+    Pending p;
+    p.cb = std::move(cb);
+    p.timer = sim_->ScheduleAfter(timeout, [this, id] { Expire(id); });
+    pending_.emplace(id, std::move(p));
+    return id;
+  }
+
+  /// Completes request `id` with a successful response. Returns false if the
+  /// request is unknown (stale/duplicate response).
+  bool Complete(uint64_t id, Reader* response) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return false;
+    Callback cb = std::move(it->second.cb);
+    sim_->Cancel(it->second.timer);
+    pending_.erase(it);
+    cb(Status::OK(), response);
+    return true;
+  }
+
+  /// Cancels all outstanding requests without invoking callbacks (node
+  /// shutdown).
+  void CancelAll() {
+    for (auto& [id, p] : pending_) sim_->Cancel(p.timer);
+    pending_.clear();
+  }
+
+  size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Callback cb;
+    sim::TimerId timer = 0;
+  };
+
+  void Expire(uint64_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    Callback cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(Status::Timeout("rpc timeout"), nullptr);
+  }
+
+  sim::Simulation* sim_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+};
+
+}  // namespace overlay
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_RPC_H_

@@ -1,0 +1,92 @@
+// Transport: one node's endpoint onto the simulated network, demultiplexing
+// inbound messages to subsystem protocols (overlay maintenance, DHT storage,
+// query dataflow, ...). Every outbound message is [proto byte][payload],
+// with payload produced by a Writer — real serialization end to end.
+
+#ifndef PIER_OVERLAY_TRANSPORT_H_
+#define PIER_OVERLAY_TRANSPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace overlay {
+
+/// Well-known protocol numbers. Subsystems register handlers for these.
+enum class Proto : uint8_t {
+  kOverlay = 1,    ///< ring maintenance + routing (chord.cc)
+  kDht = 2,        ///< soft-state storage RPCs (dht/storage.cc)
+  kBroadcast = 3,  ///< dissemination trees (dht/broadcast.cc)
+  kQuery = 4,      ///< query plans + dataflow tuples (query/*)
+};
+
+/// Per-protocol traffic counters for experiment accounting.
+struct ProtoTraffic {
+  uint64_t messages_out = 0;
+  uint64_t bytes_out = 0;
+};
+
+/// A node's sending/receiving endpoint. Owned by the node; handlers are
+/// registered once at boot.
+class Transport {
+ public:
+  /// Handler receives the sender host and a Reader positioned at the payload.
+  using Handler = std::function<void(sim::HostId from, Reader* r)>;
+
+  Transport(sim::Network* network, sim::HostId self)
+      : network_(network), self_(self) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers the handler for `proto`. At most one handler per protocol.
+  void RegisterHandler(Proto proto, Handler handler) {
+    handlers_[static_cast<size_t>(proto)] = std::move(handler);
+  }
+
+  /// Sends `payload` to `to` under `proto`.
+  Status Send(sim::HostId to, Proto proto, const Writer& payload) {
+    Writer framed;
+    framed.PutU8(static_cast<uint8_t>(proto));
+    framed.PutRaw(payload.buffer().data(), payload.size());
+    ProtoTraffic& t = traffic_[static_cast<size_t>(proto)];
+    ++t.messages_out;
+    t.bytes_out += framed.size();
+    return network_->Send(self_, to, framed.Release());
+  }
+
+  /// Entry point wired to sim::MessageHandler by the owning node.
+  void Dispatch(sim::HostId from, const std::string& bytes) {
+    Reader r(bytes);
+    uint8_t proto = 0;
+    if (!r.GetU8(&proto).ok()) return;  // malformed frame: drop
+    if (proto >= handlers_.size()) return;
+    const Handler& h = handlers_[proto];
+    if (h) h(from, &r);
+  }
+
+  sim::HostId self() const { return self_; }
+  sim::Network* network() { return network_; }
+  sim::Simulation* simulation() { return network_->simulation(); }
+
+  const ProtoTraffic& traffic(Proto proto) const {
+    return traffic_[static_cast<size_t>(proto)];
+  }
+
+ private:
+  sim::Network* network_;
+  sim::HostId self_;
+  std::array<Handler, 8> handlers_;
+  std::array<ProtoTraffic, 8> traffic_{};
+};
+
+}  // namespace overlay
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_TRANSPORT_H_

@@ -1,0 +1,571 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+
+namespace pier {
+namespace planner {
+
+namespace {
+
+using catalog::Schema;
+using exec::AggSpec;
+using exec::Expr;
+using exec::ExprPtr;
+using query::PlanKind;
+using query::QueryPlan;
+using sql::AstExpr;
+using sql::AstExprPtr;
+using sql::SelectStmt;
+
+/// Qualifies a table's schema with its alias so "alias.col" resolves.
+Schema AliasSchema(const catalog::TableDef& def, const std::string& alias) {
+  return Schema(alias, def.schema.columns());
+}
+
+bool ContainsAgg(const AstExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == AstExpr::Kind::kAggCall) return true;
+  return ContainsAgg(e->left) || ContainsAgg(e->right);
+}
+
+/// Binds an AST expression over `schema`, rejecting aggregate calls.
+Status BindScalar(const AstExprPtr& ast, const Schema& schema, ExprPtr* out) {
+  if (ast == nullptr) return Status::InvalidArgument("null expression");
+  switch (ast->kind) {
+    case AstExpr::Kind::kLiteral:
+      *out = Expr::Literal(ast->literal);
+      return Status::OK();
+    case AstExpr::Kind::kColumn: {
+      int index = -1;
+      PIER_RETURN_IF_ERROR(schema.Resolve(ast->column, &index));
+      *out = Expr::Column(index, ast->column);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kCompare: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &l));
+      PIER_RETURN_IF_ERROR(BindScalar(ast->right, schema, &r));
+      *out = Expr::Compare(ast->cmp, l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kArith: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &l));
+      PIER_RETURN_IF_ERROR(BindScalar(ast->right, schema, &r));
+      *out = Expr::Arith(ast->arith, l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kAnd:
+    case AstExpr::Kind::kOr: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &l));
+      PIER_RETURN_IF_ERROR(BindScalar(ast->right, schema, &r));
+      *out = ast->kind == AstExpr::Kind::kAnd ? Expr::And(l, r)
+                                              : Expr::Or(l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kNot: {
+      ExprPtr inner;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &inner));
+      *out = Expr::Not(inner);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kNeg: {
+      ExprPtr inner;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &inner));
+      *out = Expr::Negate(inner);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kIsNull:
+    case AstExpr::Kind::kIsNotNull: {
+      ExprPtr inner;
+      PIER_RETURN_IF_ERROR(BindScalar(ast->left, schema, &inner));
+      *out = Expr::IsNull(inner, ast->kind == AstExpr::Kind::kIsNotNull);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kAggCall:
+      return Status::InvalidArgument(
+          "aggregate not allowed in this context: " + ast->ToString());
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+/// Flattens an AND tree into conjuncts.
+void Conjuncts(const AstExprPtr& e, std::vector<AstExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == AstExpr::Kind::kAnd) {
+    Conjuncts(e->left, out);
+    Conjuncts(e->right, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Rebuilds an AND tree from conjuncts (null when empty).
+AstExprPtr AndAll(const std::vector<AstExprPtr>& cs) {
+  AstExprPtr out;
+  for (const AstExprPtr& c : cs) {
+    if (out == nullptr) {
+      out = c;
+    } else {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExpr::Kind::kAnd;
+      e->left = out;
+      e->right = c;
+      out = e;
+    }
+  }
+  return out;
+}
+
+/// Is `e` a plain column of `schema`? Returns its index or -1.
+int ColumnIndexIn(const AstExprPtr& e, const Schema& schema) {
+  if (e == nullptr || e->kind != AstExpr::Kind::kColumn) return -1;
+  int index = -1;
+  if (!schema.Resolve(e->column, &index).ok()) return -1;
+  return index;
+}
+
+struct AggAnalysis {
+  std::vector<int> group_cols;           // indices into the input schema
+  std::vector<std::string> group_names;  // as written in GROUP BY
+  std::vector<AggSpec> aggs;
+  std::vector<int> final_projection;     // select-order over [group|aggs]
+  std::vector<std::string> output_names;
+};
+
+/// Finds (or appends) an aggregate spec matching fn over column `col`.
+int FindOrAddAgg(AggAnalysis* a, exec::AggFunc fn, int col,
+                 const std::string& name) {
+  for (size_t i = 0; i < a->aggs.size(); ++i) {
+    if (a->aggs[i].fn == fn && a->aggs[i].col == col) {
+      return static_cast<int>(i);
+    }
+  }
+  a->aggs.push_back(AggSpec{fn, col, name});
+  return static_cast<int>(a->aggs.size()) - 1;
+}
+
+/// Rewrites an expression over the aggregate output layout
+/// [group values..., aggregate results...]: group columns become column refs
+/// into the prefix; aggregate calls become refs past the prefix.
+Status BindOverAggLayout(const AstExprPtr& ast, const Schema& input,
+                         AggAnalysis* a, ExprPtr* out) {
+  if (ast == nullptr) return Status::InvalidArgument("null expression");
+  if (ast->kind == AstExpr::Kind::kAggCall) {
+    int col = -1;
+    if (ast->left != nullptr) {
+      col = ColumnIndexIn(ast->left, input);
+      if (col < 0) {
+        return Status::InvalidArgument(
+            "aggregate argument must be a column: " + ast->ToString());
+      }
+    }
+    int agg_index = FindOrAddAgg(a, ast->agg, col, ast->ToString());
+    *out = Expr::Column(static_cast<int>(a->group_cols.size()) + agg_index,
+                        ast->ToString());
+    return Status::OK();
+  }
+  if (ast->kind == AstExpr::Kind::kColumn) {
+    int input_index = -1;
+    PIER_RETURN_IF_ERROR(input.Resolve(ast->column, &input_index));
+    for (size_t g = 0; g < a->group_cols.size(); ++g) {
+      if (a->group_cols[g] == input_index) {
+        *out = Expr::Column(static_cast<int>(g), ast->column);
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("column " + ast->column +
+                                   " is neither grouped nor aggregated");
+  }
+  // Recurse structurally for composite expressions.
+  switch (ast->kind) {
+    case AstExpr::Kind::kLiteral:
+      *out = Expr::Literal(ast->literal);
+      return Status::OK();
+    case AstExpr::Kind::kCompare: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->left, input, a, &l));
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->right, input, a, &r));
+      *out = Expr::Compare(ast->cmp, l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kArith: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->left, input, a, &l));
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->right, input, a, &r));
+      *out = Expr::Arith(ast->arith, l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kAnd:
+    case AstExpr::Kind::kOr: {
+      ExprPtr l, r;
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->left, input, a, &l));
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->right, input, a, &r));
+      *out = ast->kind == AstExpr::Kind::kAnd ? Expr::And(l, r)
+                                              : Expr::Or(l, r);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kNot: {
+      ExprPtr inner;
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->left, input, a, &inner));
+      *out = Expr::Not(inner);
+      return Status::OK();
+    }
+    case AstExpr::Kind::kNeg: {
+      ExprPtr inner;
+      PIER_RETURN_IF_ERROR(BindOverAggLayout(ast->left, input, a, &inner));
+      *out = Expr::Negate(inner);
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("expression over aggregates: " +
+                                  ast->ToString());
+  }
+}
+
+Status PlanAggregation(const SelectStmt& stmt, const Schema& input,
+                       QueryPlan* plan) {
+  AggAnalysis a;
+  for (const std::string& g : stmt.group_by) {
+    int index = -1;
+    PIER_RETURN_IF_ERROR(input.Resolve(g, &index));
+    a.group_cols.push_back(index);
+    a.group_names.push_back(g);
+  }
+  // Each SELECT item must reduce to a group column or an aggregate.
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->kind == AstExpr::Kind::kAggCall) {
+      int col = -1;
+      if (item.expr->left != nullptr) {
+        col = ColumnIndexIn(item.expr->left, input);
+        if (col < 0) {
+          return Status::InvalidArgument(
+              "aggregate argument must be a column: " +
+              item.expr->ToString());
+        }
+      }
+      std::string name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      int agg_index = FindOrAddAgg(&a, item.expr->agg, col, name);
+      a.final_projection.push_back(
+          static_cast<int>(a.group_cols.size()) + agg_index);
+      a.output_names.push_back(name);
+      continue;
+    }
+    if (item.expr->kind == AstExpr::Kind::kColumn) {
+      int input_index = -1;
+      PIER_RETURN_IF_ERROR(input.Resolve(item.expr->column, &input_index));
+      bool found = false;
+      for (size_t g = 0; g < a.group_cols.size(); ++g) {
+        if (a.group_cols[g] == input_index) {
+          a.final_projection.push_back(static_cast<int>(g));
+          a.output_names.push_back(
+              item.alias.empty() ? item.expr->column : item.alias);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("column " + item.expr->column +
+                                       " must appear in GROUP BY");
+      }
+      continue;
+    }
+    return Status::NotSupported(
+        "aggregate SELECT items must be columns or aggregate calls: " +
+        item.expr->ToString());
+  }
+  if (stmt.having != nullptr) {
+    PIER_RETURN_IF_ERROR(
+        BindOverAggLayout(stmt.having, input, &a, &plan->having));
+  }
+  // ORDER BY: an alias of a select item, a group column, or an agg call.
+  if (stmt.order_by != nullptr) {
+    int order = -1;
+    if (stmt.order_by->kind == AstExpr::Kind::kColumn) {
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!stmt.items[i].alias.empty() &&
+            stmt.items[i].alias == stmt.order_by->column) {
+          order = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (order < 0) {
+      // Match by structural print against select items.
+      std::string want = stmt.order_by->ToString();
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (stmt.items[i].expr->ToString() == want) {
+          order = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (order < 0) {
+      return Status::NotSupported(
+          "ORDER BY must reference a SELECT item in aggregate queries");
+    }
+    plan->order_col = order;
+    plan->order_desc = stmt.order_desc;
+  }
+  plan->group_cols = std::move(a.group_cols);
+  plan->aggs = std::move(a.aggs);
+  plan->final_projection = std::move(a.final_projection);
+  plan->output_names = std::move(a.output_names);
+  return Status::OK();
+}
+
+Status PlanSelectItems(const SelectStmt& stmt, const Schema& schema,
+                       QueryPlan* plan) {
+  if (stmt.select_star) {
+    // Identity projection.
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      plan->output_names.push_back(schema.column(i).name);
+    }
+  } else {
+    for (const sql::SelectItem& item : stmt.items) {
+      ExprPtr bound;
+      PIER_RETURN_IF_ERROR(BindScalar(item.expr, schema, &bound));
+      plan->projections.push_back(bound);
+      plan->output_names.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+    }
+  }
+  if (stmt.order_by != nullptr) {
+    // Resolve against the output: alias, structural match, or (for SELECT *)
+    // a schema column.
+    int order = -1;
+    if (stmt.order_by->kind == AstExpr::Kind::kColumn) {
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!stmt.items[i].alias.empty() &&
+            stmt.items[i].alias == stmt.order_by->column) {
+          order = static_cast<int>(i);
+        }
+      }
+      if (order < 0 && stmt.select_star) {
+        int index = -1;
+        PIER_RETURN_IF_ERROR(schema.Resolve(stmt.order_by->column, &index));
+        order = index;
+      }
+    }
+    if (order < 0) {
+      std::string want = stmt.order_by->ToString();
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (stmt.items[i].expr->ToString() == want) {
+          order = static_cast<int>(i);
+        }
+      }
+    }
+    if (order < 0) {
+      return Status::NotSupported("cannot resolve ORDER BY expression");
+    }
+    plan->order_col = order;
+    plan->order_desc = stmt.order_desc;
+  }
+  return Status::OK();
+}
+
+Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
+                             const catalog::Catalog& catalog,
+                             const PlannerOptions& options) {
+  QueryPlan plan;
+  plan.distinct = stmt.distinct;
+  plan.limit = stmt.limit;
+  plan.every = Seconds(stmt.every_seconds);
+  plan.window = Seconds(stmt.window_seconds);
+
+  if (stmt.from.empty() || stmt.from.size() > 2) {
+    return Status::InvalidArgument("FROM must name one or two relations");
+  }
+  const catalog::TableDef* left_def = catalog.Find(stmt.from[0].table);
+  if (left_def == nullptr) {
+    return Status::NotFound("unknown table: " + stmt.from[0].table);
+  }
+  Schema left_schema = AliasSchema(*left_def, stmt.from[0].alias);
+
+  bool has_agg = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.items) {
+    has_agg = has_agg || ContainsAgg(item.expr);
+  }
+
+  if (stmt.from.size() == 1) {
+    plan.table = left_def->name;
+    plan.scan_schema = left_schema;
+    if (stmt.where != nullptr) {
+      PIER_RETURN_IF_ERROR(BindScalar(stmt.where, left_schema, &plan.where));
+    }
+    if (has_agg) {
+      plan.kind = PlanKind::kAggregate;
+      plan.agg_strategy = options.agg_strategy;
+      PIER_RETURN_IF_ERROR(PlanAggregation(stmt, left_schema, &plan));
+    } else {
+      plan.kind = PlanKind::kSelectProject;
+      PIER_RETURN_IF_ERROR(PlanSelectItems(stmt, left_schema, &plan));
+    }
+    return plan;
+  }
+
+  // -- join ------------------------------------------------------------------
+  const catalog::TableDef* right_def = catalog.Find(stmt.from[1].table);
+  if (right_def == nullptr) {
+    return Status::NotFound("unknown table: " + stmt.from[1].table);
+  }
+  Schema right_schema = AliasSchema(*right_def, stmt.from[1].alias);
+  Schema concat = Schema::Concat(left_schema, right_schema);
+
+  plan.kind = PlanKind::kJoin;
+  plan.table = left_def->name;
+  plan.scan_schema = left_schema;
+  plan.right_table = right_def->name;
+  plan.right_schema = right_schema;
+
+  // Collect conjuncts from ON and WHERE; extract equi-join keys.
+  std::vector<AstExprPtr> conjuncts;
+  Conjuncts(stmt.join_on, &conjuncts);
+  Conjuncts(stmt.where, &conjuncts);
+  std::vector<AstExprPtr> residual;
+  size_t left_width = left_schema.num_columns();
+  for (const AstExprPtr& c : conjuncts) {
+    bool is_key = false;
+    if (c->kind == AstExpr::Kind::kCompare &&
+        c->cmp == exec::CompareOp::kEq) {
+      int a = ColumnIndexIn(c->left, concat);
+      int b = ColumnIndexIn(c->right, concat);
+      if (a >= 0 && b >= 0) {
+        bool a_left = static_cast<size_t>(a) < left_width;
+        bool b_left = static_cast<size_t>(b) < left_width;
+        if (a_left != b_left) {
+          int l = a_left ? a : b;
+          int r = a_left ? b : a;
+          plan.left_key_cols.push_back(l);
+          plan.right_key_cols.push_back(r -
+                                        static_cast<int>(left_width));
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) residual.push_back(c);
+  }
+  if (plan.left_key_cols.empty()) {
+    return Status::NotSupported(
+        "joins require at least one equality predicate between the two "
+        "relations");
+  }
+  AstExprPtr residual_ast = AndAll(residual);
+  if (residual_ast != nullptr) {
+    PIER_RETURN_IF_ERROR(BindScalar(residual_ast, concat, &plan.where));
+  }
+
+  plan.join_strategy = options.join_strategy;
+  if (options.prefer_fetch_matches &&
+      right_def->partition_cols == plan.right_key_cols) {
+    plan.join_strategy = query::JoinStrategy::kFetchMatches;
+  }
+
+  if (has_agg) {
+    plan.agg_strategy = options.agg_strategy;
+    PIER_RETURN_IF_ERROR(PlanAggregation(stmt, concat, &plan));
+  } else {
+    PIER_RETURN_IF_ERROR(PlanSelectItems(stmt, concat, &plan));
+  }
+  return plan;
+}
+
+Result<QueryPlan> PlanRecursive(const sql::RecursiveQuery& rq,
+                                const catalog::Catalog& catalog) {
+  if (rq.columns.size() != 2) {
+    return Status::NotSupported(
+        "recursive relations must declare exactly (src, dst)");
+  }
+  // Base: SELECT c1, c2 FROM edge [WHERE ...].
+  if (rq.base.from.size() != 1 || rq.base.items.size() != 2) {
+    return Status::NotSupported(
+        "recursive base must be SELECT src, dst FROM <edges>");
+  }
+  const catalog::TableDef* edge_def = catalog.Find(rq.base.from[0].table);
+  if (edge_def == nullptr) {
+    return Status::NotFound("unknown edge table: " + rq.base.from[0].table);
+  }
+  Schema edge_schema = AliasSchema(*edge_def, rq.base.from[0].alias);
+  int src_col = ColumnIndexIn(rq.base.items[0].expr, edge_schema);
+  int dst_col = ColumnIndexIn(rq.base.items[1].expr, edge_schema);
+  if (src_col < 0 || dst_col < 0) {
+    return Status::NotSupported(
+        "recursive base items must be edge-table columns");
+  }
+  // Step: must join the recursive relation with the same edge table (the
+  // canonical transitive-closure shape); details are implied.
+  bool step_uses_self = false, step_uses_edges = false;
+  for (const sql::TableRef& ref : rq.step.from) {
+    step_uses_self |= ref.table == rq.name;
+    step_uses_edges |= ref.table == edge_def->name;
+  }
+  if (!step_uses_self || !step_uses_edges) {
+    return Status::NotSupported(
+        "recursive step must join " + rq.name + " with " + edge_def->name);
+  }
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kRecursive;
+  plan.table = edge_def->name;
+  plan.scan_schema = edge_schema;
+  plan.src_col = src_col;
+  plan.dst_col = dst_col;
+  plan.max_hops = static_cast<int>(rq.max_hops);
+  if (rq.base.where != nullptr) {
+    PIER_RETURN_IF_ERROR(BindScalar(rq.base.where, edge_schema, &plan.where));
+  }
+
+  // Outer select runs over (src, dst, hops).
+  Schema closure(rq.name, {{rq.columns[0], ValueType::kNull},
+                           {rq.columns[1], ValueType::kNull},
+                           {"hops", ValueType::kInt64}});
+  if (rq.outer.from.size() != 1 || rq.outer.from[0].table != rq.name) {
+    return Status::NotSupported("outer select must read FROM " + rq.name);
+  }
+  if (rq.outer.where != nullptr) {
+    PIER_RETURN_IF_ERROR(
+        BindScalar(rq.outer.where, closure, &plan.outer_where));
+  }
+  if (!rq.outer.select_star) {
+    for (const sql::SelectItem& item : rq.outer.items) {
+      ExprPtr bound;
+      PIER_RETURN_IF_ERROR(BindScalar(item.expr, closure, &bound));
+      plan.projections.push_back(bound);
+      plan.output_names.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+    }
+  } else {
+    for (size_t i = 0; i < closure.num_columns(); ++i) {
+      plan.output_names.push_back(closure.column(i).name);
+    }
+  }
+  plan.limit = rq.outer.limit;
+  return plan;
+}
+
+}  // namespace
+
+Result<QueryPlan> PlanStatement(const sql::Statement& stmt,
+                                const catalog::Catalog& catalog,
+                                const PlannerOptions& options) {
+  if (stmt.kind == sql::Statement::Kind::kRecursive) {
+    return PlanRecursive(*stmt.recursive, catalog);
+  }
+  return PlanSelect(stmt.select, catalog, options);
+}
+
+Result<uint64_t> ExecuteSql(query::QueryEngine* engine, const std::string& sql,
+                            query::QueryEngine::ResultCallback cb,
+                            const PlannerOptions& options) {
+  sql::Statement stmt;
+  PIER_ASSIGN_OR_RETURN(stmt, sql::Parse(sql));
+  query::QueryPlan plan;
+  PIER_ASSIGN_OR_RETURN(plan, PlanStatement(stmt, *engine->catalog(),
+                                            options));
+  return engine->Execute(std::move(plan), std::move(cb));
+}
+
+}  // namespace planner
+}  // namespace pier

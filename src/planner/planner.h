@@ -1,0 +1,45 @@
+// Planner: binds a parsed SQL statement against the catalog and produces the
+// distributed QueryPlan the engine disseminates.
+//
+// Responsibilities: name resolution (aliases, qualified columns), equi-join
+// key extraction from WHERE / ON conjuncts, aggregate analysis (partial/
+// final split, HAVING and ORDER BY rewritten over the aggregate layout),
+// join/aggregation strategy selection, and validation (e.g. fetch-matches
+// partitioning compatibility is re-checked by the engine).
+
+#ifndef PIER_PLANNER_PLANNER_H_
+#define PIER_PLANNER_PLANNER_H_
+
+#include "catalog/table_def.h"
+#include "common/result.h"
+#include "query/engine.h"
+#include "query/plan.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace pier {
+namespace planner {
+
+struct PlannerOptions {
+  query::JoinStrategy join_strategy = query::JoinStrategy::kSymmetricHash;
+  query::AggStrategy agg_strategy = query::AggStrategy::kTree;
+  /// When true, a join whose inner relation is already partitioned on the
+  /// join key is downgraded from rehashing to fetch-matches automatically.
+  bool prefer_fetch_matches = true;
+};
+
+/// Binds `stmt` against `catalog`. Fails with InvalidArgument (bad names,
+/// unsupported shapes) or NotFound (unknown tables).
+Result<query::QueryPlan> PlanStatement(const sql::Statement& stmt,
+                                       const catalog::Catalog& catalog,
+                                       const PlannerOptions& options = {});
+
+/// Convenience: parse + plan + execute in one call.
+Result<uint64_t> ExecuteSql(query::QueryEngine* engine, const std::string& sql,
+                            query::QueryEngine::ResultCallback cb,
+                            const PlannerOptions& options = {});
+
+}  // namespace planner
+}  // namespace pier
+
+#endif  // PIER_PLANNER_PLANNER_H_

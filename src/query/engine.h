@@ -1,0 +1,225 @@
+// QueryEngine: PIER's distributed query processor, one instance per node.
+//
+// Responsibilities:
+//   - query dissemination: plans broadcast over the DHT's dissemination tree;
+//   - scans: each node contributes its local slice of a namespace;
+//   - in-network aggregation: partials combine hop-by-hop up the broadcast
+//     tree (AggStrategy::kTree) or flow directly to the origin (kDirect);
+//   - distributed joins: symmetric hash (rehash into a per-query temp
+//     namespace), fetch matches, symmetric semi-join with match-time tuple
+//     fetch, and Bloom join with filter exchange;
+//   - recursion: semi-naive transitive closure with in-DHT dedup and
+//     quiescence detection at the origin;
+//   - continuous queries: periodic re-execution with windowed scans, epoch-
+//     aligned across nodes;
+//   - result collection and origin-side post-processing (final aggregation,
+//     HAVING, DISTINCT, ORDER BY / LIMIT).
+//
+// Everything is soft state: one-shot results are "best effort within the
+// result wait window", exactly the guarantee the paper's demo gives.
+
+#ifndef PIER_QUERY_ENGINE_H_
+#define PIER_QUERY_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "catalog/tuple.h"
+#include "common/bloom.h"
+#include "common/result.h"
+#include "dht/broadcast.h"
+#include "dht/storage.h"
+#include "exec/operators.h"
+#include "overlay/router.h"
+#include "overlay/transport.h"
+#include "query/plan.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace query {
+
+struct EngineOptions {
+  /// How long the origin waits for distributed results before finalizing an
+  /// epoch (the paper's demo semantics: sum over nodes *responding* in the
+  /// window).
+  Duration result_wait = Seconds(8);
+  /// Tree aggregation: a node at depth d holds partials for
+  /// agg_hold_base * (agg_assumed_depth - d) before flushing to its parent,
+  /// so children flush before parents.
+  Duration agg_hold_base = Millis(800);
+  int agg_assumed_depth = 8;
+  /// Bloom join: origin collects per-node filters for this long before
+  /// redistributing the union.
+  Duration bloom_wait = Seconds(4);
+  size_t bloom_bits = 1 << 14;
+  int bloom_hashes = 5;
+  /// TTL on rehashed temp tuples (per-query namespaces).
+  Duration temp_ttl = Seconds(90);
+  /// Recursion: the origin declares fixpoint after this long without a new
+  /// result, bounded by recursion_deadline.
+  Duration quiesce_window = Seconds(6);
+  Duration recursion_deadline = Seconds(120);
+  /// Member-side state GC delay after a query ends.
+  Duration cleanup_delay = Seconds(30);
+};
+
+struct EngineStats {
+  uint64_t queries_issued = 0;
+  uint64_t plans_received = 0;
+  uint64_t scans_run = 0;
+  uint64_t tuples_scanned = 0;
+  uint64_t result_msgs_sent = 0;
+  uint64_t result_msgs_received = 0;
+  uint64_t partial_msgs_sent = 0;
+  uint64_t partial_msgs_received = 0;
+  uint64_t rehash_puts = 0;
+  uint64_t fetch_gets = 0;
+  uint64_t semijoin_fetches = 0;
+  uint64_t bloom_filters_sent = 0;
+  uint64_t bloom_suppressed = 0;
+  uint64_t recursion_expansions = 0;
+  uint64_t recursion_duplicates = 0;
+};
+
+/// One epoch's worth of answers, delivered to the issuing client.
+struct ResultBatch {
+  uint64_t query_id = 0;
+  uint64_t epoch = 0;
+  /// Nodes heard from this epoch (aggregation queries: distinct reporters).
+  size_t reporting_nodes = 0;
+  std::vector<catalog::Tuple> rows;
+};
+
+/// Per-node query processor. Registers for Proto::kQuery and owns the
+/// node's broadcast handler.
+class QueryEngine {
+ public:
+  using ResultCallback = std::function<void(const ResultBatch&)>;
+
+  QueryEngine(overlay::Transport* transport, overlay::Router* router,
+              dht::Dht* dht, dht::BroadcastService* broadcast,
+              catalog::Catalog* catalog, EngineOptions options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// The node-local catalog (register table definitions here).
+  catalog::Catalog* catalog() { return catalog_; }
+
+  /// Publishes one tuple of `table` into the DHT under a fresh instance id.
+  Status Publish(const std::string& table, const catalog::Tuple& t);
+
+  /// Publishes under a caller-stable instance id (scoped to this node):
+  /// re-publishing with the same id renews/overwrites instead of
+  /// accumulating — the idiom for periodically refreshed monitoring rows.
+  Status PublishVersioned(const std::string& table, const catalog::Tuple& t,
+                          uint64_t instance);
+
+  /// Issues a distributed query from this node. `cb` fires once per epoch
+  /// (exactly once for one-shot queries). Returns the query id.
+  Result<uint64_t> Execute(QueryPlan plan, ResultCallback cb);
+
+  /// Stops a (typically continuous) query network-wide.
+  void Cancel(uint64_t query_id);
+
+  const EngineStats& stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Number of queries this node currently tracks (diagnostics).
+  size_t active_queries() const { return queries_.size(); }
+
+ private:
+  struct ActiveQuery;
+
+  // Message types under Proto::kQuery.
+  enum class MsgType : uint8_t {
+    kResultTuple = 1,
+    kPartialAgg = 2,
+    kFetchReq = 3,
+    kFetchResp = 4,
+    kBloomPart = 5,
+  };
+  // Broadcast payload kinds.
+  enum class BcastKind : uint8_t {
+    kPlan = 1,
+    kBloomDist = 2,
+    kQueryEnd = 3,
+  };
+
+  // -- plumbing --------------------------------------------------------------
+  void OnBroadcast(sim::HostId origin, uint64_t seq, sim::HostId parent,
+                   int depth, const std::string& payload);
+  void OnDirect(sim::HostId from, Reader* r);
+  void SendDirect(sim::HostId to, const Writer& w);
+
+  // -- query lifecycle -------------------------------------------------------
+  void InstallQuery(const PlanEnvelope& env, sim::HostId parent, int depth);
+  /// Globally time-aligned epoch number for a continuous query.
+  uint64_t CurrentEpoch(const ActiveQuery& aq) const;
+  void StartEpoch(ActiveQuery* aq, uint64_t epoch);
+  void FinalizeEpoch(ActiveQuery* aq, uint64_t epoch);
+  void EndQuery(uint64_t query_id);
+  void GcQuery(uint64_t query_id);
+
+  // -- member-side execution -------------------------------------------------
+  std::vector<catalog::Tuple> ScanLocal(const ActiveQuery& aq,
+                                        const std::string& table,
+                                        const catalog::Schema& schema);
+  void RunSelectEpoch(ActiveQuery* aq, uint64_t epoch);
+  void RunAggregateEpoch(ActiveQuery* aq, uint64_t epoch);
+  void FlushCombiner(ActiveQuery* aq, uint64_t epoch);
+  void SendPartial(ActiveQuery* aq, uint64_t epoch, const catalog::Tuple& t);
+  void SendResult(ActiveQuery* aq, uint64_t epoch, const catalog::Tuple& t);
+  void SetupJoin(ActiveQuery* aq);
+  void RunJoinScan(ActiveQuery* aq, bool bloom_phase2);
+  void RehashTuple(ActiveQuery* aq, int side, const catalog::Tuple& t);
+  void OnTempArrival(uint64_t query_id, const dht::StoredItem& item);
+  void HandleJoinOutput(ActiveQuery* aq, const catalog::Tuple& joined);
+  void SetupRecursive(ActiveQuery* aq);
+  void OnReachArrival(uint64_t query_id, const dht::StoredItem& item);
+
+  // -- origin-side post-processing --------------------------------------------
+  void OriginAccept(ActiveQuery* aq, uint64_t epoch, sim::HostId from,
+                    const catalog::Tuple& t, bool is_partial);
+  std::vector<catalog::Tuple> OriginPostProcess(ActiveQuery* aq,
+                                                uint64_t epoch);
+
+  std::string TempNamespace(uint64_t query_id) const {
+    return "q" + std::to_string(query_id) + ".tmp";
+  }
+  std::string ReachNamespace(uint64_t query_id) const {
+    return "q" + std::to_string(query_id) + ".reach";
+  }
+
+  overlay::Transport* transport_;
+  overlay::Router* router_;
+  dht::Dht* dht_;
+  dht::BroadcastService* broadcast_;
+  catalog::Catalog* catalog_;
+  sim::Simulation* sim_;
+  EngineOptions options_;
+  EngineStats stats_;
+
+  /// Schedules an engine-owned timer: cancelled automatically when the
+  /// engine is destroyed (node crash/reboot), so callbacks never fire on a
+  /// dead engine.
+  sim::TimerId ScheduleEngineTimer(Duration delay, std::function<void()> fn);
+  sim::TimerId ScheduleEngineTimerAt(TimePoint when, std::function<void()> fn);
+
+  uint64_t next_query_seq_ = 1;
+  uint64_t publish_seq_ = 1;
+  std::map<uint64_t, std::unique_ptr<ActiveQuery>> queries_;
+  std::vector<sim::TimerId> engine_timers_;
+};
+
+}  // namespace query
+}  // namespace pier
+
+#endif  // PIER_QUERY_ENGINE_H_

@@ -1,0 +1,232 @@
+#include "query/plan.h"
+
+namespace pier {
+namespace query {
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kSelectProject:
+      return "select-project";
+    case PlanKind::kAggregate:
+      return "aggregate";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kRecursive:
+      return "recursive";
+  }
+  return "?";
+}
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kSymmetricHash:
+      return "symmetric-hash";
+    case JoinStrategy::kFetchMatches:
+      return "fetch-matches";
+    case JoinStrategy::kSymmetricSemi:
+      return "symmetric-semi";
+    case JoinStrategy::kBloom:
+      return "bloom";
+  }
+  return "?";
+}
+
+const char* AggStrategyName(AggStrategy s) {
+  switch (s) {
+    case AggStrategy::kDirect:
+      return "direct";
+    case AggStrategy::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+namespace {
+
+void PutOptionalExpr(Writer* w, const exec::ExprPtr& e) {
+  w->PutBool(e != nullptr);
+  if (e != nullptr) e->Serialize(w);
+}
+
+Status GetOptionalExpr(Reader* r, exec::ExprPtr* out) {
+  bool present = false;
+  PIER_RETURN_IF_ERROR(r->GetBool(&present));
+  if (!present) {
+    out->reset();
+    return Status::OK();
+  }
+  return exec::Expr::Deserialize(r, out);
+}
+
+void PutIntVec(Writer* w, const std::vector<int>& v) {
+  w->PutVarint32(static_cast<uint32_t>(v.size()));
+  for (int x : v) w->PutVarint64Signed(x);
+}
+
+Status GetIntVec(Reader* r, std::vector<int>* out) {
+  uint32_t n = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 100000) return Status::Corruption("int vector too long");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t x = 0;
+    PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&x));
+    out->push_back(static_cast<int>(x));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void QueryPlan::Serialize(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutString(table);
+  scan_schema.Serialize(w);
+  PutOptionalExpr(w, where);
+  w->PutVarint32(static_cast<uint32_t>(projections.size()));
+  for (const auto& e : projections) e->Serialize(w);
+  w->PutVarint32(static_cast<uint32_t>(output_names.size()));
+  for (const auto& n : output_names) w->PutString(n);
+  w->PutBool(distinct);
+  PutIntVec(w, group_cols);
+  w->PutVarint32(static_cast<uint32_t>(aggs.size()));
+  for (const auto& a : aggs) a.Serialize(w);
+  PutOptionalExpr(w, having);
+  w->PutU8(static_cast<uint8_t>(agg_strategy));
+  PutIntVec(w, final_projection);
+  w->PutVarint64Signed(order_col);
+  w->PutBool(order_desc);
+  w->PutVarint64Signed(limit);
+  w->PutU8(static_cast<uint8_t>(join_strategy));
+  w->PutString(right_table);
+  right_schema.Serialize(w);
+  PutIntVec(w, left_key_cols);
+  PutIntVec(w, right_key_cols);
+  w->PutVarint64(static_cast<uint64_t>(every));
+  w->PutVarint64(static_cast<uint64_t>(window));
+  w->PutVarint64Signed(src_col);
+  w->PutVarint64Signed(dst_col);
+  w->PutVarint64Signed(max_hops);
+  PutOptionalExpr(w, outer_where);
+}
+
+Status QueryPlan::Deserialize(Reader* r, QueryPlan* out) {
+  uint8_t kind = 0;
+  PIER_RETURN_IF_ERROR(r->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(PlanKind::kRecursive)) {
+    return Status::Corruption("bad plan kind");
+  }
+  out->kind = static_cast<PlanKind>(kind);
+  PIER_RETURN_IF_ERROR(r->GetString(&out->table));
+  PIER_RETURN_IF_ERROR(catalog::Schema::Deserialize(r, &out->scan_schema));
+  PIER_RETURN_IF_ERROR(GetOptionalExpr(r, &out->where));
+  uint32_t n = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 10000) return Status::Corruption("too many projections");
+  out->projections.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    exec::ExprPtr e;
+    PIER_RETURN_IF_ERROR(exec::Expr::Deserialize(r, &e));
+    out->projections.push_back(std::move(e));
+  }
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 10000) return Status::Corruption("too many output names");
+  out->output_names.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    PIER_RETURN_IF_ERROR(r->GetString(&name));
+    out->output_names.push_back(std::move(name));
+  }
+  PIER_RETURN_IF_ERROR(r->GetBool(&out->distinct));
+  PIER_RETURN_IF_ERROR(GetIntVec(r, &out->group_cols));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 1000) return Status::Corruption("too many aggs");
+  out->aggs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    exec::AggSpec a;
+    PIER_RETURN_IF_ERROR(exec::AggSpec::Deserialize(r, &a));
+    out->aggs.push_back(std::move(a));
+  }
+  PIER_RETURN_IF_ERROR(GetOptionalExpr(r, &out->having));
+  uint8_t agg_strategy = 0;
+  PIER_RETURN_IF_ERROR(r->GetU8(&agg_strategy));
+  if (agg_strategy > static_cast<uint8_t>(AggStrategy::kTree)) {
+    return Status::Corruption("bad agg strategy");
+  }
+  out->agg_strategy = static_cast<AggStrategy>(agg_strategy);
+  PIER_RETURN_IF_ERROR(GetIntVec(r, &out->final_projection));
+  int64_t order_col = 0, limit = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&order_col));
+  PIER_RETURN_IF_ERROR(r->GetBool(&out->order_desc));
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&limit));
+  out->order_col = static_cast<int>(order_col);
+  out->limit = limit;
+  uint8_t join_strategy = 0;
+  PIER_RETURN_IF_ERROR(r->GetU8(&join_strategy));
+  if (join_strategy > static_cast<uint8_t>(JoinStrategy::kBloom)) {
+    return Status::Corruption("bad join strategy");
+  }
+  out->join_strategy = static_cast<JoinStrategy>(join_strategy);
+  PIER_RETURN_IF_ERROR(r->GetString(&out->right_table));
+  PIER_RETURN_IF_ERROR(catalog::Schema::Deserialize(r, &out->right_schema));
+  PIER_RETURN_IF_ERROR(GetIntVec(r, &out->left_key_cols));
+  PIER_RETURN_IF_ERROR(GetIntVec(r, &out->right_key_cols));
+  uint64_t every = 0, window = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&every));
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&window));
+  out->every = static_cast<Duration>(every);
+  out->window = static_cast<Duration>(window);
+  int64_t src_col = 0, dst_col = 0, max_hops = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&src_col));
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&dst_col));
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&max_hops));
+  out->src_col = static_cast<int>(src_col);
+  out->dst_col = static_cast<int>(dst_col);
+  out->max_hops = static_cast<int>(max_hops);
+  PIER_RETURN_IF_ERROR(GetOptionalExpr(r, &out->outer_where));
+  return Status::OK();
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = "plan{";
+  out += PlanKindName(kind);
+  out += " table=" + table;
+  if (kind == PlanKind::kJoin) {
+    out += " join=" + std::string(JoinStrategyName(join_strategy));
+    out += " right=" + right_table;
+  }
+  if (!aggs.empty()) {
+    out += " aggs=";
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += exec::AggFuncName(aggs[i].fn);
+    }
+    out += " strategy=";
+    out += AggStrategyName(agg_strategy);
+  }
+  if (where != nullptr) out += " where=" + where->ToString();
+  if (every > 0) out += " every=" + FormatDuration(every);
+  if (limit >= 0) out += " limit=" + std::to_string(limit);
+  out += "}";
+  return out;
+}
+
+void PlanEnvelope::Serialize(Writer* w) const {
+  w->PutVarint64(query_id);
+  w->PutFixed32(origin);
+  w->PutVarint64(static_cast<uint64_t>(issued_at));
+  plan.Serialize(w);
+}
+
+Status PlanEnvelope::Deserialize(Reader* r, PlanEnvelope* out) {
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->query_id));
+  PIER_RETURN_IF_ERROR(r->GetFixed32(&out->origin));
+  uint64_t issued = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&issued));
+  out->issued_at = static_cast<TimePoint>(issued);
+  return QueryPlan::Deserialize(r, &out->plan);
+}
+
+}  // namespace query
+}  // namespace pier

@@ -1,0 +1,128 @@
+// QueryPlan: the distributed plan PIER disseminates to every node.
+//
+// A plan fixes the shape of the distributed dataflow (which the engine
+// instantiates as local operator chains) plus all bound expressions.
+// Column references inside expressions are bound to tuple layouts at
+// planning time:
+//   - `where`               -> the scan schema (left++right concat for joins)
+//   - `projections`         -> same layout as `where`
+//   - `having`              -> the aggregate output layout
+//                              [group values..., aggregate results...]
+//   - `order_col`           -> the final output layout
+//
+// Plans serialize; every node rebuilds an identical plan from bytes.
+
+#ifndef PIER_QUERY_PLAN_H_
+#define PIER_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/serialize.h"
+#include "common/time_util.h"
+#include "exec/agg.h"
+#include "exec/expr.h"
+
+namespace pier {
+namespace query {
+
+/// Distributed plan shapes the engine executes.
+enum class PlanKind : uint8_t {
+  kSelectProject = 0,  ///< scan -> filter -> project, results to origin
+  kAggregate = 1,      ///< scan -> filter -> partial agg -> in-network tree
+  kJoin = 2,           ///< binary equi-join (strategy below)
+  kRecursive = 3,      ///< transitive closure over an edge table
+};
+
+/// The four distributed join algorithms from the PIER design papers.
+enum class JoinStrategy : uint8_t {
+  kSymmetricHash = 0,  ///< rehash both relations into a temp namespace
+  kFetchMatches = 1,   ///< probe the already-partitioned inner by DHT get
+  kSymmetricSemi = 2,  ///< rehash keys+ids only, fetch full tuples on match
+  kBloom = 3,          ///< pre-filter both sides with exchanged Bloom filters
+};
+
+/// How partial aggregates reach the query origin.
+enum class AggStrategy : uint8_t {
+  kDirect = 0,  ///< every node sends partials straight to the origin
+  kTree = 1,    ///< partials combine hop-by-hop up the dissemination tree
+};
+
+const char* PlanKindName(PlanKind k);
+const char* JoinStrategyName(JoinStrategy s);
+const char* AggStrategyName(AggStrategy s);
+
+/// One distributed query. Plain data; built by the planner or directly via
+/// the algebraic API.
+struct QueryPlan {
+  PlanKind kind = PlanKind::kSelectProject;
+
+  // -- Source relation(s) ---------------------------------------------------
+  std::string table;            ///< left/only relation (DHT namespace)
+  catalog::Schema scan_schema;  ///< its schema (join: left schema)
+
+  // -- Row pipeline ----------------------------------------------------------
+  exec::ExprPtr where;  ///< predicate; null = accept all
+  std::vector<exec::ExprPtr> projections;  ///< empty = identity
+  std::vector<std::string> output_names;   ///< names for projections
+  bool distinct = false;
+
+  // -- Aggregation (kAggregate; or post-join aggregation at the origin) -----
+  std::vector<int> group_cols;
+  std::vector<exec::AggSpec> aggs;
+  exec::ExprPtr having;
+  AggStrategy agg_strategy = AggStrategy::kTree;
+  /// Applied at the origin after aggregation: indices into the
+  /// [group values..., aggregate results...] layout, reordering to the
+  /// SELECT-list order. Empty = identity.
+  std::vector<int> final_projection;
+
+  // -- Ordering / limiting (applied at the origin) ---------------------------
+  int order_col = -1;
+  bool order_desc = false;
+  int64_t limit = -1;
+
+  // -- Join (kJoin) -----------------------------------------------------------
+  JoinStrategy join_strategy = JoinStrategy::kSymmetricHash;
+  std::string right_table;
+  catalog::Schema right_schema;
+  std::vector<int> left_key_cols;
+  std::vector<int> right_key_cols;
+
+  // -- Continuous execution ---------------------------------------------------
+  Duration every = 0;   ///< 0 = one-shot; else re-evaluate per period
+  Duration window = 0;  ///< 0 = whole live snapshot; else items newer than
+                        ///< `window` at scan time
+
+  // -- Recursion (kRecursive) -------------------------------------------------
+  int src_col = 0;      ///< edge source column in `scan_schema`
+  int dst_col = 1;      ///< edge destination column
+  int max_hops = 16;    ///< expansion bound
+  /// Outer predicate over the closure output layout (src, dst, hops);
+  /// `where` filters base edges instead.
+  exec::ExprPtr outer_where;
+
+  void Serialize(Writer* w) const;
+  static Status Deserialize(Reader* r, QueryPlan* out);
+
+  /// Multi-line EXPLAIN-style description.
+  std::string ToString() const;
+};
+
+/// What actually travels in the dissemination broadcast.
+struct PlanEnvelope {
+  uint64_t query_id = 0;
+  uint32_t origin = 0;       ///< host that issued the query
+  TimePoint issued_at = 0;   ///< origin virtual time (epoch alignment)
+  QueryPlan plan;
+
+  void Serialize(Writer* w) const;
+  static Status Deserialize(Reader* r, PlanEnvelope* out);
+};
+
+}  // namespace query
+}  // namespace pier
+
+#endif  // PIER_QUERY_PLAN_H_

@@ -1,0 +1,43 @@
+#include "sim/churn.h"
+
+namespace pier {
+namespace sim {
+
+ChurnScheduler::ChurnScheduler(Simulation* sim, ChurnOptions options,
+                               std::function<void(HostId, bool)> on_transition)
+    : sim_(sim),
+      options_(options),
+      on_transition_(std::move(on_transition)),
+      rng_(sim->rng().Fork(0x636875726eull)) {}  // "churn"
+
+void ChurnScheduler::Manage(HostId host) {
+  if (rng_.Chance(options_.stable_fraction)) return;
+  ScheduleDeparture(host);
+}
+
+void ChurnScheduler::ScheduleDeparture(HostId host) {
+  Duration session = static_cast<Duration>(
+      rng_.Exponential(static_cast<double>(options_.mean_session)));
+  TimePoint when = sim_->now() + session;
+  if (when < options_.start_at) when = options_.start_at + session;
+  if (StoppedAt(when)) return;
+  sim_->ScheduleAt(when, [this, host] {
+    ++transitions_;
+    on_transition_(host, /*up=*/false);
+    ScheduleReturn(host);
+  });
+}
+
+void ChurnScheduler::ScheduleReturn(HostId host) {
+  Duration down = static_cast<Duration>(
+      rng_.Exponential(static_cast<double>(options_.mean_downtime)));
+  TimePoint when = sim_->now() + std::max<Duration>(down, Seconds(1));
+  sim_->ScheduleAt(when, [this, host] {
+    ++transitions_;
+    on_transition_(host, /*up=*/true);
+    if (!StoppedAt(sim_->now())) ScheduleDeparture(host);
+  });
+}
+
+}  // namespace sim
+}  // namespace pier

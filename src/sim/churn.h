@@ -1,0 +1,63 @@
+// Churn scheduling: drives hosts through up/down cycles with exponentially
+// distributed session and downtime lengths, the standard model for P2P
+// membership dynamics (cf. "Handling churn in a DHT", USENIX '04 — reference
+// [6] of the paper).
+
+#ifndef PIER_SIM_CHURN_H_
+#define PIER_SIM_CHURN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace sim {
+
+struct ChurnOptions {
+  /// Mean up-time before a node departs.
+  Duration mean_session = Seconds(300);
+  /// Mean down-time before it returns.
+  Duration mean_downtime = Seconds(60);
+  /// Churn begins only after this time (lets the overlay stabilize first).
+  TimePoint start_at = Seconds(30);
+  /// No departures are scheduled after this time (0 = no limit).
+  TimePoint stop_at = 0;
+  /// Fraction of managed hosts that never churn (stable core).
+  double stable_fraction = 0.0;
+};
+
+/// Schedules up/down transitions for a set of hosts and reports them to a
+/// callback (the PIER harness reacts by failing/rebooting nodes).
+class ChurnScheduler {
+ public:
+  /// `on_transition(host, up)` fires at each membership change.
+  ChurnScheduler(Simulation* sim, ChurnOptions options,
+                 std::function<void(HostId, bool)> on_transition);
+
+  /// Puts `host` under churn management. Must be called while the host is up.
+  void Manage(HostId host);
+
+  /// Transitions that have fired so far (diagnostics).
+  uint64_t transitions() const { return transitions_; }
+
+ private:
+  void ScheduleDeparture(HostId host);
+  void ScheduleReturn(HostId host);
+  bool StoppedAt(TimePoint t) const {
+    return options_.stop_at != 0 && t >= options_.stop_at;
+  }
+
+  Simulation* sim_;
+  ChurnOptions options_;
+  std::function<void(HostId, bool)> on_transition_;
+  Rng rng_;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_CHURN_H_

@@ -1,0 +1,75 @@
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace sim {
+
+TimerId Simulation::ScheduleAt(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  EventKey key{t, next_seq_++};
+  TimerId id = key.seq;
+  queue_.emplace(key, std::move(fn));
+  timer_index_.emplace(id, key);
+  return id;
+}
+
+void Simulation::Cancel(TimerId id) {
+  auto it = timer_index_.find(id);
+  if (it == timer_index_.end()) return;
+  queue_.erase(it->second);
+  timer_index_.erase(it);
+}
+
+void Simulation::RunUntil(TimePoint deadline) {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.time > deadline) break;
+    now_ = it->first.time;
+    std::function<void()> fn = std::move(it->second);
+    timer_index_.erase(it->first.seq);
+    queue_.erase(it);
+    ++executed_;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+size_t Simulation::RunAll(size_t max_events) {
+  size_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    auto it = queue_.begin();
+    now_ = it->first.time;
+    std::function<void()> fn = std::move(it->second);
+    timer_index_.erase(it->first.seq);
+    queue_.erase(it);
+    ++executed_;
+    ++count;
+    fn();
+  }
+  return count;
+}
+
+void PeriodicTask::Start(Simulation* sim, Duration initial_delay,
+                         Duration period, std::function<void()> fn) {
+  Stop();
+  sim_ = sim;
+  period_ = period;
+  fn_ = std::move(fn);
+  pending_ = sim_->ScheduleAfter(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (sim_ != nullptr && pending_ != 0) {
+    sim_->Cancel(pending_);
+  }
+  pending_ = 0;
+  sim_ = nullptr;
+}
+
+void PeriodicTask::Fire() {
+  // Reschedule before running so the callback may Stop() us.
+  pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace sim
+}  // namespace pier

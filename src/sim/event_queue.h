@@ -1,0 +1,111 @@
+// The discrete-event simulation core: a virtual clock and an event queue.
+//
+// Everything in a PIER experiment — message deliveries, protocol timers,
+// workload arrivals, churn — is an event. Events at equal timestamps run in
+// insertion order (a monotonically increasing sequence number breaks ties),
+// which together with seeded RNGs makes whole-system runs deterministic.
+
+#ifndef PIER_SIM_EVENT_QUEUE_H_
+#define PIER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/time_util.h"
+
+namespace pier {
+namespace sim {
+
+/// Identifies a scheduled event so it can be cancelled. 0 is never a valid id.
+using TimerId = uint64_t;
+
+/// Single-threaded virtual-time event loop.
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1) : rng_(seed) {
+    Logger::Instance().set_clock_source(&now_);
+  }
+  ~Simulation() { Logger::Instance().set_clock_source(nullptr); }
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (clamped to now).
+  TimerId ScheduleAt(TimePoint t, std::function<void()> fn);
+  /// Schedules `fn` to run `delay` after now.
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void Cancel(TimerId id);
+
+  /// Runs events until the queue is empty or virtual time would exceed
+  /// `deadline`. The clock is left at min(deadline, last event time).
+  void RunUntil(TimePoint deadline);
+  /// Runs for `span` of virtual time from now.
+  void RunFor(Duration span) { RunUntil(now_ + span); }
+  /// Drains the queue completely (bounded by `max_events` as a runaway
+  /// guard). Returns the number of events executed.
+  size_t RunAll(size_t max_events = 100'000'000);
+
+  /// Number of pending events.
+  size_t pending() const { return queue_.size(); }
+  /// Total events executed since construction.
+  uint64_t executed() const { return executed_; }
+
+  /// Root RNG for the experiment; subsystems should Fork() child streams.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct EventKey {
+    TimePoint time;
+    uint64_t seq;
+    bool operator<(const EventKey& o) const {
+      return time != o.time ? time < o.time : seq < o.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  std::map<EventKey, std::function<void()>> queue_;
+  std::map<TimerId, EventKey> timer_index_;
+  Rng rng_;
+};
+
+/// Convenience for protocol loops: reschedules itself every `period` until
+/// the owner is destroyed or Stop() is called.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Starts ticking: first fire after `initial_delay`, then every `period`.
+  void Start(Simulation* sim, Duration initial_delay, Duration period,
+             std::function<void()> fn);
+  void Stop();
+  bool running() const { return sim_ != nullptr; }
+
+ private:
+  void Fire();
+
+  Simulation* sim_ = nullptr;
+  Duration period_ = 0;
+  TimerId pending_ = 0;
+  std::function<void()> fn_;
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,74 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pier {
+namespace sim {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0 : sorted_.front();
+}
+
+double Histogram::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0 : sorted_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) return 0;
+  double rank = (p / 100.0) * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (hi >= sorted_.size()) hi = sorted_.size() - 1;
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "n=%zu mean=%.2f p50=%.2f p95=%.2f max=%.2f", count(), Mean(),
+           Percentile(50), Percentile(95), Max());
+  return buf;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+std::string TimeSeries::ToTsv(const std::string& header) const {
+  std::string out = "# " + header + "\n";
+  char buf[64];
+  for (const Point& p : points_) {
+    snprintf(buf, sizeof(buf), "%.3f\t%.3f\n", ToSecondsF(p.time), p.value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace pier

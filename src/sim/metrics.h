@@ -1,0 +1,59 @@
+// Lightweight measurement helpers for experiments: streaming histograms and
+// time-series recorders used by the bench harnesses to print paper-style
+// tables and figure series.
+
+#ifndef PIER_SIM_METRICS_H_
+#define PIER_SIM_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace pier {
+namespace sim {
+
+/// Collects samples; percentile queries sort lazily.
+class Histogram {
+ public:
+  void Add(double v);
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// p in [0,100].
+  double Percentile(double p) const;
+  /// "n=… mean=… p50=… p95=… max=…".
+  std::string Summary() const;
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// A (time, value) series — one reproduced figure curve.
+class TimeSeries {
+ public:
+  void Record(TimePoint t, double value) { points_.push_back({t, value}); }
+  struct Point {
+    TimePoint time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  /// Renders "t_seconds<TAB>value" lines, the format gnuplot/matplotlib eat.
+  std::string ToTsv(const std::string& header) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_METRICS_H_

@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include "common/hash.h"
+
+namespace pier {
+namespace sim {
+
+Network::Network(Simulation* sim, NetworkOptions options)
+    : sim_(sim),
+      options_(options),
+      latency_rng_(sim->rng().Fork(0x6e657477ull)),  // "netw"
+      pair_seed_(sim->rng().Fork(0x70616972ull).Next()) {}
+
+HostId Network::AddHost(MessageHandler* handler) {
+  HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(HostState{handler, true, 0});
+  return id;
+}
+
+void Network::SetHandler(HostId host, MessageHandler* handler) {
+  PIER_CHECK(host < hosts_.size());
+  hosts_[host].handler = handler;
+}
+
+void Network::SetHostUp(HostId host, bool up) {
+  PIER_CHECK(host < hosts_.size());
+  if (hosts_[host].up && !up) {
+    ++hosts_[host].epoch;  // invalidate in-flight traffic
+  }
+  hosts_[host].up = up;
+}
+
+bool Network::IsUp(HostId host) const {
+  return host < hosts_.size() && hosts_[host].up;
+}
+
+Duration Network::BaseLatency(HostId a, HostId b) const {
+  if (a == b) return Millis(0) + 50;  // loopback: 50us
+  HostId lo = a < b ? a : b;
+  HostId hi = a < b ? b : a;
+  uint64_t h = Mix64(pair_seed_ ^ (static_cast<uint64_t>(lo) << 32 | hi));
+  Duration span = options_.max_latency - options_.min_latency;
+  if (span <= 0) return options_.min_latency;
+  return options_.min_latency + static_cast<Duration>(h % static_cast<uint64_t>(span));
+}
+
+Status Network::Send(HostId from, HostId to, std::string bytes) {
+  if (from >= hosts_.size() || to >= hosts_.size()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (!hosts_[from].up) {
+    return Status::Unavailable("sending host is down");
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes.size() + options_.per_message_overhead_bytes;
+
+  if (!hosts_[to].up) {
+    // Real networks do not tell you this synchronously; the message just
+    // disappears and upper layers time out.
+    ++stats_.messages_to_down_host;
+    return Status::OK();
+  }
+  if (from != to && options_.loss_rate > 0 &&
+      latency_rng_.Chance(options_.loss_rate)) {
+    ++stats_.messages_lost;
+    return Status::OK();
+  }
+
+  Duration delay = BaseLatency(from, to);
+  if (options_.jitter > 0 && from != to) {
+    delay += static_cast<Duration>(
+        latency_rng_.NextBelow(static_cast<uint64_t>(options_.jitter) + 1));
+  }
+  if (options_.bandwidth_bytes_per_sec > 0) {
+    delay += static_cast<Duration>(
+        (bytes.size() + options_.per_message_overhead_bytes) * kSecond /
+        options_.bandwidth_bytes_per_sec);
+  }
+
+  uint64_t to_epoch = hosts_[to].epoch;
+  std::string payload = std::move(bytes);
+  sim_->ScheduleAfter(delay, [this, from, to, to_epoch,
+                              payload = std::move(payload)]() mutable {
+    Deliver(from, to, to_epoch, std::move(payload));
+  });
+  return Status::OK();
+}
+
+void Network::Deliver(HostId from, HostId to, uint64_t to_epoch,
+                      std::string bytes) {
+  HostState& host = hosts_[to];
+  if (!host.up || host.epoch != to_epoch || host.handler == nullptr) {
+    ++stats_.messages_to_down_host;
+    return;
+  }
+  ++stats_.messages_delivered;
+  host.handler->OnMessage(from, bytes);
+}
+
+}  // namespace sim
+}  // namespace pier

@@ -1,0 +1,119 @@
+// Simulated wide-area message network.
+//
+// Substitution for PlanetLab (see DESIGN.md): hosts are in-process endpoints
+// addressed by HostId; each ordered host pair has a deterministic base
+// latency drawn from a configurable range (stable "geography"), plus
+// per-message jitter, optional loss, and a serialization delay derived from
+// a bandwidth cap. Payloads are opaque byte strings — layers above must
+// really serialize, exactly as they would on a socket.
+
+#ifndef PIER_SIM_NETWORK_H_
+#define PIER_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace sim {
+
+/// Index of a host within a Network. Dense, assigned at AddHost time.
+using HostId = uint32_t;
+inline constexpr HostId kInvalidHost = 0xffffffffu;
+
+/// Receiver interface for host endpoints.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  /// Called when a message addressed to this host is delivered.
+  virtual void OnMessage(HostId from, const std::string& bytes) = 0;
+};
+
+/// Knobs for the network model (RocksDB-style options struct).
+struct NetworkOptions {
+  /// Base one-way latency range; each unordered pair draws a stable value.
+  Duration min_latency = Millis(5);
+  Duration max_latency = Millis(80);
+  /// Per-message jitter added on top of the pair's base latency.
+  Duration jitter = Millis(3);
+  /// Probability a message is silently dropped in flight.
+  double loss_rate = 0.0;
+  /// Per-host uplink bandwidth in bytes/sec; 0 disables the serialization
+  /// delay term.
+  uint64_t bandwidth_bytes_per_sec = 0;
+  /// Fixed per-message header overhead added to byte accounting (UDP/IP-ish).
+  size_t per_message_overhead_bytes = 28;
+};
+
+/// Aggregate traffic counters.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_lost = 0;
+  uint64_t messages_to_down_host = 0;
+  uint64_t bytes_sent = 0;
+
+  void Reset() { *this = NetworkStats(); }
+};
+
+/// The simulated network. Single instance per experiment.
+class Network {
+ public:
+  Network(Simulation* sim, NetworkOptions options);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a new host and returns its address. The handler may be null
+  /// initially and set later (hosts are wired up in two phases at boot).
+  HostId AddHost(MessageHandler* handler);
+  void SetHandler(HostId host, MessageHandler* handler);
+
+  /// Marks a host up/down. Messages to or from a down host vanish, as do
+  /// messages already in flight toward a host that crashes before delivery.
+  void SetHostUp(HostId host, bool up);
+  bool IsUp(HostId host) const;
+  size_t host_count() const { return hosts_.size(); }
+
+  /// Sends `bytes` from `from` to `to`. Delivery (if any) happens later in
+  /// virtual time. Self-sends are delivered with minimal loopback delay and
+  /// are never lost.
+  Status Send(HostId from, HostId to, std::string bytes);
+
+  /// Stable base one-way latency for the pair (diagnostics, experiments).
+  Duration BaseLatency(HostId a, HostId b) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  NetworkStats* mutable_stats() { return &stats_; }
+
+  Simulation* simulation() { return sim_; }
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  struct HostState {
+    MessageHandler* handler = nullptr;
+    bool up = true;
+    /// Incremented on every down transition; in-flight messages remember the
+    /// epoch they were sent in and are dropped on mismatch, so a host that
+    /// crashes and returns does not receive pre-crash traffic.
+    uint64_t epoch = 0;
+  };
+
+  void Deliver(HostId from, HostId to, uint64_t to_epoch, std::string bytes);
+
+  Simulation* sim_;
+  NetworkOptions options_;
+  std::vector<HostState> hosts_;
+  NetworkStats stats_;
+  Rng latency_rng_;   // per-message jitter + loss draws
+  uint64_t pair_seed_;
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_NETWORK_H_

@@ -1,0 +1,108 @@
+// Abstract syntax for PIER's SQL dialect (names still unresolved; the
+// planner binds them against the catalog).
+//
+// Supported surface:
+//   SELECT [DISTINCT] item[, ...]
+//   FROM table [alias] [, table [alias]] | FROM t1 JOIN t2 ON expr
+//   [WHERE expr] [GROUP BY col, ...] [HAVING expr]
+//   [ORDER BY expr [ASC|DESC]] [LIMIT n]
+//   [EVERY n SECONDS] [WINDOW n SECONDS]          -- continuous variant
+//
+//   WITH RECURSIVE name(src, dst) AS (
+//     SELECT a, b FROM edges [WHERE ...]
+//     UNION SELECT name.src, e.b FROM name JOIN edges e ON name.dst = e.a
+//   ) SELECT ... FROM name [WHERE ...] [MAXHOPS n]
+
+#ifndef PIER_SQL_AST_H_
+#define PIER_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "exec/agg.h"
+#include "exec/expr.h"
+
+namespace pier {
+namespace sql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// Unresolved expression node.
+struct AstExpr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kColumn,    ///< name = "col" or "tbl.col"
+    kCompare,
+    kArith,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kIsNull,
+    kIsNotNull,
+    kAggCall,   ///< agg over child (child null = COUNT(*))
+  };
+
+  Kind kind;
+  Value literal;             // kLiteral
+  std::string column;        // kColumn
+  exec::CompareOp cmp;       // kCompare
+  exec::ArithOp arith;       // kArith
+  exec::AggFunc agg;         // kAggCall
+  AstExprPtr left, right;    // operands / single child in `left`
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  ///< AS name (may be empty)
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to table name
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;   ///< 1 = scan, 2 = join
+  AstExprPtr join_on;           ///< explicit JOIN ... ON condition
+  AstExprPtr where;
+  std::vector<std::string> group_by;
+  AstExprPtr having;
+  AstExprPtr order_by;
+  bool order_desc = false;
+  int64_t limit = -1;
+  int64_t every_seconds = 0;
+  int64_t window_seconds = 0;
+};
+
+struct RecursiveQuery {
+  std::string name;                      ///< the recursive relation
+  std::vector<std::string> columns;      ///< declared column names (2)
+  SelectStmt base;                       ///< seed select over the edge table
+  SelectStmt step;                       ///< recursive step (join pattern)
+  SelectStmt outer;                      ///< final select over `name`
+  int64_t max_hops = 16;
+};
+
+/// A parsed statement: either a plain select or a recursive query.
+struct Statement {
+  enum class Kind : uint8_t { kSelect, kRecursive };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  std::optional<RecursiveQuery> recursive;
+};
+
+}  // namespace sql
+}  // namespace pier
+
+#endif  // PIER_SQL_AST_H_

@@ -1,0 +1,146 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace pier {
+namespace sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      tok.upper = Upper(tok.text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_float = true;
+        ++i;
+      }
+      std::string spelling = sql.substr(start, i - start);
+      tok.text = spelling;
+      errno = 0;
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        char* end = nullptr;
+        tok.float_value = std::strtod(spelling.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad number '" + spelling +
+                                         "' at position " +
+                                         std::to_string(start));
+        }
+      } else {
+        tok.type = TokenType::kInteger;
+        char* end = nullptr;
+        tok.int_value = std::strtoll(spelling.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad integer '" + spelling +
+                                         "' at position " +
+                                         std::to_string(start));
+        }
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at position " +
+                                       std::to_string(tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "()+-*/%,.;<>=";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace pier

@@ -1,0 +1,43 @@
+// SQL lexer: tokenizes PIER's SQL dialect (keywords are case-insensitive;
+// strings use single quotes with '' escapes; numbers are int64 or double).
+
+#ifndef PIER_SQL_LEXER_H_
+#define PIER_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pier {
+namespace sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< table / column / keyword (keywords resolved by parser)
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  ///< punctuation / operator, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< identifier (upper-cased copy in `upper`), symbol,
+                        ///< or literal spelling
+  std::string upper;    ///< upper-cased text for keyword comparison
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  ///< byte offset, for error messages
+};
+
+/// Splits `sql` into tokens. Returns InvalidArgument with position info on
+/// malformed input (unterminated string, bad number, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace pier
+
+#endif  // PIER_SQL_LEXER_H_

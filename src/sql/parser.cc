@@ -1,0 +1,476 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace pier {
+namespace sql {
+
+namespace {
+
+AstExprPtr MakeExpr(AstExpr::Kind kind) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = kind;
+  return e;
+}
+
+/// Token-stream cursor with helpers. All Parse* methods return Status and
+/// write through out-params; the cursor only advances on success.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status ParseStatement(Statement* out) {
+    if (PeekKeyword("WITH")) {
+      PIER_RETURN_IF_ERROR(ParseRecursive(out));
+    } else {
+      out->kind = Statement::Kind::kSelect;
+      PIER_RETURN_IF_ERROR(ParseSelect(&out->select));
+    }
+    (void)ConsumeSymbol(";");
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  // -- cursor helpers --------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && t.upper == kw;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekSymbol(const std::string& s) const {
+    const Token& t = Peek();
+    return t.type == TokenType::kSymbol && t.text == s;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (!PeekSymbol(s)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) return Error("expected '" + s + "'");
+    return Status::OK();
+  }
+  Status ExpectIdentifier(std::string* out) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) return Error("expected identifier");
+    *out = t.text;
+    ++pos_;
+    return Status::OK();
+  }
+  Status ExpectInteger(int64_t* out) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kInteger) return Error("expected integer");
+    *out = t.int_value;
+    ++pos_;
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        "parse error at position " + std::to_string(Peek().position) + ": " +
+        msg + " (near '" + Peek().text + "')");
+  }
+
+  // -- grammar ---------------------------------------------------------------
+  Status ParseSelect(SelectStmt* out) {
+    PIER_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (ConsumeKeyword("DISTINCT")) out->distinct = true;
+    if (ConsumeSymbol("*")) {
+      out->select_star = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        PIER_RETURN_IF_ERROR(ParseExpr(&item.expr));
+        if (ConsumeKeyword("AS")) {
+          PIER_RETURN_IF_ERROR(ExpectIdentifier(&item.alias));
+        }
+        out->items.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    PIER_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PIER_RETURN_IF_ERROR(ParseTableRef(out));
+    if (ConsumeSymbol(",")) {
+      PIER_RETURN_IF_ERROR(ParseTableRef(out));
+    } else if (ConsumeKeyword("JOIN")) {
+      PIER_RETURN_IF_ERROR(ParseTableRef(out));
+      PIER_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      PIER_RETURN_IF_ERROR(ParseExpr(&out->join_on));
+    }
+    if (out->from.size() > 2) return Error("at most two relations");
+    if (ConsumeKeyword("WHERE")) {
+      PIER_RETURN_IF_ERROR(ParseExpr(&out->where));
+    }
+    if (ConsumeKeyword("GROUP")) {
+      PIER_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        std::string col;
+        PIER_RETURN_IF_ERROR(ParseQualifiedName(&col));
+        out->group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      PIER_RETURN_IF_ERROR(ParseExpr(&out->having));
+    }
+    if (ConsumeKeyword("ORDER")) {
+      PIER_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PIER_RETURN_IF_ERROR(ParseExpr(&out->order_by));
+      if (ConsumeKeyword("DESC")) {
+        out->order_desc = true;
+      } else {
+        (void)ConsumeKeyword("ASC");
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      PIER_RETURN_IF_ERROR(ExpectInteger(&out->limit));
+    }
+    if (ConsumeKeyword("EVERY")) {
+      PIER_RETURN_IF_ERROR(ExpectInteger(&out->every_seconds));
+      PIER_RETURN_IF_ERROR(ExpectKeyword("SECONDS"));
+    }
+    if (ConsumeKeyword("WINDOW")) {
+      PIER_RETURN_IF_ERROR(ExpectInteger(&out->window_seconds));
+      PIER_RETURN_IF_ERROR(ExpectKeyword("SECONDS"));
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* out) {
+    TableRef ref;
+    PIER_RETURN_IF_ERROR(ExpectIdentifier(&ref.table));
+    // Optional alias: bare identifier that is not a clause keyword.
+    static const char* kClauses[] = {"WHERE",   "GROUP",  "HAVING", "ORDER",
+                                     "LIMIT",   "EVERY",  "WINDOW", "JOIN",
+                                     "ON",      "SECONDS", "AS",    "UNION",
+                                     "MAXHOPS", "ASC",     "DESC"};
+    if (ConsumeKeyword("AS")) {
+      PIER_RETURN_IF_ERROR(ExpectIdentifier(&ref.alias));
+    } else if (Peek().type == TokenType::kIdentifier) {
+      bool is_clause = false;
+      for (const char* kw : kClauses) is_clause |= Peek().upper == kw;
+      if (!is_clause) {
+        ref.alias = Peek().text;
+        ++pos_;
+      }
+    }
+    if (ref.alias.empty()) ref.alias = ref.table;
+    out->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  Status ParseQualifiedName(std::string* out) {
+    std::string name;
+    PIER_RETURN_IF_ERROR(ExpectIdentifier(&name));
+    if (ConsumeSymbol(".")) {
+      std::string rest;
+      PIER_RETURN_IF_ERROR(ExpectIdentifier(&rest));
+      name += "." + rest;
+    }
+    *out = std::move(name);
+    return Status::OK();
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < additive <
+  // multiplicative < unary < primary.
+  Status ParseExpr(AstExprPtr* out) { return ParseOr(out); }
+
+  Status ParseOr(AstExprPtr* out) {
+    PIER_RETURN_IF_ERROR(ParseAnd(out));
+    while (ConsumeKeyword("OR")) {
+      AstExprPtr rhs;
+      PIER_RETURN_IF_ERROR(ParseAnd(&rhs));
+      auto e = MakeExpr(AstExpr::Kind::kOr);
+      e->left = *out;
+      e->right = rhs;
+      *out = e;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAnd(AstExprPtr* out) {
+    PIER_RETURN_IF_ERROR(ParseNot(out));
+    while (ConsumeKeyword("AND")) {
+      AstExprPtr rhs;
+      PIER_RETURN_IF_ERROR(ParseNot(&rhs));
+      auto e = MakeExpr(AstExpr::Kind::kAnd);
+      e->left = *out;
+      e->right = rhs;
+      *out = e;
+    }
+    return Status::OK();
+  }
+
+  Status ParseNot(AstExprPtr* out) {
+    if (ConsumeKeyword("NOT")) {
+      AstExprPtr inner;
+      PIER_RETURN_IF_ERROR(ParseNot(&inner));
+      auto e = MakeExpr(AstExpr::Kind::kNot);
+      e->left = inner;
+      *out = e;
+      return Status::OK();
+    }
+    return ParseComparison(out);
+  }
+
+  Status ParseComparison(AstExprPtr* out) {
+    PIER_RETURN_IF_ERROR(ParseAdditive(out));
+    // IS [NOT] NULL postfix.
+    if (PeekKeyword("IS")) {
+      ++pos_;
+      bool negated = ConsumeKeyword("NOT");
+      PIER_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = MakeExpr(negated ? AstExpr::Kind::kIsNotNull
+                                : AstExpr::Kind::kIsNull);
+      e->left = *out;
+      *out = e;
+      return Status::OK();
+    }
+    struct OpMap {
+      const char* sym;
+      exec::CompareOp op;
+    };
+    static const OpMap kOps[] = {{"<=", exec::CompareOp::kLe},
+                                 {">=", exec::CompareOp::kGe},
+                                 {"<>", exec::CompareOp::kNe},
+                                 {"=", exec::CompareOp::kEq},
+                                 {"<", exec::CompareOp::kLt},
+                                 {">", exec::CompareOp::kGt}};
+    for (const OpMap& m : kOps) {
+      if (PeekSymbol(m.sym)) {
+        ++pos_;
+        AstExprPtr rhs;
+        PIER_RETURN_IF_ERROR(ParseAdditive(&rhs));
+        auto e = MakeExpr(AstExpr::Kind::kCompare);
+        e->cmp = m.op;
+        e->left = *out;
+        e->right = rhs;
+        *out = e;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseAdditive(AstExprPtr* out) {
+    PIER_RETURN_IF_ERROR(ParseMultiplicative(out));
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      exec::ArithOp op = PeekSymbol("+") ? exec::ArithOp::kAdd
+                                         : exec::ArithOp::kSub;
+      ++pos_;
+      AstExprPtr rhs;
+      PIER_RETURN_IF_ERROR(ParseMultiplicative(&rhs));
+      auto e = MakeExpr(AstExpr::Kind::kArith);
+      e->arith = op;
+      e->left = *out;
+      e->right = rhs;
+      *out = e;
+    }
+    return Status::OK();
+  }
+
+  Status ParseMultiplicative(AstExprPtr* out) {
+    PIER_RETURN_IF_ERROR(ParseUnary(out));
+    while (PeekSymbol("*") || PeekSymbol("/") || PeekSymbol("%")) {
+      exec::ArithOp op = PeekSymbol("*")   ? exec::ArithOp::kMul
+                         : PeekSymbol("/") ? exec::ArithOp::kDiv
+                                           : exec::ArithOp::kMod;
+      ++pos_;
+      AstExprPtr rhs;
+      PIER_RETURN_IF_ERROR(ParseUnary(&rhs));
+      auto e = MakeExpr(AstExpr::Kind::kArith);
+      e->arith = op;
+      e->left = *out;
+      e->right = rhs;
+      *out = e;
+    }
+    return Status::OK();
+  }
+
+  Status ParseUnary(AstExprPtr* out) {
+    if (ConsumeSymbol("-")) {
+      AstExprPtr inner;
+      PIER_RETURN_IF_ERROR(ParseUnary(&inner));
+      auto e = MakeExpr(AstExpr::Kind::kNeg);
+      e->left = inner;
+      *out = e;
+      return Status::OK();
+    }
+    return ParsePrimary(out);
+  }
+
+  Status ParsePrimary(AstExprPtr* out) {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        auto e = MakeExpr(AstExpr::Kind::kLiteral);
+        e->literal = Value::Int64(t.int_value);
+        ++pos_;
+        *out = e;
+        return Status::OK();
+      }
+      case TokenType::kFloat: {
+        auto e = MakeExpr(AstExpr::Kind::kLiteral);
+        e->literal = Value::Double(t.float_value);
+        ++pos_;
+        *out = e;
+        return Status::OK();
+      }
+      case TokenType::kString: {
+        auto e = MakeExpr(AstExpr::Kind::kLiteral);
+        e->literal = Value::String(t.text);
+        ++pos_;
+        *out = e;
+        return Status::OK();
+      }
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          ++pos_;
+          PIER_RETURN_IF_ERROR(ParseExpr(out));
+          return ExpectSymbol(")");
+        }
+        return Error("unexpected symbol");
+      case TokenType::kIdentifier: {
+        // Boolean / null literals.
+        if (t.upper == "TRUE" || t.upper == "FALSE") {
+          auto e = MakeExpr(AstExpr::Kind::kLiteral);
+          e->literal = Value::Bool(t.upper == "TRUE");
+          ++pos_;
+          *out = e;
+          return Status::OK();
+        }
+        if (t.upper == "NULL") {
+          auto e = MakeExpr(AstExpr::Kind::kLiteral);
+          ++pos_;
+          *out = e;
+          return Status::OK();
+        }
+        // Aggregate call?
+        static const struct {
+          const char* name;
+          exec::AggFunc fn;
+        } kAggs[] = {{"COUNT", exec::AggFunc::kCount},
+                     {"SUM", exec::AggFunc::kSum},
+                     {"AVG", exec::AggFunc::kAvg},
+                     {"MIN", exec::AggFunc::kMin},
+                     {"MAX", exec::AggFunc::kMax}};
+        for (const auto& agg : kAggs) {
+          if (t.upper == agg.name && Peek(1).type == TokenType::kSymbol &&
+              Peek(1).text == "(") {
+            pos_ += 2;
+            auto e = MakeExpr(AstExpr::Kind::kAggCall);
+            e->agg = agg.fn;
+            if (ConsumeSymbol("*")) {
+              // COUNT(*): child stays null.
+            } else {
+              PIER_RETURN_IF_ERROR(ParseExpr(&e->left));
+            }
+            PIER_RETURN_IF_ERROR(ExpectSymbol(")"));
+            *out = e;
+            return Status::OK();
+          }
+        }
+        // Plain (possibly qualified) column reference.
+        auto e = MakeExpr(AstExpr::Kind::kColumn);
+        PIER_RETURN_IF_ERROR(ParseQualifiedName(&e->column));
+        *out = e;
+        return Status::OK();
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  Status ParseRecursive(Statement* out) {
+    PIER_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    PIER_RETURN_IF_ERROR(ExpectKeyword("RECURSIVE"));
+    out->kind = Statement::Kind::kRecursive;
+    RecursiveQuery rq;
+    PIER_RETURN_IF_ERROR(ExpectIdentifier(&rq.name));
+    PIER_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      std::string col;
+      PIER_RETURN_IF_ERROR(ExpectIdentifier(&col));
+      rq.columns.push_back(std::move(col));
+      if (!ConsumeSymbol(",")) break;
+    }
+    PIER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PIER_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    PIER_RETURN_IF_ERROR(ExpectSymbol("("));
+    PIER_RETURN_IF_ERROR(ParseSelect(&rq.base));
+    PIER_RETURN_IF_ERROR(ExpectKeyword("UNION"));
+    (void)ConsumeKeyword("ALL");
+    PIER_RETURN_IF_ERROR(ParseSelect(&rq.step));
+    PIER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PIER_RETURN_IF_ERROR(ParseSelect(&rq.outer));
+    if (ConsumeKeyword("MAXHOPS")) {
+      PIER_RETURN_IF_ERROR(ExpectInteger(&rq.max_hops));
+    }
+    out->recursive = std::move(rq);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumn:
+      return column;
+    case Kind::kCompare:
+      return "(" + left->ToString() + " " + exec::CompareOpName(cmp) + " " +
+             right->ToString() + ")";
+    case Kind::kArith:
+      return "(" + left->ToString() + " " + exec::ArithOpName(arith) + " " +
+             right->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + left->ToString() + ")";
+    case Kind::kNeg:
+      return "(-" + left->ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + left->ToString() + " IS NULL)";
+    case Kind::kIsNotNull:
+      return "(" + left->ToString() + " IS NOT NULL)";
+    case Kind::kAggCall:
+      return std::string(exec::AggFuncName(agg)) + "(" +
+             (left ? left->ToString() : "*") + ")";
+  }
+  return "?";
+}
+
+Result<Statement> Parse(const std::string& sql) {
+  std::vector<Token> tokens;
+  PIER_ASSIGN_OR_RETURN(tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  Statement stmt;
+  PIER_RETURN_IF_ERROR(parser.ParseStatement(&stmt));
+  return stmt;
+}
+
+}  // namespace sql
+}  // namespace pier

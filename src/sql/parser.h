@@ -1,0 +1,21 @@
+// Recursive-descent parser for PIER's SQL dialect. Returns Status-carrying
+// results; never throws. See ast.h for the supported grammar.
+
+#ifndef PIER_SQL_PARSER_H_
+#define PIER_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pier {
+namespace sql {
+
+/// Parses one statement (optionally ';'-terminated).
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace pier
+
+#endif  // PIER_SQL_PARSER_H_

@@ -1,0 +1,272 @@
+#include "workload/workloads.h"
+
+#include <cmath>
+
+namespace pier {
+namespace workload {
+
+using catalog::Schema;
+using catalog::TableDef;
+using catalog::Tuple;
+
+void RegisterTableEverywhere(core::PierNetwork* net, const TableDef& def) {
+  for (size_t i = 0; i < net->size(); ++i) {
+    PIER_CHECK(net->node(i)->catalog()->Register(def).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snort
+// ---------------------------------------------------------------------------
+
+const std::vector<SnortRule>& PaperTable1Rules() {
+  static const std::vector<SnortRule> kRules = {
+      {1322, "BAD-TRAFFIC bad frag bits", 465770},
+      {2189, "BAD TRAFFIC IP Proto 103 (PIM)", 123558},
+      {1923, "RPC portmap proxy attempt UDP", 31491},
+      {1444, "TFTP Get", 21944},
+      {1917, "SCAN UPnP service discover attempt", 17565},
+      {1384, "MISC UPnP malformed advertisement", 14052},
+      {1321, "BAD-TRAFFIC 0 ttl", 10115},
+      {1852, "WEB-MISC robots.txt access", 10094},
+      {1411, "SNMP public access udp", 7778},
+      {895, "WEB-CGI redirect access", 7277},
+  };
+  return kRules;
+}
+
+TableDef SnortAlertsTable() {
+  TableDef def;
+  def.name = "snort_alerts";
+  def.schema = Schema("snort_alerts", {{"rule_id", ValueType::kInt64},
+                                       {"descr", ValueType::kString},
+                                       {"hits", ValueType::kInt64}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(3600);
+  return def;
+}
+
+size_t PublishSnortAlerts(core::PierNetwork* net, uint64_t seed,
+                          int decoy_rules) {
+  RegisterTableEverywhere(net, SnortAlertsTable());
+  Rng rng(seed);
+  std::vector<SnortRule> rules = PaperTable1Rules();
+  // Decoys: volumes safely below the paper's #10 (7,277 hits).
+  for (int d = 0; d < decoy_rules; ++d) {
+    static const char* kDecoyNames[] = {
+        "ICMP PING NMAP",          "WEB-IIS cmd.exe access",
+        "P2P Gnutella client req", "SCAN SOCKS proxy attempt",
+        "WEB-PHP admin access",    "FTP SITE overflow attempt",
+        "DNS zone transfer TCP",   "SHELLCODE x86 NOOP"};
+    rules.push_back(SnortRule{3000 + d,
+                              kDecoyNames[d % 8],
+                              500 + static_cast<int64_t>(rng.NextBelow(5000))});
+  }
+  size_t n = net->size();
+  size_t published = 0;
+  for (const SnortRule& rule : rules) {
+    // Multinomial split preserving the exact total: random weights, floor
+    // shares, then hand out the remainder.
+    std::vector<double> weights(n);
+    double weight_sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      weights[i] = 0.2 + rng.NextDouble();
+      weight_sum += weights[i];
+    }
+    std::vector<int64_t> share(n);
+    int64_t assigned = 0;
+    for (size_t i = 0; i < n; ++i) {
+      share[i] = static_cast<int64_t>(
+          static_cast<double>(rule.total_hits) * weights[i] / weight_sum);
+      assigned += share[i];
+    }
+    int64_t remainder = rule.total_hits - assigned;
+    for (size_t i = 0; remainder > 0; i = (i + 1) % n) {
+      ++share[i];
+      --remainder;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (share[i] == 0) continue;
+      Tuple t{Value::Int64(rule.rule_id), Value::String(rule.description),
+              Value::Int64(share[i])};
+      if (net->node(i)->alive() &&
+          net->node(i)->query_engine()->Publish("snort_alerts", t).ok()) {
+        ++published;
+      }
+    }
+  }
+  return published;
+}
+
+// ---------------------------------------------------------------------------
+// Traffic
+// ---------------------------------------------------------------------------
+
+TableDef NodeStatsTable() {
+  TableDef def;
+  def.name = "node_stats";
+  def.schema = Schema("node_stats", {{"node_id", ValueType::kInt64},
+                                     {"out_kbps", ValueType::kDouble}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(25);
+  return def;
+}
+
+TrafficWorkload::TrafficWorkload(core::PierNetwork* net,
+                                 TrafficOptions options, uint64_t seed)
+    : net_(net), options_(options), rng_(seed) {
+  base_.resize(net->size());
+  flaky_.resize(net->size());
+  last_noise_.assign(net->size(), 1.0);
+  for (size_t i = 0; i < net->size(); ++i) {
+    base_[i] = options_.base_kbps * rng_.UniformDouble(0.5, 1.5);
+    flaky_[i] = rng_.Chance(options_.flaky_fraction);
+  }
+  for (size_t i = 0; i < net->size(); ++i) {
+    tasks_.push_back(std::make_unique<sim::PeriodicTask>());
+  }
+}
+
+void TrafficWorkload::Start() {
+  TableDef def = NodeStatsTable();
+  def.ttl = options_.ttl;
+  RegisterTableEverywhere(net_, def);
+  for (size_t i = 0; i < net_->size(); ++i) {
+    // Phase-shift publishers so they do not synchronize.
+    Duration phase = static_cast<Duration>(
+        rng_.NextBelow(static_cast<uint64_t>(options_.publish_period)));
+    tasks_[i]->Start(net_->sim(), phase, options_.publish_period,
+                     [this, i] { PublishOne(i); });
+  }
+}
+
+void TrafficWorkload::Stop() {
+  for (auto& t : tasks_) t->Stop();
+}
+
+double TrafficWorkload::NodeRateKbps(size_t i) const {
+  double t = ToSecondsF(net_->sim()->now());
+  double period = ToSecondsF(options_.drift_period);
+  double drift = 1.0 + options_.drift_fraction *
+                           std::sin(2.0 * M_PI * t / period +
+                                    static_cast<double>(i));
+  return base_[i] * drift * last_noise_[i];
+}
+
+double TrafficWorkload::OracleSumKbps() const {
+  double sum = 0;
+  for (size_t i = 0; i < net_->size(); ++i) {
+    if (net_->node(i)->alive()) sum += NodeRateKbps(i);
+  }
+  return sum;
+}
+
+void TrafficWorkload::PublishOne(size_t i) {
+  if (!net_->node(i)->alive()) return;
+  if (flaky_[i] && rng_.Chance(options_.flaky_skip_probability)) return;
+  last_noise_[i] =
+      std::max(0.1, rng_.Gaussian(1.0, options_.noise_fraction));
+  Tuple t{Value::Int64(static_cast<int64_t>(i)),
+          Value::Double(NodeRateKbps(i))};
+  // Stable instance: each publish renews the node's single stats row.
+  (void)net_->node(i)->query_engine()->PublishVersioned("node_stats", t,
+                                                        /*instance=*/1);
+}
+
+// ---------------------------------------------------------------------------
+// Filesharing
+// ---------------------------------------------------------------------------
+
+TableDef FileIndexTable() {
+  TableDef def;
+  def.name = "file_index";
+  def.schema = Schema("file_index", {{"keyword", ValueType::kString},
+                                     {"file_id", ValueType::kInt64},
+                                     {"filename", ValueType::kString}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(3600);
+  return def;
+}
+
+std::string KeywordName(size_t k) {
+  static const char* kWords[] = {
+      "music",  "video",   "linux",   "kernel", "paper",  "sigmod", "dht",
+      "chord",  "pier",    "planet",  "lab",    "query",  "join",   "index",
+      "stream", "network", "monitor", "trace",  "packet", "router"};
+  size_t base = sizeof(kWords) / sizeof(kWords[0]);
+  if (k < base) return kWords[k];
+  return std::string(kWords[k % base]) + "-" + std::to_string(k / base);
+}
+
+size_t PublishFileIndex(core::PierNetwork* net, FilesharingOptions options,
+                        uint64_t seed) {
+  RegisterTableEverywhere(net, FileIndexTable());
+  Rng rng(seed);
+  ZipfDistribution zipf(options.vocabulary, options.zipf_s);
+  size_t postings = 0;
+  for (size_t f = 0; f < options.num_files; ++f) {
+    size_t owner = rng.NextBelow(net->size());
+    if (!net->node(owner)->alive()) continue;
+    std::string filename = "file-" + std::to_string(f) + ".dat";
+    int nkw = static_cast<int>(rng.UniformInt(options.keywords_per_file_min,
+                                              options.keywords_per_file_max));
+    std::vector<size_t> chosen;
+    while (static_cast<int>(chosen.size()) < nkw) {
+      size_t k = zipf.Sample(&rng) - 1;
+      bool dup = false;
+      for (size_t c : chosen) dup = dup || c == k;
+      if (!dup) chosen.push_back(k);
+    }
+    for (size_t k : chosen) {
+      Tuple t{Value::String(KeywordName(k)),
+              Value::Int64(static_cast<int64_t>(f)),
+              Value::String(filename)};
+      if (net->node(owner)->query_engine()->Publish("file_index", t).ok()) {
+        ++postings;
+      }
+    }
+  }
+  return postings;
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TableDef LinksTable() {
+  TableDef def;
+  def.name = "links";
+  def.schema = Schema("links", {{"src", ValueType::kString},
+                                {"dst", ValueType::kString}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(3600);
+  return def;
+}
+
+std::vector<std::pair<std::string, std::string>> PublishTopology(
+    core::PierNetwork* net, TopologyOptions options, uint64_t seed) {
+  RegisterTableEverywhere(net, LinksTable());
+  Rng rng(seed);
+  std::vector<std::pair<std::string, std::string>> edges;
+  auto vertex = [](size_t v) { return "v" + std::to_string(v); };
+  for (size_t v = 0; v < options.num_vertices; ++v) {
+    for (int d = 0; d < options.out_degree; ++d) {
+      size_t to = rng.NextBelow(options.num_vertices);
+      if (to == v) continue;
+      bool dup = false;
+      for (auto& e : edges) {
+        dup = dup || (e.first == vertex(v) && e.second == vertex(to));
+      }
+      if (dup) continue;
+      edges.push_back({vertex(v), vertex(to)});
+      size_t publisher = rng.NextBelow(net->size());
+      if (!net->node(publisher)->alive()) continue;
+      Tuple t{Value::String(vertex(v)), Value::String(vertex(to))};
+      (void)net->node(publisher)->query_engine()->Publish("links", t);
+    }
+  }
+  return edges;
+}
+
+}  // namespace workload
+}  // namespace pier

@@ -1,0 +1,161 @@
+// Workload generators for the paper's experiments (see DESIGN.md,
+// substitutions table):
+//
+//  - SnortWorkload: synthetic per-node intrusion alert counts calibrated so
+//    the network-wide totals equal the paper's Table 1 exactly;
+//  - TrafficWorkload: per-node outbound data rates with drift + noise, the
+//    signal behind Figure 1's continuous SUM;
+//  - FilesharingWorkload: a keyword->file inverted index (the IPTPS'04
+//    filesharing-search application);
+//  - TopologyWorkload: random directed link tables for recursive
+//    topology-mapping queries.
+
+#ifndef PIER_WORKLOAD_WORKLOADS_H_
+#define PIER_WORKLOAD_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "common/rng.h"
+#include "core/network.h"
+
+namespace pier {
+namespace workload {
+
+// ---------------------------------------------------------------------------
+// Snort / Table 1
+// ---------------------------------------------------------------------------
+
+/// One intrusion-detection rule with its network-wide total from the paper.
+struct SnortRule {
+  int64_t rule_id;
+  const char* description;
+  int64_t total_hits;
+};
+
+/// The paper's Table 1, verbatim (top ten), plus below-threshold decoys are
+/// added by the generator.
+const std::vector<SnortRule>& PaperTable1Rules();
+
+/// Table definition for the `snort_alerts` relation:
+///   (rule_id INT64, descr STRING, hits INT64), partitioned on rule_id.
+catalog::TableDef SnortAlertsTable();
+
+/// Splits each rule's total across nodes (deterministic multinomial with the
+/// exact total preserved) and publishes one row per (node, rule) from that
+/// node. Adds `decoy_rules` extra low-volume rules so LIMIT 10 has something
+/// to cut. Returns rows published.
+size_t PublishSnortAlerts(core::PierNetwork* net, uint64_t seed,
+                          int decoy_rules = 8);
+
+// ---------------------------------------------------------------------------
+// Traffic / Figure 1
+// ---------------------------------------------------------------------------
+
+/// Table definition for `node_stats`: (node_id INT64, out_kbps DOUBLE),
+/// partitioned on node_id.
+catalog::TableDef NodeStatsTable();
+
+struct TrafficOptions {
+  /// Mean per-node outbound rate.
+  double base_kbps = 300.0;
+  /// Slow sinusoidal drift amplitude (fraction of base).
+  double drift_fraction = 0.4;
+  /// Drift period.
+  Duration drift_period = Seconds(300);
+  /// Per-sample multiplicative noise stddev.
+  double noise_fraction = 0.15;
+  /// How often each node republishes its current rate.
+  Duration publish_period = Seconds(10);
+  /// Rate rows expire quickly: a node that stops publishing stops counting
+  /// ("responding nodes" semantics from the paper).
+  Duration ttl = Seconds(25);
+  /// Fraction of nodes that are chronically flaky (skip publishes often).
+  double flaky_fraction = 0.1;
+  double flaky_skip_probability = 0.5;
+};
+
+/// Drives periodic per-node rate publication. The aggregate ground truth at
+/// any instant is available for error measurement.
+class TrafficWorkload {
+ public:
+  TrafficWorkload(core::PierNetwork* net, TrafficOptions options,
+                  uint64_t seed);
+
+  /// Registers the table everywhere and starts per-node publishers.
+  void Start();
+  void Stop();
+
+  /// Sum of the *current* true rates over currently-alive nodes — the oracle
+  /// Figure 1's measured curve is compared against.
+  double OracleSumKbps() const;
+  /// True rate of one node right now.
+  double NodeRateKbps(size_t i) const;
+
+ private:
+  void PublishOne(size_t i);
+
+  core::PierNetwork* net_;
+  TrafficOptions options_;
+  Rng rng_;
+  std::vector<double> base_;
+  std::vector<bool> flaky_;
+  std::vector<double> last_noise_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+};
+
+// ---------------------------------------------------------------------------
+// Filesharing
+// ---------------------------------------------------------------------------
+
+/// `file_index`: (keyword STRING, file_id INT64, filename STRING), the
+/// inverted index, partitioned on keyword (so single-keyword lookup is one
+/// DHT get and multi-keyword search is a distributed join on file_id... or
+/// an intersection of keyword partitions).
+catalog::TableDef FileIndexTable();
+
+struct FilesharingOptions {
+  size_t num_files = 400;
+  size_t vocabulary = 60;
+  /// Zipf exponent of keyword popularity.
+  double zipf_s = 1.1;
+  int keywords_per_file_min = 2;
+  int keywords_per_file_max = 5;
+};
+
+/// Publishes the inverted index from the nodes that "own" each file.
+/// Returns the number of (keyword, file) postings published.
+size_t PublishFileIndex(core::PierNetwork* net, FilesharingOptions options,
+                        uint64_t seed);
+
+/// Vocabulary word `k` (deterministic).
+std::string KeywordName(size_t k);
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// `links`: (src STRING, dst STRING), partitioned on src.
+catalog::TableDef LinksTable();
+
+struct TopologyOptions {
+  size_t num_vertices = 32;
+  /// Out-degree per vertex (random targets).
+  int out_degree = 2;
+};
+
+/// Publishes a random directed graph; returns the edge list for reference
+/// computations.
+std::vector<std::pair<std::string, std::string>> PublishTopology(
+    core::PierNetwork* net, TopologyOptions options, uint64_t seed);
+
+/// Registers `def` in every node's catalog.
+void RegisterTableEverywhere(core::PierNetwork* net,
+                             const catalog::TableDef& def);
+
+}  // namespace workload
+}  // namespace pier
+
+#endif  // PIER_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,180 @@
+// Catalog tests: schema resolution (qualified/ambiguous names), concat for
+// joins, tuple serialization and hashing, partitioning resources, and the
+// table registry.
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/table_def.h"
+#include "catalog/tuple.h"
+
+namespace pier {
+namespace catalog {
+namespace {
+
+Schema AlertsSchema() {
+  return Schema("alerts", {{"rule_id", ValueType::kInt64},
+                           {"descr", ValueType::kString},
+                           {"hits", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, ResolveBareAndQualified) {
+  Schema s = AlertsSchema();
+  int index = -1;
+  ASSERT_TRUE(s.Resolve("hits", &index).ok());
+  EXPECT_EQ(index, 2);
+  ASSERT_TRUE(s.Resolve("alerts.rule_id", &index).ok());
+  EXPECT_EQ(index, 0);
+  EXPECT_FALSE(s.Resolve("nope", &index).ok());
+  EXPECT_FALSE(s.Resolve("other.rule_id", &index).ok());
+}
+
+TEST(SchemaTest, ConcatQualifiesBothSides) {
+  Schema left = AlertsSchema();
+  Schema right("rules", {{"rule_id", ValueType::kInt64},
+                         {"severity", ValueType::kInt64}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 5u);
+  int index = -1;
+  ASSERT_TRUE(joined.Resolve("alerts.rule_id", &index).ok());
+  EXPECT_EQ(index, 0);
+  ASSERT_TRUE(joined.Resolve("rules.rule_id", &index).ok());
+  EXPECT_EQ(index, 3);
+  // Bare "rule_id" is ambiguous after the join.
+  EXPECT_FALSE(joined.Resolve("rule_id", &index).ok());
+  // Bare names unique to one side still resolve.
+  ASSERT_TRUE(joined.Resolve("severity", &index).ok());
+  EXPECT_EQ(index, 4);
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  Schema s = AlertsSchema();
+  Writer w;
+  s.Serialize(&w);
+  Reader r(w.buffer());
+  Schema back;
+  ASSERT_TRUE(Schema::Deserialize(&r, &back).ok());
+  EXPECT_EQ(s, back);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SchemaTest, ToStringReadable) {
+  EXPECT_EQ(AlertsSchema().ToString(),
+            "alerts(rule_id INT64, descr STRING, hits INT64)");
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t{Value::Int64(1322), Value::String("BAD-TRAFFIC"), Value::Null(),
+          Value::Double(2.5), Value::Bool(true)};
+  std::string bytes = TupleToBytes(t);
+  Tuple back;
+  ASSERT_TRUE(TupleFromBytes(bytes, &back).ok());
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(CompareTuples(t, back), 0);
+}
+
+TEST(TupleTest, CorruptBytesRejected) {
+  Tuple t;
+  EXPECT_FALSE(TupleFromBytes("\xff\xff\xff", &t).ok());
+}
+
+TEST(TupleTest, CompareLexicographic) {
+  Tuple a{Value::Int64(1), Value::String("a")};
+  Tuple b{Value::Int64(1), Value::String("b")};
+  Tuple c{Value::Int64(2)};
+  EXPECT_LT(CompareTuples(a, b), 0);
+  EXPECT_LT(CompareTuples(a, c), 0);
+  EXPECT_EQ(CompareTuples(a, a), 0);
+  // Prefix ordering: shorter tuple sorts first when equal so far.
+  Tuple prefix{Value::Int64(1)};
+  EXPECT_LT(CompareTuples(prefix, a), 0);
+}
+
+TEST(TupleTest, HashRespectsOrderAndValues) {
+  Tuple a{Value::Int64(1), Value::Int64(2)};
+  Tuple b{Value::Int64(2), Value::Int64(1)};
+  EXPECT_NE(HashTuple(a), HashTuple(b));
+  EXPECT_EQ(HashTuple(a), HashTuple(a));
+}
+
+TEST(TupleTest, HashColsSubset) {
+  Tuple a{Value::Int64(7), Value::String("x"), Value::Int64(9)};
+  Tuple b{Value::Int64(7), Value::String("y"), Value::Int64(9)};
+  EXPECT_EQ(HashTupleCols(a, {0, 2}), HashTupleCols(b, {0, 2}));
+  EXPECT_NE(HashTupleCols(a, {0, 1}), HashTupleCols(b, {0, 1}));
+}
+
+TEST(TupleTest, ResourceCanonicalAcrossNumericTypes) {
+  // INT64 5 and DOUBLE 5.0 must land on the same ring position.
+  Tuple a{Value::Int64(5)};
+  Tuple b{Value::Double(5.0)};
+  EXPECT_EQ(ResourceForCols(a, {0}), ResourceForCols(b, {0}));
+  Tuple c{Value::Int64(6)};
+  EXPECT_NE(ResourceForCols(a, {0}), ResourceForCols(c, {0}));
+}
+
+TEST(TableDefTest, KeyForColocatesByPartitionCols) {
+  TableDef def;
+  def.name = "alerts";
+  def.schema = AlertsSchema();
+  def.partition_cols = {0};
+  Tuple a{Value::Int64(1322), Value::String("x"), Value::Int64(1)};
+  Tuple b{Value::Int64(1322), Value::String("y"), Value::Int64(2)};
+  Tuple c{Value::Int64(999), Value::String("x"), Value::Int64(1)};
+  EXPECT_EQ(def.KeyFor(a, 1).RoutingKey(), def.KeyFor(b, 2).RoutingKey());
+  EXPECT_NE(def.KeyFor(a, 1).RoutingKey(), def.KeyFor(c, 1).RoutingKey());
+}
+
+TEST(TableDefTest, SerializeRoundTrip) {
+  TableDef def;
+  def.name = "alerts";
+  def.schema = AlertsSchema();
+  def.partition_cols = {0, 2};
+  def.ttl = Seconds(77);
+  Writer w;
+  def.Serialize(&w);
+  Reader r(w.buffer());
+  TableDef back;
+  ASSERT_TRUE(TableDef::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.name, "alerts");
+  EXPECT_EQ(back.partition_cols, (std::vector<int>{0, 2}));
+  EXPECT_EQ(back.ttl, Seconds(77));
+  EXPECT_EQ(back.schema, def.schema);
+}
+
+TEST(CatalogTest, RegisterFindAndValidate) {
+  Catalog cat;
+  TableDef def;
+  def.name = "alerts";
+  def.schema = AlertsSchema();
+  def.partition_cols = {0};
+  ASSERT_TRUE(cat.Register(def).ok());
+  EXPECT_NE(cat.Find("alerts"), nullptr);
+  EXPECT_EQ(cat.Find("missing"), nullptr);
+  EXPECT_EQ(cat.size(), 1u);
+
+  TableDef bad = def;
+  bad.partition_cols = {9};  // out of range
+  EXPECT_FALSE(cat.Register(bad).ok());
+  TableDef unnamed = def;
+  unnamed.name = "";
+  EXPECT_FALSE(cat.Register(unnamed).ok());
+}
+
+TEST(CatalogTest, ReRegisterReplaces) {
+  Catalog cat;
+  TableDef def;
+  def.name = "t";
+  def.schema = Schema("t", {{"a", ValueType::kInt64}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(10);
+  ASSERT_TRUE(cat.Register(def).ok());
+  def.ttl = Seconds(99);
+  ASSERT_TRUE(cat.Register(def).ok());
+  EXPECT_EQ(cat.Find("t")->ttl, Seconds(99));
+  EXPECT_EQ(cat.size(), 1u);
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace pier

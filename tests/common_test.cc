@@ -1,0 +1,525 @@
+// Unit tests for src/common: serialization, SHA-1, Id160 ring arithmetic,
+// Value semantics, RNG determinism, Bloom filters, Status/Result.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/hash.h"
+#include "common/id160.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/sha1.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: no such key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(Status::Code::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kUnavailable), "Unavailable");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Timeout("slow"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutFixed16(0x1234);
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefull);
+  Reader r(w.buffer());
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  ASSERT_TRUE(r.GetU8(&a).ok());
+  ASSERT_TRUE(r.GetFixed16(&b).ok());
+  ASSERT_TRUE(r.GetFixed32(&c).ok());
+  ASSERT_TRUE(r.GetFixed64(&d).ok());
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0x1234);
+  EXPECT_EQ(c, 0xdeadbeefu);
+  EXPECT_EQ(d, 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintRoundTrip) {
+  const std::vector<uint64_t> cases = {
+      0,       1,          127,        128,
+      16383,   16384,      1000000,    1ull << 30,
+      1ull << 35, 1ull << 62, std::numeric_limits<uint64_t>::max()};
+  Writer w;
+  for (uint64_t v : cases) w.PutVarint64(v);
+  Reader r(w.buffer());
+  for (uint64_t expected : cases) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(SerializeTest, SignedVarintZigZag) {
+  const std::vector<int64_t> cases = {0,  -1, 1,  -2, 2, 1000, -1000,
+                                      std::numeric_limits<int64_t>::min(),
+                                      std::numeric_limits<int64_t>::max()};
+  Writer w;
+  for (int64_t v : cases) w.PutVarint64Signed(v);
+  // Small magnitudes should encode in one byte.
+  Writer small;
+  small.PutVarint64Signed(-1);
+  EXPECT_EQ(small.size(), 1u);
+  Reader r(w.buffer());
+  for (int64_t expected : cases) {
+    int64_t got = 0;
+    ASSERT_TRUE(r.GetVarint64Signed(&got).ok());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(SerializeTest, StringAndDouble) {
+  Writer w;
+  w.PutString("hello");
+  w.PutString(std::string("\x00\x01\x02", 3));  // embedded NULs survive
+  w.PutDouble(3.14159);
+  w.PutDouble(-0.0);
+  Reader r(w.buffer());
+  std::string s1, s2;
+  double d1, d2;
+  ASSERT_TRUE(r.GetString(&s1).ok());
+  ASSERT_TRUE(r.GetString(&s2).ok());
+  ASSERT_TRUE(r.GetDouble(&d1).ok());
+  ASSERT_TRUE(r.GetDouble(&d2).ok());
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2.size(), 3u);
+  EXPECT_DOUBLE_EQ(d1, 3.14159);
+  EXPECT_EQ(d2, 0.0);
+}
+
+TEST(SerializeTest, TruncatedInputIsCorruptionNotCrash) {
+  Writer w;
+  w.PutFixed64(123);
+  std::string bytes = w.buffer().substr(0, 3);
+  Reader r(bytes);
+  uint64_t v;
+  EXPECT_TRUE(r.GetFixed64(&v).IsCorruption());
+}
+
+TEST(SerializeTest, TruncatedStringLength) {
+  Writer w;
+  w.PutVarint64(1000);  // claims 1000 bytes follow
+  Reader r(w.buffer());
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsCorruption());
+}
+
+TEST(SerializeTest, ReaderPoisonsAfterFirstError) {
+  Reader r("");
+  uint8_t v;
+  EXPECT_FALSE(r.GetU8(&v).ok());
+  EXPECT_FALSE(r.GetU8(&v).ok());
+}
+
+TEST(SerializeTest, UnterminatedVarintFails) {
+  std::string bad(12, '\xff');  // continuation bit forever
+  Reader r(bad);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint64(&v).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1 (FIPS 180-1 test vectors)
+// ---------------------------------------------------------------------------
+
+std::string DigestHex(const Sha1Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha1::Hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha1::Hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha1::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  Sha1 h;
+  h.Update("querying at ");
+  h.Update("internet scale");
+  EXPECT_EQ(DigestHex(h.Finish()),
+            DigestHex(Sha1::Hash("querying at internet scale")));
+}
+
+// ---------------------------------------------------------------------------
+// Id160
+// ---------------------------------------------------------------------------
+
+TEST(Id160Test, HexRoundTrip) {
+  Id160 id = Id160::FromName("node-1");
+  Id160 back;
+  ASSERT_TRUE(Id160::FromHex(id.ToHex(), &back).ok());
+  EXPECT_EQ(id, back);
+}
+
+TEST(Id160Test, FromHexRejectsBadInput) {
+  Id160 out;
+  EXPECT_FALSE(Id160::FromHex("abc", &out).ok());
+  EXPECT_FALSE(Id160::FromHex(std::string(40, 'z'), &out).ok());
+}
+
+TEST(Id160Test, AddPowerOfTwoLowBit) {
+  Id160 zero;
+  Id160 one = zero.AddPowerOfTwo(0);
+  EXPECT_EQ(one.ToHex(), std::string(39, '0') + "1");
+}
+
+TEST(Id160Test, AddPowerOfTwoCarries) {
+  Id160 max = Id160::Max();
+  Id160 wrapped = max.AddPowerOfTwo(0);  // 2^160 - 1 + 1 == 0 (mod 2^160)
+  EXPECT_EQ(wrapped, Id160());
+}
+
+TEST(Id160Test, DistanceIsModular) {
+  Id160 a = Id160::FromUint64(100);
+  Id160 b = Id160::FromUint64(300);
+  // a -> b plus b -> a must cover the full ring (sum == 0 mod 2^160).
+  Id160 ab = a.DistanceTo(b);
+  Id160 ba = b.DistanceTo(a);
+  EXPECT_EQ(ab.Add(ba), Id160());
+  EXPECT_EQ(a.DistanceTo(a), Id160());
+}
+
+TEST(Id160Test, IntervalNoWrap) {
+  Id160 a = Id160::FromUint64(10);
+  Id160 b = Id160::FromUint64(20);
+  Id160 x = Id160::FromUint64(15);
+  EXPECT_TRUE(x.InIntervalOpenClosed(a, b));
+  EXPECT_TRUE(b.InIntervalOpenClosed(a, b));   // closed at right
+  EXPECT_FALSE(a.InIntervalOpenClosed(a, b));  // open at left
+  EXPECT_FALSE(x.InIntervalOpenOpen(b, a) &&
+               x.InIntervalOpenClosed(a, b) == false);
+}
+
+TEST(Id160Test, IntervalWrapsThroughZero) {
+  Id160 hi = Id160::Max();            // near top of ring
+  Id160 lo = Id160::FromUint64(5);    // just past zero... (top 64 bits)
+  Id160 zero;
+  // (hi, lo] wraps: zero is inside.
+  EXPECT_TRUE(zero.InIntervalOpenClosed(hi, lo));
+  // Something strictly between lo and hi is outside.
+  Id160 mid = Id160::FromUint64(1000);
+  EXPECT_FALSE(mid.InIntervalOpenClosed(hi, lo));
+}
+
+TEST(Id160Test, DegenerateIntervalCoversRing) {
+  Id160 n = Id160::FromName("n");
+  Id160 other = Id160::FromName("other");
+  EXPECT_TRUE(other.InIntervalOpenClosed(n, n));
+}
+
+TEST(Id160Test, SerializeRoundTrip) {
+  Id160 id = Id160::FromName("serialize-me");
+  Writer w;
+  id.Serialize(&w);
+  EXPECT_EQ(w.size(), 20u);
+  Reader r(w.buffer());
+  Id160 back;
+  ASSERT_TRUE(Id160::Deserialize(&r, &back).ok());
+  EXPECT_EQ(id, back);
+}
+
+TEST(Id160Test, HighestBit) {
+  EXPECT_EQ(Id160().HighestBit(), -1);
+  EXPECT_EQ(Id160().AddPowerOfTwo(0).HighestBit(), 0);
+  EXPECT_EQ(Id160().AddPowerOfTwo(100).HighestBit(), 100);
+  EXPECT_EQ(Id160::Max().HighestBit(), 159);
+}
+
+TEST(Id160Test, NamesDisperse) {
+  // Hashing distinct names should essentially never collide.
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(Id160::FromName("host-" + std::to_string(i)).ToHex());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int64(7).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Bytes("y").type(), ValueType::kBytes);
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::Double(5.5)), 0);
+  EXPECT_GT(Value::Double(7.0).Compare(Value::Int64(6)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("abc").Compare(Value::String("abc")), 0);
+}
+
+TEST(ValueTest, EqualNumericsHashEqual) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_NE(Value::Int64(5).Hash(), Value::Int64(6).Hash());
+}
+
+TEST(ValueTest, SerializeRoundTripAllTypes) {
+  std::vector<Value> vals = {Value::Null(),
+                             Value::Bool(true),
+                             Value::Int64(-12345),
+                             Value::Double(2.71828),
+                             Value::String("PlanetLab"),
+                             Value::Bytes(std::string("\x01\x02\x00", 3))};
+  Writer w;
+  for (const Value& v : vals) v.Serialize(&w);
+  Reader r(w.buffer());
+  for (const Value& expected : vals) {
+    Value got;
+    ASSERT_TRUE(Value::Deserialize(&r, &got).ok());
+    EXPECT_EQ(got.Compare(expected), 0) << expected.ToString();
+    EXPECT_EQ(got.type(), expected.type());
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueTest, DeserializeRejectsBadTag) {
+  std::string bad = "\x63";  // type tag 99
+  Reader r(bad);
+  Value v;
+  EXPECT_TRUE(Value::Deserialize(&r, &v).IsCorruption());
+}
+
+TEST(ValueTest, AsDoubleConversions) {
+  double d = 0;
+  EXPECT_TRUE(Value::Int64(3).AsDouble(&d).ok());
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  EXPECT_FALSE(Value::String("x").AsDouble(&d).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng root(7);
+  Rng c1 = root.Fork(1);
+  Rng c2 = root.Fork(2);
+  Rng c1_again = Rng(7).Fork(1);
+  EXPECT_EQ(c1.Next(), c1_again.Next());
+  EXPECT_NE(c1.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  ZipfDistribution zipf(100, 1.0);
+  int rank1 = 0, rank50plus = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = zipf.Sample(&rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    if (r == 1) ++rank1;
+    if (r >= 50) ++rank50plus;
+  }
+  EXPECT_GT(rank1, rank50plus);  // head outweighs the whole tail half
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter f = BloomFilter::ForEntries(1000);
+  for (uint64_t i = 0; i < 1000; ++i) f.Add(Mix64(i));
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(f.MayContain(Mix64(i)));
+}
+
+TEST(BloomTest, FalsePositiveRateNearDesign) {
+  BloomFilter f = BloomFilter::ForEntries(1000);
+  for (uint64_t i = 0; i < 1000; ++i) f.Add(Mix64(i));
+  int fp = 0;
+  const int probes = 10000;
+  for (uint64_t i = 0; i < probes; ++i) {
+    if (f.MayContain(Mix64(1'000'000 + i))) ++fp;
+  }
+  double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.03);  // designed for ~1%
+}
+
+TEST(BloomTest, UnionContainsBoth) {
+  BloomFilter a(1024, 7), b(1024, 7);
+  a.Add(Mix64(1));
+  b.Add(Mix64(2));
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  EXPECT_TRUE(a.MayContain(Mix64(1)));
+  EXPECT_TRUE(a.MayContain(Mix64(2)));
+}
+
+TEST(BloomTest, UnionGeometryMismatchRejected) {
+  BloomFilter a(1024, 7), b(2048, 7);
+  EXPECT_FALSE(a.UnionWith(b).ok());
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter f(512, 5);
+  for (uint64_t i = 0; i < 50; ++i) f.Add(Mix64(i * 31));
+  Writer w;
+  f.Serialize(&w);
+  Reader r(w.buffer());
+  BloomFilter back(64, 1);
+  ASSERT_TRUE(BloomFilter::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.bit_count(), f.bit_count());
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(back.MayContain(Mix64(i * 31)));
+  EXPECT_EQ(back.PopCount(), f.PopCount());
+}
+
+TEST(BloomTest, EstimatedFppGrowsWithLoad) {
+  BloomFilter f(1024, 7);
+  double fpp_light = f.EstimatedFpp(10);
+  double fpp_heavy = f.EstimatedFpp(1000);
+  EXPECT_LT(fpp_light, fpp_heavy);
+}
+
+// ---------------------------------------------------------------------------
+// Hash helpers
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, BytesHashIsStable) {
+  EXPECT_EQ(HashBytes("pier"), HashBytes("pier"));
+  EXPECT_NE(HashBytes("pier"), HashBytes("reip"));
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    total += std::popcount(Mix64(0) ^ Mix64(1ull << i));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+}  // namespace
+}  // namespace pier

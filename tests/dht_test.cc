@@ -1,0 +1,441 @@
+// DHT layer tests: the local soft-state store, Put/Get/Renew over both
+// routers, TTL expiry, replication failover after owner crashes, namespace
+// scans, renewing publishers, and dissemination trees.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/network.h"
+#include "dht/broadcast.h"
+#include "dht/key.h"
+#include "dht/local_store.h"
+#include "dht/storage.h"
+
+namespace pier {
+namespace dht {
+namespace {
+
+using core::PierNetwork;
+using core::PierNetworkOptions;
+using core::RouterKind;
+
+// ---------------------------------------------------------------------------
+// DhtKey
+// ---------------------------------------------------------------------------
+
+TEST(DhtKeyTest, InstancesColocate) {
+  DhtKey a{"traffic", "rule-1322", 1};
+  DhtKey b{"traffic", "rule-1322", 2};
+  DhtKey c{"traffic", "rule-1923", 1};
+  EXPECT_EQ(a.RoutingKey(), b.RoutingKey());
+  EXPECT_NE(a.RoutingKey(), c.RoutingKey());
+}
+
+TEST(DhtKeyTest, NamespaceSeparatesKeys) {
+  DhtKey a{"ns1", "x", 0};
+  DhtKey b{"ns2", "x", 0};
+  EXPECT_NE(a.RoutingKey(), b.RoutingKey());
+}
+
+TEST(DhtKeyTest, NoAmbiguityFromConcatenation) {
+  // ("ab","c") must not hash like ("a","bc"): length-prefixed encoding.
+  DhtKey a{"ab", "c", 0};
+  DhtKey b{"a", "bc", 0};
+  EXPECT_NE(a.RoutingKey(), b.RoutingKey());
+}
+
+TEST(DhtKeyTest, SerializeRoundTrip) {
+  DhtKey k{"namespace", "resource-bytes", 777};
+  Writer w;
+  k.Serialize(&w);
+  Reader r(w.buffer());
+  DhtKey back;
+  ASSERT_TRUE(DhtKey::Deserialize(&r, &back).ok());
+  EXPECT_EQ(k, back);
+}
+
+// ---------------------------------------------------------------------------
+// LocalStore
+// ---------------------------------------------------------------------------
+
+StoredItem MakeItem(const std::string& ns, const std::string& res,
+                    uint64_t inst, const std::string& val,
+                    TimePoint expires) {
+  StoredItem item;
+  item.key = DhtKey{ns, res, inst};
+  item.value = val;
+  item.expires_at = expires;
+  return item;
+}
+
+TEST(LocalStoreTest, PutGetRoundTrip) {
+  LocalStore store;
+  store.Put(MakeItem("t", "r", 1, "v1", Seconds(100)));
+  auto got = store.Get("t", "r", Seconds(10));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].value, "v1");
+}
+
+TEST(LocalStoreTest, MultipleInstancesUnderOneResource) {
+  LocalStore store;
+  store.Put(MakeItem("t", "r", 1, "a", Seconds(100)));
+  store.Put(MakeItem("t", "r", 2, "b", Seconds(100)));
+  store.Put(MakeItem("t", "other", 9, "c", Seconds(100)));
+  EXPECT_EQ(store.Get("t", "r", 0).size(), 2u);
+  EXPECT_EQ(store.Scan("t", 0).size(), 3u);
+}
+
+TEST(LocalStoreTest, UpsertReplacesValueKeepsLaterExpiry) {
+  LocalStore store;
+  store.Put(MakeItem("t", "r", 1, "old", Seconds(100)));
+  store.Put(MakeItem("t", "r", 1, "new", Seconds(50)));  // earlier expiry
+  auto got = store.Get("t", "r", 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].value, "new");
+  EXPECT_EQ(got[0].expires_at, Seconds(100));  // extended lifetime retained
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LocalStoreTest, ExpiredItemsInvisible) {
+  LocalStore store;
+  store.Put(MakeItem("t", "r", 1, "v", Seconds(10)));
+  EXPECT_EQ(store.Get("t", "r", Seconds(5)).size(), 1u);
+  EXPECT_EQ(store.Get("t", "r", Seconds(10)).size(), 0u);  // expires_at <= now
+  EXPECT_EQ(store.Scan("t", Seconds(11)).size(), 0u);
+}
+
+TEST(LocalStoreTest, SweepReclaims) {
+  LocalStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Put(MakeItem("t", "r" + std::to_string(i), 0, "v",
+                       i < 4 ? Seconds(10) : Seconds(100)));
+  }
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.Sweep(Seconds(50)), 4u);
+  EXPECT_EQ(store.size(), 6u);
+}
+
+TEST(LocalStoreTest, DropNamespace) {
+  LocalStore store;
+  store.Put(MakeItem("keep", "r", 0, "v", Seconds(100)));
+  store.Put(MakeItem("drop", "r", 0, "v", Seconds(100)));
+  store.Put(MakeItem("drop", "r", 1, "v", Seconds(100)));
+  EXPECT_EQ(store.DropNamespace("drop"), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Scan("keep", 0).size(), 1u);
+}
+
+TEST(LocalStoreTest, NamespaceListing) {
+  LocalStore store;
+  store.Put(MakeItem("a", "r", 0, "v", Seconds(100)));
+  store.Put(MakeItem("b", "r", 0, "v", Seconds(100)));
+  auto names = store.Namespaces();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Dht over PierNetwork
+// ---------------------------------------------------------------------------
+
+PierNetworkOptions OneHopOpts(uint64_t seed = 7) {
+  PierNetworkOptions o;
+  o.seed = seed;
+  o.node.router_kind = RouterKind::kOneHop;
+  return o;
+}
+
+PierNetworkOptions ChordOpts(uint64_t seed = 7) {
+  PierNetworkOptions o;
+  o.seed = seed;
+  o.node.router_kind = RouterKind::kChord;
+  return o;
+}
+
+TEST(DhtTest, PutGetRoundTripOneHop) {
+  PierNetwork net(8, OneHopOpts());
+  net.Boot(Seconds(5));
+  Status put_status = Status::Internal("not called");
+  net.node(0)->dht()->Put(DhtKey{"tbl", "key1", 1}, "hello-dht", Seconds(60),
+                          [&](Status s) { put_status = s; });
+  net.RunFor(Seconds(5));
+  ASSERT_TRUE(put_status.ok()) << put_status.ToString();
+
+  std::vector<DhtItem> items;
+  Status get_status;
+  net.node(3)->dht()->Get("tbl", "key1", [&](Status s, std::vector<DhtItem> v) {
+    get_status = s;
+    items = std::move(v);
+  });
+  net.RunFor(Seconds(5));
+  ASSERT_TRUE(get_status.ok());
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].value, "hello-dht");
+  EXPECT_EQ(items[0].key.instance, 1u);
+}
+
+TEST(DhtTest, PutGetRoundTripChord) {
+  PierNetwork net(16, ChordOpts());
+  net.Boot(Seconds(60));
+  int acked = 0;
+  for (int i = 0; i < 20; ++i) {
+    net.node(i % 16)->dht()->Put(
+        DhtKey{"tbl", "res-" + std::to_string(i), 0},
+        "value-" + std::to_string(i), Seconds(120),
+        [&](Status s) { acked += s.ok() ? 1 : 0; });
+  }
+  net.RunFor(Seconds(10));
+  EXPECT_EQ(acked, 20);
+  int found = 0;
+  for (int i = 0; i < 20; ++i) {
+    net.node((i + 5) % 16)
+        ->dht()
+        ->Get("tbl", "res-" + std::to_string(i),
+              [&, i](Status s, std::vector<DhtItem> v) {
+                if (s.ok() && v.size() == 1 &&
+                    v[0].value == "value-" + std::to_string(i)) {
+                  ++found;
+                }
+              });
+  }
+  net.RunFor(Seconds(10));
+  EXPECT_EQ(found, 20);
+}
+
+TEST(DhtTest, GetOfMissingKeyReturnsEmpty) {
+  PierNetwork net(4, OneHopOpts());
+  net.Boot(Seconds(5));
+  bool called = false;
+  net.node(1)->dht()->Get("none", "missing",
+                          [&](Status s, std::vector<DhtItem> v) {
+                            called = true;
+                            EXPECT_TRUE(s.ok());
+                            EXPECT_TRUE(v.empty());
+                          });
+  net.RunFor(Seconds(5));
+  EXPECT_TRUE(called);
+}
+
+TEST(DhtTest, MultipleInstancesReturnedTogether) {
+  PierNetwork net(6, OneHopOpts());
+  net.Boot(Seconds(5));
+  for (uint64_t inst = 1; inst <= 5; ++inst) {
+    net.node(inst % 6)->dht()->Put(DhtKey{"multi", "shared", inst},
+                                   "v" + std::to_string(inst), Seconds(60),
+                                   nullptr);
+  }
+  net.RunFor(Seconds(5));
+  std::vector<DhtItem> items;
+  net.node(0)->dht()->Get("multi", "shared",
+                          [&](Status s, std::vector<DhtItem> v) {
+                            ASSERT_TRUE(s.ok());
+                            items = std::move(v);
+                          });
+  net.RunFor(Seconds(5));
+  EXPECT_EQ(items.size(), 5u);
+  std::set<uint64_t> instances;
+  for (const auto& item : items) instances.insert(item.key.instance);
+  EXPECT_EQ(instances.size(), 5u);
+}
+
+TEST(DhtTest, TtlExpiresWithoutRenewal) {
+  PierNetwork net(4, OneHopOpts());
+  net.Boot(Seconds(5));
+  net.node(0)->dht()->Put(DhtKey{"soft", "state", 0}, "ephemeral",
+                          Seconds(30), nullptr);
+  net.RunFor(Seconds(5));
+  size_t before = 0, after = 0;
+  net.node(1)->dht()->Get("soft", "state",
+                          [&](Status, std::vector<DhtItem> v) {
+                            before = v.size();
+                          });
+  net.RunFor(Seconds(5));
+  net.RunFor(Seconds(60));  // TTL passes
+  net.node(1)->dht()->Get("soft", "state",
+                          [&](Status, std::vector<DhtItem> v) {
+                            after = v.size();
+                          });
+  net.RunFor(Seconds(5));
+  EXPECT_EQ(before, 1u);
+  EXPECT_EQ(after, 0u);
+}
+
+TEST(DhtTest, RenewingPublisherKeepsDataAlive) {
+  PierNetwork net(4, OneHopOpts());
+  net.Boot(Seconds(5));
+  RenewingPublisher pub(net.node(2)->dht(), net.sim(), Seconds(20));
+  pub.Publish(DhtKey{"alive", "k", 0}, "persistent");
+  pub.Start();
+  net.RunFor(Seconds(120));  // six TTLs
+  size_t count = 0;
+  net.node(0)->dht()->Get("alive", "k", [&](Status, std::vector<DhtItem> v) {
+    count = v.size();
+  });
+  net.RunFor(Seconds(5));
+  EXPECT_EQ(count, 1u);
+  // After Stop, the item ages out.
+  pub.Stop();
+  net.RunFor(Seconds(60));
+  bool gone = false;
+  net.node(0)->dht()->Get("alive", "k", [&](Status, std::vector<DhtItem> v) {
+    gone = v.empty();
+  });
+  net.RunFor(Seconds(5));
+  EXPECT_TRUE(gone);
+}
+
+TEST(DhtTest, ReplicationSurvivesOwnerCrash) {
+  PierNetworkOptions opts = ChordOpts(21);
+  opts.node.dht.replicas = 2;
+  PierNetwork net(12, opts);
+  net.Boot(Seconds(60));
+
+  net.node(0)->dht()->Put(DhtKey{"durable", "k", 0}, "replicated",
+                          Seconds(600), nullptr);
+  net.RunFor(Seconds(10));
+
+  // Find the owner (node whose local non-replica store holds the item).
+  int owner = -1;
+  for (size_t i = 0; i < net.size(); ++i) {
+    for (const auto& item : net.node(i)->dht()->LocalScan("durable")) {
+      if (!item.replica) owner = static_cast<int>(i);
+    }
+  }
+  ASSERT_NE(owner, -1);
+  ASSERT_NE(owner, 0) << "test assumes node 0 is not the owner";
+  net.Crash(static_cast<size_t>(owner));
+  net.RunFor(Seconds(45));  // failure detection + ring repair
+
+  size_t found = 0;
+  net.node(0)->dht()->Get("durable", "k", [&](Status s, std::vector<DhtItem> v) {
+    if (s.ok()) found = v.size();
+  });
+  net.RunFor(Seconds(10));
+  EXPECT_EQ(found, 1u) << "replica did not take over after owner crash";
+}
+
+TEST(DhtTest, LocalScanSeesOnlyOwnSlice) {
+  PierNetwork net(8, OneHopOpts());
+  net.Boot(Seconds(5));
+  const int kItems = 40;
+  for (int i = 0; i < kItems; ++i) {
+    net.node(0)->dht()->Put(DhtKey{"sliced", "res" + std::to_string(i), 0},
+                            "v", Seconds(120), nullptr);
+  }
+  net.RunFor(Seconds(5));
+  size_t total_primary = 0;
+  size_t nodes_with_data = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    size_t primary = 0;
+    for (const auto& item : net.node(i)->dht()->LocalScan("sliced")) {
+      primary += item.replica ? 0 : 1;
+    }
+    total_primary += primary;
+    nodes_with_data += primary > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(total_primary, static_cast<size_t>(kItems));
+  EXPECT_GT(nodes_with_data, 2u) << "hash partitioning should spread data";
+}
+
+TEST(DhtTest, StatsAccount) {
+  PierNetwork net(4, OneHopOpts());
+  net.Boot(Seconds(5));
+  net.node(0)->dht()->Put(DhtKey{"s", "k", 0}, "v", Seconds(60),
+                          [](Status) {});
+  net.RunFor(Seconds(5));
+  net.node(0)->dht()->Get("s", "k", [](Status, std::vector<DhtItem>) {});
+  net.RunFor(Seconds(5));
+  EXPECT_GE(net.node(0)->dht()->stats().puts_sent, 1u);
+  EXPECT_GE(net.node(0)->dht()->stats().gets_ok, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+TEST(BroadcastTest, ReachesAllNodesExactlyOnceOneHop) {
+  PierNetwork net(16, OneHopOpts());
+  net.Boot(Seconds(5));
+  std::vector<int> deliveries(net.size(), 0);
+  for (size_t i = 0; i < net.size(); ++i) {
+    net.node(i)->broadcast()->SetHandler(
+        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const std::string& p) {
+          EXPECT_EQ(p, "announcement");
+          ++deliveries[i];
+        });
+  }
+  net.node(5)->broadcast()->Broadcast("announcement");
+  net.RunFor(Seconds(10));
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(deliveries[i], 1) << "node " << i;
+  }
+}
+
+TEST(BroadcastTest, ReachesAllNodesOnChordRing) {
+  PierNetwork net(32, ChordOpts(33));
+  net.Boot(Seconds(90));
+  std::vector<int> deliveries(net.size(), 0);
+  int max_depth = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    net.node(i)->broadcast()->SetHandler(
+        [&, i](sim::HostId, uint64_t, sim::HostId, int depth, const std::string&) {
+          ++deliveries[i];
+          max_depth = std::max(max_depth, depth);
+        });
+  }
+  net.node(0)->broadcast()->Broadcast("query-plan");
+  net.RunFor(Seconds(15));
+  int reached = 0, duplicated = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    reached += deliveries[i] >= 1 ? 1 : 0;
+    duplicated += deliveries[i] > 1 ? 1 : 0;
+  }
+  EXPECT_EQ(reached, 32);
+  EXPECT_EQ(duplicated, 0) << "dedup cache failed";
+  EXPECT_LE(max_depth, 10) << "tree depth should be O(log n)";
+}
+
+TEST(BroadcastTest, DistinctBroadcastsBothDelivered) {
+  PierNetwork net(8, OneHopOpts());
+  net.Boot(Seconds(5));
+  std::vector<std::string> seen;
+  net.node(3)->broadcast()->SetHandler(
+      [&](sim::HostId, uint64_t, sim::HostId, int, const std::string& p) {
+        seen.push_back(p);
+      });
+  net.node(0)->broadcast()->Broadcast("first");
+  net.node(1)->broadcast()->Broadcast("second");
+  net.RunFor(Seconds(10));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(BroadcastTest, MostNodesReachedDespiteCrashes) {
+  PierNetwork net(24, ChordOpts(44));
+  net.Boot(Seconds(90));
+  // Crash a few nodes and let the ring repair.
+  net.Crash(7);
+  net.Crash(15);
+  net.RunFor(Seconds(45));
+  std::vector<int> deliveries(net.size(), 0);
+  for (size_t i = 0; i < net.size(); ++i) {
+    net.node(i)->broadcast()->SetHandler(
+        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const std::string&) {
+          ++deliveries[i];
+        });
+  }
+  net.node(0)->broadcast()->Broadcast("resilient");
+  net.RunFor(Seconds(15));
+  int reached = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (i == 7 || i == 15) continue;
+    reached += deliveries[i] >= 1 ? 1 : 0;
+  }
+  EXPECT_GE(reached, 20) << "broadcast should reach nearly all live nodes";
+}
+
+}  // namespace
+}  // namespace dht
+}  // namespace pier

@@ -1,0 +1,452 @@
+// SQL front-end tests: lexer, parser (including the continuous-query and
+// WITH RECURSIVE forms), planner binding/validation, and end-to-end
+// ExecuteSql runs over a simulated PIER network — including the two queries
+// the paper demonstrates (Figure 1 and Table 1 shapes).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/network.h"
+#include "planner/planner.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace pier {
+namespace {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::TableDef;
+using catalog::Tuple;
+using core::PierNetwork;
+using core::PierNetworkOptions;
+using core::RouterKind;
+using query::PlanKind;
+using query::QueryPlan;
+using query::ResultBatch;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto r = sql::Tokenize("SELECT a, b FROM t WHERE x >= 10.5");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].upper, "SELECT");
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[2].text, ",");
+  EXPECT_EQ(toks.back().type, sql::TokenType::kEnd);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto r = sql::Tokenize("SELECT 'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1].type, sql::TokenType::kString);
+  EXPECT_EQ(r.value()[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(sql::Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto r = sql::Tokenize("a <= b >= c <> d != e");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1].text, "<=");
+  EXPECT_EQ(r.value()[3].text, ">=");
+  EXPECT_EQ(r.value()[5].text, "<>");
+  EXPECT_EQ(r.value()[7].text, "<>");  // != normalizes
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto r = sql::Tokenize("SELECT a -- trailing comment\nFROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[2].upper, "FROM");
+}
+
+TEST(LexerTest, StrayCharacterFails) {
+  EXPECT_FALSE(sql::Tokenize("SELECT @a FROM t").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SelectStar) {
+  auto r = sql::Parse("SELECT * FROM alerts");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const sql::SelectStmt& s = r.value().select;
+  EXPECT_TRUE(s.select_star);
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "alerts");
+}
+
+TEST(ParserTest, FullClauses) {
+  auto r = sql::Parse(
+      "SELECT rule_id, SUM(hits) AS total FROM alerts "
+      "WHERE hits > 0 GROUP BY rule_id HAVING SUM(hits) >= 10 "
+      "ORDER BY total DESC LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const sql::SelectStmt& s = r.value().select;
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "total");
+  EXPECT_EQ(s.group_by, std::vector<std::string>{"rule_id"});
+  EXPECT_NE(s.having, nullptr);
+  EXPECT_TRUE(s.order_desc);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, ContinuousClauses) {
+  auto r = sql::Parse(
+      "SELECT SUM(out_kbps) FROM node_stats EVERY 10 SECONDS "
+      "WINDOW 30 SECONDS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select.every_seconds, 10);
+  EXPECT_EQ(r.value().select.window_seconds, 30);
+}
+
+TEST(ParserTest, JoinForms) {
+  auto r1 = sql::Parse(
+      "SELECT a.x FROM alerts a, rules r WHERE a.rule_id = r.rule_id");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().select.from.size(), 2u);
+  EXPECT_EQ(r1.value().select.from[0].alias, "a");
+
+  auto r2 = sql::Parse(
+      "SELECT a.x FROM alerts a JOIN rules r ON a.rule_id = r.rule_id "
+      "WHERE r.sev > 1");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r2.value().select.join_on, nullptr);
+  EXPECT_NE(r2.value().select.where, nullptr);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto r = sql::Parse("SELECT a FROM t WHERE x + 1 * 2 = 3 AND y < 4 OR z = 5");
+  ASSERT_TRUE(r.ok());
+  // OR at the root.
+  EXPECT_EQ(r.value().select.where->kind, sql::AstExpr::Kind::kOr);
+  // x + (1*2), not (x+1)*2; AND binds tighter than OR.
+  EXPECT_EQ(r.value().select.where->ToString(),
+            "((((x + (1 * 2)) = 3) AND (y < 4)) OR (z = 5))");
+}
+
+TEST(ParserTest, IsNullAndNot) {
+  auto r = sql::Parse("SELECT a FROM t WHERE a IS NOT NULL AND NOT b = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().select.where, nullptr);
+}
+
+TEST(ParserTest, CountStarAndAggs) {
+  auto r = sql::Parse("SELECT COUNT(*), AVG(v), MIN(v), MAX(v) FROM t");
+  ASSERT_TRUE(r.ok());
+  const auto& items = r.value().select.items;
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].expr->kind, sql::AstExpr::Kind::kAggCall);
+  EXPECT_EQ(items[0].expr->left, nullptr);  // COUNT(*)
+  EXPECT_NE(items[1].expr->left, nullptr);
+}
+
+TEST(ParserTest, WithRecursive) {
+  auto r = sql::Parse(
+      "WITH RECURSIVE reach(src, dst) AS ("
+      "  SELECT src, dst FROM links "
+      "  UNION SELECT reach.src, l.dst FROM reach JOIN links l "
+      "    ON reach.dst = l.src"
+      ") SELECT * FROM reach WHERE src = 'a' MAXHOPS 4");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().kind, sql::Statement::Kind::kRecursive);
+  const sql::RecursiveQuery& rq = *r.value().recursive;
+  EXPECT_EQ(rq.name, "reach");
+  EXPECT_EQ(rq.columns, (std::vector<std::string>{"src", "dst"}));
+  EXPECT_EQ(rq.max_hops, 4);
+  EXPECT_TRUE(rq.outer.select_star);
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto r = sql::Parse("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t extra garbage !").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+catalog::Catalog TestCatalog() {
+  catalog::Catalog cat;
+  TableDef alerts;
+  alerts.name = "alerts";
+  alerts.schema = Schema("alerts", {{"rule_id", ValueType::kInt64},
+                                    {"descr", ValueType::kString},
+                                    {"hits", ValueType::kInt64}});
+  alerts.partition_cols = {0};
+  EXPECT_TRUE(cat.Register(alerts).ok());
+  TableDef rules;
+  rules.name = "rules";
+  rules.schema = Schema("rules", {{"rule_id", ValueType::kInt64},
+                                  {"severity", ValueType::kInt64}});
+  rules.partition_cols = {0};
+  EXPECT_TRUE(cat.Register(rules).ok());
+  TableDef links;
+  links.name = "links";
+  links.schema = Schema("links", {{"src", ValueType::kString},
+                                  {"dst", ValueType::kString}});
+  links.partition_cols = {0};
+  EXPECT_TRUE(cat.Register(links).ok());
+  return cat;
+}
+
+QueryPlan MustPlan(const std::string& text) {
+  auto stmt = sql::Parse(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  catalog::Catalog cat = TestCatalog();
+  auto plan = planner::PlanStatement(stmt.value(), cat);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.value();
+}
+
+TEST(PlannerTest, SimpleSelectBindsColumns) {
+  QueryPlan p = MustPlan("SELECT rule_id, hits * 2 FROM alerts WHERE hits > 5");
+  EXPECT_EQ(p.kind, PlanKind::kSelectProject);
+  EXPECT_EQ(p.table, "alerts");
+  EXPECT_EQ(p.projections.size(), 2u);
+  EXPECT_NE(p.where, nullptr);
+}
+
+TEST(PlannerTest, AggregateAnalysis) {
+  QueryPlan p = MustPlan(
+      "SELECT SUM(hits) AS total, rule_id FROM alerts GROUP BY rule_id "
+      "HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 3");
+  EXPECT_EQ(p.kind, PlanKind::kAggregate);
+  EXPECT_EQ(p.group_cols, std::vector<int>{0});
+  // SUM for the item, COUNT added by HAVING.
+  ASSERT_EQ(p.aggs.size(), 2u);
+  EXPECT_EQ(p.aggs[0].fn, exec::AggFunc::kSum);
+  EXPECT_EQ(p.aggs[1].fn, exec::AggFunc::kCount);
+  // SELECT order: total (agg 0 at layout pos 1), rule_id (group 0 at pos 0).
+  EXPECT_EQ(p.final_projection, (std::vector<int>{1, 0}));
+  EXPECT_EQ(p.order_col, 0);
+  EXPECT_TRUE(p.order_desc);
+  EXPECT_EQ(p.limit, 3);
+}
+
+TEST(PlannerTest, NonGroupedColumnRejected) {
+  auto stmt = sql::Parse("SELECT descr, SUM(hits) FROM alerts GROUP BY rule_id");
+  ASSERT_TRUE(stmt.ok());
+  catalog::Catalog cat = TestCatalog();
+  auto plan = planner::PlanStatement(stmt.value(), cat);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlannerTest, UnknownTableAndColumn) {
+  catalog::Catalog cat = TestCatalog();
+  auto s1 = sql::Parse("SELECT x FROM nope");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE(planner::PlanStatement(s1.value(), cat).status().IsNotFound());
+  auto s2 = sql::Parse("SELECT nope FROM alerts");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(planner::PlanStatement(s2.value(), cat).ok());
+}
+
+TEST(PlannerTest, JoinKeyExtraction) {
+  QueryPlan p = MustPlan(
+      "SELECT a.rule_id, r.severity FROM alerts a, rules r "
+      "WHERE a.rule_id = r.rule_id AND r.severity > 1");
+  EXPECT_EQ(p.kind, PlanKind::kJoin);
+  EXPECT_EQ(p.left_key_cols, std::vector<int>{0});
+  EXPECT_EQ(p.right_key_cols, std::vector<int>{0});
+  EXPECT_NE(p.where, nullptr);  // residual severity > 1
+  // rules is partitioned on rule_id, so the planner picks fetch-matches.
+  EXPECT_EQ(p.join_strategy, query::JoinStrategy::kFetchMatches);
+}
+
+TEST(PlannerTest, JoinWithoutEquiPredicateRejected) {
+  auto stmt = sql::Parse(
+      "SELECT a.rule_id FROM alerts a, rules r WHERE a.hits > r.severity");
+  ASSERT_TRUE(stmt.ok());
+  catalog::Catalog cat = TestCatalog();
+  EXPECT_FALSE(planner::PlanStatement(stmt.value(), cat).ok());
+}
+
+TEST(PlannerTest, RecursivePlan) {
+  QueryPlan p = MustPlan(
+      "WITH RECURSIVE reach(src, dst) AS ("
+      "  SELECT src, dst FROM links "
+      "  UNION SELECT reach.src, l.dst FROM reach JOIN links l "
+      "    ON reach.dst = l.src"
+      ") SELECT * FROM reach WHERE hops <= 3 MAXHOPS 5");
+  EXPECT_EQ(p.kind, PlanKind::kRecursive);
+  EXPECT_EQ(p.table, "links");
+  EXPECT_EQ(p.src_col, 0);
+  EXPECT_EQ(p.dst_col, 1);
+  EXPECT_EQ(p.max_hops, 5);
+  EXPECT_NE(p.outer_where, nullptr);
+}
+
+TEST(PlannerTest, ContinuousClausesCarryThrough) {
+  QueryPlan p = MustPlan(
+      "SELECT SUM(hits) FROM alerts EVERY 10 SECONDS WINDOW 20 SECONDS");
+  EXPECT_EQ(p.every, Seconds(10));
+  EXPECT_EQ(p.window, Seconds(20));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end SQL over a simulated deployment
+// ---------------------------------------------------------------------------
+
+class SqlEndToEnd : public ::testing::Test {
+ protected:
+  void Boot(size_t n = 8) {
+    PierNetworkOptions opts;
+    opts.seed = 97;
+    opts.node.router_kind = RouterKind::kOneHop;
+    opts.node.engine.result_wait = Seconds(5);
+    opts.node.engine.agg_hold_base = Millis(400);
+    opts.node.engine.quiesce_window = Seconds(5);
+    net_ = std::make_unique<PierNetwork>(n, opts);
+    net_->Boot(Seconds(5));
+    catalog::Catalog cat = TestCatalog();
+    for (const std::string& name : cat.TableNames()) {
+      for (size_t i = 0; i < net_->size(); ++i) {
+        ASSERT_TRUE(net_->node(i)->catalog()->Register(*cat.Find(name)).ok());
+      }
+    }
+  }
+
+  void PublishAlert(int rule, const std::string& descr, int hits) {
+    Tuple t{Value::Int64(rule), Value::String(descr), Value::Int64(hits)};
+    ASSERT_TRUE(net_->node(pub_++ % net_->size())
+                    ->query_engine()
+                    ->Publish("alerts", t)
+                    .ok());
+  }
+
+  std::vector<ResultBatch> Run(const std::string& sql_text,
+                               Duration wait = Seconds(12)) {
+    std::vector<ResultBatch> batches;
+    auto r = planner::ExecuteSql(
+        net_->node(0)->query_engine(), sql_text,
+        [&](const ResultBatch& b) { batches.push_back(b); });
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    net_->RunFor(wait);
+    return batches;
+  }
+
+  std::unique_ptr<PierNetwork> net_;
+  size_t pub_ = 0;
+};
+
+TEST_F(SqlEndToEnd, Table1ShapeTopTenIntrusions) {
+  Boot();
+  // Three rules with distinct totals.
+  for (int i = 0; i < 5; ++i) PublishAlert(1322, "BAD-TRAFFIC bad frag bits", 100);
+  for (int i = 0; i < 3; ++i) PublishAlert(2189, "BAD TRAFFIC ip proto 103", 50);
+  PublishAlert(1923, "RPC portmap proxy", 10);
+  net_->RunFor(Seconds(5));
+
+  auto batches = Run(
+      "SELECT rule_id, SUM(hits) AS total FROM alerts "
+      "GROUP BY rule_id ORDER BY total DESC LIMIT 10");
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].rows.size(), 3u);
+  EXPECT_EQ(batches[0].rows[0][0].int64_value(), 1322);
+  EXPECT_EQ(batches[0].rows[0][1].int64_value(), 500);
+  EXPECT_EQ(batches[0].rows[1][0].int64_value(), 2189);
+  EXPECT_EQ(batches[0].rows[1][1].int64_value(), 150);
+  EXPECT_EQ(batches[0].rows[2][0].int64_value(), 1923);
+  EXPECT_EQ(batches[0].rows[2][1].int64_value(), 10);
+}
+
+TEST_F(SqlEndToEnd, Figure1ShapeContinuousSum) {
+  Boot(6);
+  for (size_t i = 0; i < net_->size(); ++i) {
+    Tuple t{Value::Int64(static_cast<int64_t>(i)), Value::String("n"),
+            Value::Int64(100)};
+    ASSERT_TRUE(net_->node(i)->query_engine()->Publish("alerts", t).ok());
+  }
+  net_->RunFor(Seconds(3));
+
+  std::vector<ResultBatch> batches;
+  auto r = planner::ExecuteSql(
+      net_->node(0)->query_engine(),
+      "SELECT SUM(hits) AS rate, COUNT(*) AS nodes FROM alerts "
+      "EVERY 10 SECONDS",
+      [&](const ResultBatch& b) { batches.push_back(b); });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  net_->RunFor(Seconds(35));
+  net_->node(0)->query_engine()->Cancel(r.value());
+  net_->RunFor(Seconds(5));
+
+  ASSERT_GE(batches.size(), 3u);
+  EXPECT_EQ(batches[0].rows[0][0].int64_value(), 600);
+  EXPECT_EQ(batches[0].rows[0][1].int64_value(), 6);
+}
+
+TEST_F(SqlEndToEnd, JoinQuery) {
+  Boot();
+  PublishAlert(1, "one", 10);
+  PublishAlert(2, "two", 20);
+  for (auto [rule, sev] : std::vector<std::pair<int, int>>{{1, 5}, {2, 1}}) {
+    ASSERT_TRUE(net_->node(0)
+                    ->query_engine()
+                    ->Publish("rules", Tuple{Value::Int64(rule),
+                                             Value::Int64(sev)})
+                    .ok());
+  }
+  net_->RunFor(Seconds(5));
+
+  auto batches = Run(
+      "SELECT a.rule_id, r.severity FROM alerts a JOIN rules r "
+      "ON a.rule_id = r.rule_id WHERE r.severity >= 5");
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].rows.size(), 1u);
+  EXPECT_EQ(batches[0].rows[0][0].int64_value(), 1);
+  EXPECT_EQ(batches[0].rows[0][1].int64_value(), 5);
+}
+
+TEST_F(SqlEndToEnd, RecursiveSqlQuery) {
+  Boot(5);
+  for (auto& e : std::vector<std::pair<std::string, std::string>>{
+           {"a", "b"}, {"b", "c"}}) {
+    ASSERT_TRUE(net_->node(0)
+                    ->query_engine()
+                    ->Publish("links", Tuple{Value::String(e.first),
+                                             Value::String(e.second)})
+                    .ok());
+  }
+  net_->RunFor(Seconds(5));
+
+  auto batches = Run(
+      "WITH RECURSIVE reach(src, dst) AS ("
+      "  SELECT src, dst FROM links "
+      "  UNION SELECT reach.src, l.dst FROM reach JOIN links l "
+      "    ON reach.dst = l.src"
+      ") SELECT * FROM reach MAXHOPS 4",
+      Seconds(40));
+  ASSERT_EQ(batches.size(), 1u);
+  std::set<std::pair<std::string, std::string>> got;
+  for (const Tuple& t : batches[0].rows) {
+    got.insert({t[0].string_value(), t[1].string_value()});
+  }
+  EXPECT_EQ(got, (std::set<std::pair<std::string, std::string>>{
+                     {"a", "b"}, {"b", "c"}, {"a", "c"}}));
+}
+
+TEST_F(SqlEndToEnd, ParseErrorSurfacesToCaller) {
+  Boot(3);
+  auto r = planner::ExecuteSql(net_->node(0)->query_engine(),
+                               "SELEKT * FROM alerts",
+                               [](const ResultBatch&) {});
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace pier
