@@ -228,7 +228,7 @@ void Dht::ReplicateOut(const StoredItem& item) {
   }
 }
 
-void Dht::OnDirect(sim::HostId from, Reader* r) {
+void Dht::OnDirect(sim::HostId /*from*/, Reader* r) {
   uint8_t type = 0;
   if (!r->GetU8(&type).ok()) return;
   switch (static_cast<MsgType>(type)) {

@@ -40,7 +40,7 @@ class Operator {
   virtual void Push(const catalog::Tuple& t, int port) = 0;
 
   /// Receives end-of-stream on one input.
-  virtual void PushEos(int port) {
+  virtual void PushEos(int /*port*/) {
     if (++eos_seen_ >= num_inputs_) {
       OnAllInputsEos();
       EmitEos();

@@ -9,7 +9,7 @@ namespace exec {
 // FilterOp
 // ---------------------------------------------------------------------------
 
-void FilterOp::Push(const catalog::Tuple& t, int port) {
+void FilterOp::Push(const catalog::Tuple& t, int /*port*/) {
   bool pass = false;
   Status s = EvalPredicate(*predicate_, t, &pass);
   if (!s.ok() || !pass) {
@@ -23,7 +23,7 @@ void FilterOp::Push(const catalog::Tuple& t, int port) {
 // ProjectOp
 // ---------------------------------------------------------------------------
 
-void ProjectOp::Push(const catalog::Tuple& t, int port) {
+void ProjectOp::Push(const catalog::Tuple& t, int /*port*/) {
   catalog::Tuple out;
   out.reserve(exprs_.size());
   for (const ExprPtr& e : exprs_) {
@@ -61,7 +61,7 @@ catalog::Tuple GroupByOp::GroupKey(const catalog::Tuple& t) const {
   return key;
 }
 
-void GroupByOp::Push(const catalog::Tuple& t, int port) {
+void GroupByOp::Push(const catalog::Tuple& t, int /*port*/) {
   catalog::Tuple key = GroupKey(t);
   auto it = groups_.find(key);
   if (it == groups_.end()) {
@@ -117,7 +117,7 @@ void GroupByOp::FlushAndReset() {
 // DistinctOp
 // ---------------------------------------------------------------------------
 
-void DistinctOp::Push(const catalog::Tuple& t, int port) {
+void DistinctOp::Push(const catalog::Tuple& t, int /*port*/) {
   uint64_t h = catalog::HashTuple(t);
   std::vector<catalog::Tuple>& bucket = seen_[h];
   for (const catalog::Tuple& prev : bucket) {
@@ -144,7 +144,7 @@ bool TopKOp::Before(const catalog::Tuple& a, const catalog::Tuple& b) const {
   return catalog::CompareTuples(a, b) < 0;
 }
 
-void TopKOp::Push(const catalog::Tuple& t, int port) {
+void TopKOp::Push(const catalog::Tuple& t, int /*port*/) {
   rows_.push_back(t);
   std::sort(rows_.begin(), rows_.end(),
             [this](const catalog::Tuple& a, const catalog::Tuple& b) {
@@ -166,7 +166,7 @@ void TopKOp::FlushAndReset() {
 // LimitOp
 // ---------------------------------------------------------------------------
 
-void LimitOp::Push(const catalog::Tuple& t, int port) {
+void LimitOp::Push(const catalog::Tuple& t, int /*port*/) {
   if (passed_ >= k_) return;
   ++passed_;
   Emit(t);

@@ -136,7 +136,7 @@ class LimitOp : public Operator {
 /// Merges any number of input streams (set SetNumInputs accordingly).
 class UnionOp : public Operator {
  public:
-  void Push(const catalog::Tuple& t, int port) override { Emit(t); }
+  void Push(const catalog::Tuple& t, int /*port*/) override { Emit(t); }
   std::string name() const override { return "union"; }
 };
 
@@ -170,10 +170,10 @@ class SymmetricHashJoinOp : public Operator {
 /// Collects results (query-origin sink). Also reports EOS.
 class CollectorSink : public Operator {
  public:
-  void Push(const catalog::Tuple& t, int port) override {
+  void Push(const catalog::Tuple& t, int /*port*/) override {
     rows_.push_back(t);
   }
-  void PushEos(int port) override {
+  void PushEos(int /*port*/) override {
     if (++eos_seen_ >= num_inputs_) eos_ = true;
   }
   std::string name() const override { return "collect"; }
@@ -198,8 +198,8 @@ class FnSink : public Operator {
   using EosFn = std::function<void()>;
   explicit FnSink(Fn fn, EosFn on_eos = nullptr)
       : fn_(std::move(fn)), on_eos_(std::move(on_eos)) {}
-  void Push(const catalog::Tuple& t, int port) override { fn_(t); }
-  void PushEos(int port) override {
+  void Push(const catalog::Tuple& t, int /*port*/) override { fn_(t); }
+  void PushEos(int /*port*/) override {
     if (++eos_seen_ >= num_inputs_ && on_eos_) on_eos_();
   }
   std::string name() const override { return "fn-sink"; }

@@ -557,7 +557,7 @@ void ChordNode::CheckPredecessor() {
   if (state_ != State::kActive || !pred_.has_value()) return;
   NodeInfo pred = *pred_;
   uint64_t req_id = rpc_.Begin(
-      [this, pred](Status s, Reader* r) {
+      [this, pred](Status s, Reader* /*r*/) {
         if (state_ != State::kActive) return;
         if (!s.ok()) {
           Suspect(pred.host);

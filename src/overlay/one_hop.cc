@@ -44,7 +44,7 @@ void OneHopRouter::Route(const Id160& key, uint8_t app_tag,
   transport_->Send(owner.host, Proto::kOverlay, w);
 }
 
-void OneHopRouter::OnMessage(sim::HostId from, Reader* r) {
+void OneHopRouter::OnMessage(sim::HostId /*from*/, Reader* r) {
   Id160 key;
   uint8_t app_tag = 0;
   uint32_t origin = 0;

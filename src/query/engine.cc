@@ -242,7 +242,7 @@ void QueryEngine::Cancel(uint64_t query_id) {
   EndQuery(query_id);
 }
 
-void QueryEngine::OnBroadcast(sim::HostId bcast_origin, uint64_t seq,
+void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
                               sim::HostId parent, int depth,
                               const std::string& payload) {
   Reader r(payload);

@@ -131,7 +131,7 @@ TEST_F(ChordRing, LookupsResolveToTrueOwner) {
     int expected = ExpectedOwner(key);
     int origin = k % n;
     endpoints_[origin]->chord->Lookup(
-        key, [&, expected](Status s, const NodeInfo& owner, int hops) {
+        key, [&, expected](Status s, const NodeInfo& owner, int /*hops*/) {
           ASSERT_TRUE(s.ok());
           ++checked;
           if (static_cast<int>(owner.host) == expected) ++correct;
