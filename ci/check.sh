@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build every target (library, tests, benches,
+# examples), run the test suite. CI and local pre-push both run exactly this,
+# so the README's build instructions can never rot.
+#
+# Usage: ci/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . -DPIER_WERROR=ON
+
+echo "== build (all targets: pier, tests, benches, examples) =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "== OK =="
