@@ -3,16 +3,32 @@
 # examples), run the test suite. CI and local pre-push both run exactly this,
 # so the README's build instructions can never rot.
 #
-# Usage: ci/check.sh [build-dir]   (default: build)
+# Usage: ci/check.sh [--sanitize] [build-dir]
+#   --sanitize   Debug build with ASan+UBSan (-DPIER_SANITIZE=address;undefined)
+#                — the job that keeps the ownership-heavy dataflow runtime
+#                (query/ops/, query/exchange.*) memory-clean on every PR.
+#   build-dir    defaults to "build" ("build-asan" under --sanitize)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=1
+  shift
+fi
+
+if [[ $SANITIZE -eq 1 ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  EXTRA_CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug "-DPIER_SANITIZE=address;undefined")
+else
+  BUILD_DIR="${1:-build}"
+  EXTRA_CMAKE_ARGS=()
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S . -DPIER_WERROR=ON
+echo "== configure (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S . -DPIER_WERROR=ON ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}
 
 echo "== build (all targets: pier, tests, benches, examples) =="
 cmake --build "$BUILD_DIR" -j "$JOBS"

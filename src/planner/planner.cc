@@ -366,6 +366,209 @@ Status PlanSelectItems(const SelectStmt& stmt, const Schema& schema,
   return Status::OK();
 }
 
+/// Plans FROM lists of three or more relations as a left-deep chain of
+/// binary symmetric-hash joins, emitted directly as a composed opgraph:
+/// scans rehash into the first join, each join's output rehashes into the
+/// next on the following join key, and — when aggregating — a partial-agg
+/// stage runs at the final join's rendezvous nodes so aggregation happens
+/// in-network (kTree combines partials up the dissemination tree).
+Result<QueryPlan> PlanMultiwayJoin(const SelectStmt& stmt,
+                                   const catalog::Catalog& catalog,
+                                   const PlannerOptions& options) {
+  const size_t n = stmt.from.size();
+  // n scans + (n-1) joins + filter/agg/collect tail must fit the opgraph
+  // wire cap (64 nodes); reject well-formed-but-oversized SQL here with a
+  // planner error instead of a corruption status at Execute.
+  if (n > 30) {
+    return Status::InvalidArgument(
+        "FROM lists a maximum of 30 relations");
+  }
+  std::vector<const catalog::TableDef*> defs(n);
+  std::vector<Schema> schemas(n);
+  for (size_t i = 0; i < n; ++i) {
+    defs[i] = catalog.Find(stmt.from[i].table);
+    if (defs[i] == nullptr) {
+      return Status::NotFound("unknown table: " + stmt.from[i].table);
+    }
+    schemas[i] = AliasSchema(*defs[i], stmt.from[i].alias);
+  }
+
+  std::vector<AstExprPtr> conjuncts;
+  Conjuncts(stmt.join_on, &conjuncts);
+  Conjuncts(stmt.where, &conjuncts);
+  std::vector<bool> used(conjuncts.size(), false);
+
+  // Greedy left-deep join order: start from the first relation, repeatedly
+  // attach a relation connected to the current layout by >= 1 equality
+  // conjunct, consuming every key conjunct that links the two sides.
+  struct JoinStep {
+    size_t table;
+    std::vector<int> left_keys;   // into the accumulated layout
+    std::vector<int> right_keys;  // into the attached relation's schema
+  };
+  std::vector<bool> joined(n, false);
+  joined[0] = true;
+  Schema layout = schemas[0];
+  std::vector<JoinStep> steps;
+  for (size_t step = 1; step < n; ++step) {
+    bool attached = false;
+    for (size_t t = 0; t < n && !attached; ++t) {
+      if (joined[t]) continue;
+      Schema concat = Schema::Concat(layout, schemas[t]);
+      size_t left_width = layout.num_columns();
+      JoinStep js;
+      js.table = t;
+      std::vector<size_t> consumed;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (used[ci]) continue;
+        const AstExprPtr& c = conjuncts[ci];
+        if (c->kind != AstExpr::Kind::kCompare ||
+            c->cmp != exec::CompareOp::kEq) {
+          continue;
+        }
+        int a = ColumnIndexIn(c->left, concat);
+        int b = ColumnIndexIn(c->right, concat);
+        if (a < 0 || b < 0) continue;
+        bool a_left = static_cast<size_t>(a) < left_width;
+        bool b_left = static_cast<size_t>(b) < left_width;
+        if (a_left == b_left) continue;
+        int l = a_left ? a : b;
+        int r = a_left ? b : a;
+        js.left_keys.push_back(l);
+        js.right_keys.push_back(r - static_cast<int>(left_width));
+        consumed.push_back(ci);
+      }
+      if (js.left_keys.empty()) continue;
+      for (size_t ci : consumed) used[ci] = true;
+      joined[t] = true;
+      layout = std::move(concat);
+      steps.push_back(std::move(js));
+      attached = true;
+    }
+    if (!attached) {
+      return Status::NotSupported(
+          "every FROM relation must connect to the join via an equality "
+          "predicate (cross products are not distributed)");
+    }
+  }
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kJoin;
+  plan.table = defs[0]->name;
+  plan.scan_schema = schemas[0];
+  plan.join_strategy = query::JoinStrategy::kSymmetricHash;
+  plan.distinct = stmt.distinct;
+  plan.limit = stmt.limit;
+  plan.every = Seconds(stmt.every_seconds);
+  plan.window = Seconds(stmt.window_seconds);
+
+  // Residual predicate over the full concat layout.
+  std::vector<AstExprPtr> residual;
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    if (!used[ci]) residual.push_back(conjuncts[ci]);
+  }
+  AstExprPtr residual_ast = AndAll(residual);
+  if (residual_ast != nullptr) {
+    PIER_RETURN_IF_ERROR(BindScalar(residual_ast, layout, &plan.where));
+  }
+
+  bool has_agg = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.items) {
+    has_agg = has_agg || ContainsAgg(item.expr);
+  }
+  if (has_agg) {
+    plan.agg_strategy = options.agg_strategy;
+    PIER_RETURN_IF_ERROR(PlanAggregation(stmt, layout, &plan));
+  } else {
+    PIER_RETURN_IF_ERROR(PlanSelectItems(stmt, layout, &plan));
+  }
+
+  // -- emit the composed opgraph --------------------------------------------
+  query::OpGraph g;
+  auto add_scan = [&](size_t t) {
+    query::OpNode s;
+    s.type = query::OpType::kScan;
+    s.table = defs[t]->name;
+    s.schema = schemas[t];
+    s.out = query::ExchangeKind::kRehash;
+    g.nodes.push_back(std::move(s));
+    return static_cast<uint32_t>(g.nodes.size()) - 1;
+  };
+  uint32_t upstream = add_scan(0);
+  for (size_t k = 0; k < steps.size(); ++k) {
+    uint32_t right = add_scan(steps[k].table);
+    query::OpNode j;
+    j.type = query::OpType::kJoin;
+    j.strategy = query::JoinStrategy::kSymmetricHash;
+    j.left_keys = steps[k].left_keys;
+    j.right_keys = steps[k].right_keys;
+    j.inputs = {upstream, right};
+    // Intermediate joins rehash into the next join; the final join feeds
+    // the local post-join pipeline.
+    j.out = k + 1 < steps.size() ? query::ExchangeKind::kRehash
+                                 : query::ExchangeKind::kLocal;
+    g.nodes.push_back(std::move(j));
+    upstream = static_cast<uint32_t>(g.nodes.size()) - 1;
+  }
+  auto chain = [&](query::OpNode node) {
+    node.inputs = {static_cast<uint32_t>(g.nodes.size()) - 1};
+    g.nodes.push_back(std::move(node));
+    return static_cast<uint32_t>(g.nodes.size()) - 1;
+  };
+  if (plan.where != nullptr) {
+    query::OpNode f;
+    f.type = query::OpType::kFilter;
+    f.predicate = plan.where;
+    chain(std::move(f));
+  }
+  query::OpNode collect;
+  collect.type = query::OpType::kCollect;
+  collect.order_col = plan.order_col;
+  collect.order_desc = plan.order_desc;
+  collect.limit = plan.limit;
+  if (has_agg) {
+    // In-network aggregation over the join output: partial-aggregate at
+    // the rendezvous nodes, combine per AggStrategy, finalize at origin.
+    query::OpNode pa;
+    pa.type = query::OpType::kPartialAgg;
+    pa.group_cols = plan.group_cols;
+    pa.aggs = plan.aggs;
+    pa.out = plan.agg_strategy == query::AggStrategy::kTree
+                 ? query::ExchangeKind::kTree
+                 : query::ExchangeKind::kToOrigin;
+    chain(std::move(pa));
+    query::OpNode fa;
+    fa.type = query::OpType::kFinalAgg;
+    fa.group_cols = plan.group_cols;
+    fa.aggs = plan.aggs;
+    fa.having = plan.having;
+    chain(std::move(fa));
+    collect.final_projection = plan.final_projection;
+  } else {
+    if (!plan.projections.empty()) {
+      query::OpNode pr;
+      pr.type = query::OpType::kProject;
+      pr.exprs = plan.projections;
+      chain(std::move(pr));
+    }
+    g.nodes.back().out = query::ExchangeKind::kToOrigin;
+    collect.distinct = plan.distinct;
+  }
+  chain(std::move(collect));
+  plan.graph = std::move(g);
+  // Composed plans execute (and ship) the graph only: drop the classic
+  // expression/aggregate fields the graph nodes now carry so the broadcast
+  // doesn't pay for them twice. Scalars the runtime reads off the plan
+  // (every/window/limit) and client-facing output_names stay.
+  plan.where.reset();
+  plan.projections.clear();
+  plan.group_cols.clear();
+  plan.aggs.clear();
+  plan.having.reset();
+  plan.final_projection.clear();
+  return plan;
+}
+
 Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
                              const catalog::Catalog& catalog,
                              const PlannerOptions& options) {
@@ -375,8 +578,11 @@ Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
   plan.every = Seconds(stmt.every_seconds);
   plan.window = Seconds(stmt.window_seconds);
 
-  if (stmt.from.empty() || stmt.from.size() > 2) {
-    return Status::InvalidArgument("FROM must name one or two relations");
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM must name at least one relation");
+  }
+  if (stmt.from.size() > 2) {
+    return PlanMultiwayJoin(stmt, catalog, options);
   }
   const catalog::TableDef* left_def = catalog.Find(stmt.from[0].table);
   if (left_def == nullptr) {
@@ -564,6 +770,15 @@ Result<uint64_t> ExecuteSql(query::QueryEngine* engine, const std::string& sql,
   query::QueryPlan plan;
   PIER_ASSIGN_OR_RETURN(plan, PlanStatement(stmt, *engine->catalog(),
                                             options));
+  if (stmt.explain) {
+    // EXPLAIN answers locally: the planned opgraph's rendering as a
+    // one-row result. Nothing is disseminated; the id 0 marks "no query".
+    plan.EnsureGraph();
+    query::ResultBatch batch;
+    batch.rows.push_back({Value::String(plan.graph.ToString())});
+    if (cb) cb(batch);
+    return static_cast<uint64_t>(0);
+  }
   return engine->Execute(std::move(plan), std::move(cb));
 }
 

@@ -1,11 +1,14 @@
 // Planner: binds a parsed SQL statement against the catalog and produces the
-// distributed QueryPlan the engine disseminates.
+// distributed QueryPlan (and its opgraph) the engine disseminates.
 //
 // Responsibilities: name resolution (aliases, qualified columns), equi-join
-// key extraction from WHERE / ON conjuncts, aggregate analysis (partial/
-// final split, HAVING and ORDER BY rewritten over the aggregate layout),
-// join/aggregation strategy selection, and validation (e.g. fetch-matches
-// partitioning compatibility is re-checked by the engine).
+// key extraction from WHERE / ON conjuncts, join-order selection for 3+
+// relation FROM lists (left-deep symmetric-hash chains emitted as composed
+// opgraphs, with group-by pushed to the join rendezvous per AggStrategy),
+// aggregate analysis (partial/final split, HAVING and ORDER BY rewritten
+// over the aggregate layout), join/aggregation strategy selection, and
+// validation (e.g. fetch-matches partitioning compatibility is re-checked
+// by the engine). EXPLAIN statements plan but do not execute.
 
 #ifndef PIER_PLANNER_PLANNER_H_
 #define PIER_PLANNER_PLANNER_H_

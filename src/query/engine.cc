@@ -21,37 +21,11 @@ struct QueryEngine::ActiveQuery {
   int depth = 0;
   bool ended = false;
 
+  /// The instantiated opgraph: this node's stages and local pipelines.
+  std::unique_ptr<ops::QueryRuntime> runtime;
+
   // Continuous execution driver (member side, including the origin).
   sim::PeriodicTask epoch_task;
-  uint64_t next_epoch = 1;
-
-  // Tree aggregation: the per-epoch combine operator at interior nodes.
-  std::unique_ptr<exec::GroupByOp> combiner;
-  uint64_t combiner_epoch = 0;
-  sim::TimerId combiner_flush_timer = 0;
-
-  // Join (rendezvous role).
-  exec::Dataflow flow;
-  exec::SymmetricHashJoinOp* shj = nullptr;
-  uint64_t rehash_seq = 1;
-  std::unordered_map<uint64_t, Tuple> row_registry;  // semi-join fetch source
-  uint64_t next_row_id = 1;
-  struct PendingMatch {
-    Tuple left, right;
-    bool have_left = false, have_right = false;
-  };
-  std::unordered_map<uint64_t, PendingMatch> pending_matches;
-  uint64_t next_match_id = 1;
-
-  // Bloom join.
-  std::unique_ptr<BloomFilter> bloom_left, bloom_right;  // origin collectors
-  std::unique_ptr<BloomFilter> dist_left, dist_right;    // distributed union
-  sim::TimerId bloom_timer = 0;
-
-  // Recursion.
-  std::unordered_set<std::string> reach_seen;  // dedup by canonical resource
-  TimePoint last_new_result = 0;
-  sim::PeriodicTask quiesce_task;
 
   // Origin-side collection.
   ResultCallback cb;
@@ -63,7 +37,12 @@ struct QueryEngine::ActiveQuery {
     bool finalized = false;
   };
   std::map<uint64_t, EpochState> epochs;
+  /// Epochs at or below this number already reported; stragglers count as
+  /// late_partials instead of resurrecting dead epoch state.
+  int64_t last_finalized_epoch = -1;
   std::unordered_set<std::string> origin_result_seen;  // recursion dedup
+  TimePoint last_new_result = 0;
+  sim::PeriodicTask quiesce_task;
 };
 
 // ---------------------------------------------------------------------------
@@ -137,37 +116,143 @@ Status QueryEngine::PublishVersioned(const std::string& table, const Tuple& t,
 }
 
 // ---------------------------------------------------------------------------
+// ops::StageHost — the exchange routing stages delegate to
+// ---------------------------------------------------------------------------
+
+int QueryEngine::QueryDepth(uint64_t qid) const {
+  auto it = queries_.find(qid);
+  return it == queries_.end() ? 0 : it->second->depth;
+}
+
+void QueryEngine::DeliverResult(uint64_t qid, uint64_t epoch,
+                                const Tuple& t) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  if (aq->is_origin) {
+    OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/false);
+    return;
+  }
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kResultTuple));
+  w.PutVarint64(qid);
+  w.PutVarint64(epoch);
+  catalog::SerializeTuple(t, &w);
+  ++stats_.result_msgs_sent;
+  SendDirect(aq->env.origin, w);
+}
+
+void QueryEngine::DeliverPartial(uint64_t qid, uint64_t epoch, const Tuple& t,
+                                 ExchangeKind route) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  if (aq->is_origin) {
+    OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/true);
+    return;
+  }
+  sim::HostId to = aq->env.origin;
+  if (route == ExchangeKind::kTree && aq->parent != sim::kInvalidHost) {
+    to = aq->parent;
+  }
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPartialAgg));
+  w.PutVarint64(qid);
+  w.PutVarint64(epoch);
+  catalog::SerializeTuple(t, &w);
+  ++stats_.partial_msgs_sent;
+  SendDirect(to, w);
+}
+
+void QueryEngine::SendQueryBytes(uint32_t to, const Writer& w) {
+  SendDirect(static_cast<sim::HostId>(to), w);
+}
+
+void QueryEngine::BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+                                        const BloomFilter& right) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(BcastKind::kBloomDist));
+  w.PutVarint64(qid);
+  left.Serialize(&w);
+  right.Serialize(&w);
+  broadcast_->Broadcast(w.Release());
+}
+
+sim::TimerId QueryEngine::ScheduleStageTimer(Duration delay, uint64_t qid,
+                                             uint32_t node_id,
+                                             uint64_t token) {
+  return ScheduleEngineTimer(delay, [this, qid, node_id, token] {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second->ended ||
+        it->second->runtime == nullptr) {
+      return;
+    }
+    ops::Stage* stage = it->second->runtime->stage(node_id);
+    if (stage != nullptr) stage->OnTimer(token);
+  });
+}
+
+void QueryEngine::CancelTimer(sim::TimerId id) { sim_->Cancel(id); }
+
+void QueryEngine::PostToStage(uint64_t qid, uint32_t node_id,
+                              const std::function<void(ops::Stage*)>& fn) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended ||
+      it->second->runtime == nullptr) {
+    return;
+  }
+  ops::Stage* stage = it->second->runtime->stage(node_id);
+  if (stage != nullptr) fn(stage);
+}
+
+void QueryEngine::RouteArrival(uint64_t qid, const std::string& ns,
+                               const dht::StoredItem& item) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended ||
+      it->second->runtime == nullptr) {
+    return;
+  }
+  it->second->runtime->OnArrival(ns, item);
+}
+
+// ---------------------------------------------------------------------------
 // Query issue / dissemination
 // ---------------------------------------------------------------------------
 
+Status QueryEngine::ValidateGraphAgainstCatalog(const OpGraph& graph) const {
+  for (const OpNode& n : graph.nodes) {
+    if (n.type == OpType::kJoin &&
+        n.strategy == JoinStrategy::kFetchMatches) {
+      const OpNode& right = graph.nodes[n.inputs[1]];
+      const catalog::TableDef* def = catalog_->Find(right.table);
+      if (def == nullptr || def->partition_cols != n.right_keys) {
+        return Status::InvalidArgument(
+            "fetch-matches requires the inner relation partitioned on the "
+            "join key");
+      }
+    }
+    if (n.type == OpType::kRecurse) {
+      const OpNode& edge = graph.nodes[n.inputs[0]];
+      const catalog::TableDef* def = catalog_->Find(edge.table);
+      if (def == nullptr ||
+          def->partition_cols != std::vector<int>{n.src_col}) {
+        return Status::InvalidArgument(
+            "recursive queries require the edge table partitioned on the "
+            "source column");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
-  if (plan.kind == PlanKind::kJoin &&
-      plan.left_key_cols.size() != plan.right_key_cols.size()) {
-    return Status::InvalidArgument("join key arity mismatch");
-  }
-  if (plan.kind == PlanKind::kJoin &&
-      plan.join_strategy == JoinStrategy::kFetchMatches) {
-    const catalog::TableDef* def = catalog_->Find(plan.right_table);
-    if (def == nullptr || def->partition_cols != plan.right_key_cols) {
-      return Status::InvalidArgument(
-          "fetch-matches requires the inner relation partitioned on the "
-          "join key");
-    }
-  }
-  if (plan.kind == PlanKind::kRecursive) {
-    const catalog::TableDef* def = catalog_->Find(plan.table);
-    if (def == nullptr ||
-        def->partition_cols != std::vector<int>{plan.src_col}) {
-      return Status::InvalidArgument(
-          "recursive queries require the edge table partitioned on the "
-          "source column");
-    }
-  }
+  plan.EnsureGraph();
+  PIER_RETURN_IF_ERROR(plan.graph.Validate());
+  PIER_RETURN_IF_ERROR(ValidateGraphAgainstCatalog(plan.graph));
 
   uint64_t query_id =
       (static_cast<uint64_t>(transport_->self() + 1) << 32) |
       next_query_seq_++;
-  ++stats_.queries_issued;
 
   auto aq = std::make_unique<ActiveQuery>();
   aq->env.query_id = query_id;
@@ -177,32 +262,19 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
   aq->is_origin = true;
   aq->parent = transport_->self();
   aq->cb = std::move(cb);
+  aq->runtime =
+      std::make_unique<ops::QueryRuntime>(this, &aq->env, /*is_origin=*/true);
+  PIER_RETURN_IF_ERROR(aq->runtime->Init());
+  ++stats_.queries_issued;
   ActiveQuery* raw = aq.get();
   queries_.emplace(query_id, std::move(aq));
 
-  // Bloom join: the origin owns the filter-collection phase.
-  if (raw->env.plan.kind == PlanKind::kJoin &&
-      raw->env.plan.join_strategy == JoinStrategy::kBloom) {
-    raw->bloom_left = std::make_unique<BloomFilter>(options_.bloom_bits,
-                                                    options_.bloom_hashes);
-    raw->bloom_right = std::make_unique<BloomFilter>(options_.bloom_bits,
-                                                     options_.bloom_hashes);
-    raw->bloom_timer = ScheduleEngineTimer(options_.bloom_wait, [this,
-                                                                 query_id] {
-      auto it = queries_.find(query_id);
-      if (it == queries_.end() || it->second->ended) return;
-      ActiveQuery* q = it->second.get();
-      Writer w;
-      w.PutU8(static_cast<uint8_t>(BcastKind::kBloomDist));
-      w.PutVarint64(q->env.query_id);
-      q->bloom_left->Serialize(&w);
-      q->bloom_right->Serialize(&w);
-      broadcast_->Broadcast(w.Release());
-    });
-  }
+  // Strategy-specific origin duties (e.g. the Bloom filter-collection
+  // window) start at issue time, before the plan broadcast goes out.
+  raw->runtime->InitOrigin();
 
-  // Recursion: the origin watches for quiescence.
-  if (raw->env.plan.kind == PlanKind::kRecursive) {
+  if (raw->runtime->has_recurse()) {
+    // Recursion: the origin watches for quiescence.
     TimePoint deadline = sim_->now() + options_.recursion_deadline;
     raw->last_new_result = sim_->now();
     raw->quiesce_task.Start(sim_, Seconds(1), Seconds(1), [this, query_id,
@@ -259,16 +331,16 @@ void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
       uint64_t qid = 0;
       if (!r.GetVarint64(&qid).ok()) return;
       auto it = queries_.find(qid);
-      if (it == queries_.end() || it->second->ended) return;
-      ActiveQuery* aq = it->second.get();
+      if (it == queries_.end() || it->second->ended ||
+          it->second->runtime == nullptr) {
+        return;
+      }
       BloomFilter left(64, 1), right(64, 1);
       if (!BloomFilter::Deserialize(&r, &left).ok() ||
           !BloomFilter::Deserialize(&r, &right).ok()) {
         return;
       }
-      aq->dist_left = std::make_unique<BloomFilter>(std::move(left));
-      aq->dist_right = std::make_unique<BloomFilter>(std::move(right));
-      RunJoinScan(aq, /*bloom_phase2=*/true);
+      it->second->runtime->OnBloomDist(std::move(left), std::move(right));
       break;
     }
     case BcastKind::kQueryEnd: {
@@ -280,10 +352,12 @@ void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
       aq->ended = true;
       aq->epoch_task.Stop();
       aq->quiesce_task.Stop();
-      dht_->UnsubscribeArrivals(TempNamespace(qid));
-      dht_->UnsubscribeArrivals(ReachNamespace(qid));
-      dht_->local_store()->DropNamespace(TempNamespace(qid));
-      dht_->local_store()->DropNamespace(ReachNamespace(qid));
+      if (aq->runtime != nullptr) {
+        for (const std::string& ns : aq->runtime->Namespaces()) {
+          dht_->UnsubscribeArrivals(ns);
+          dht_->local_store()->DropNamespace(ns);
+        }
+      }
       ScheduleEngineTimer(options_.cleanup_delay,
                           [this, qid] { GcQuery(qid); });
       break;
@@ -316,36 +390,48 @@ void QueryEngine::InstallQuery(const PlanEnvelope& env, sim::HostId parent,
   ActiveQuery* aq = queries_.find(env.query_id)->second.get();
   aq->installed = true;
 
-  switch (aq->env.plan.kind) {
-    case PlanKind::kSelectProject:
-    case PlanKind::kAggregate: {
-      StartEpoch(aq, CurrentEpoch(*aq));
-      if (aq->env.plan.every > 0) {
-        // Align the periodic scan to global epoch boundaries (epochs are
-        // numbered from the origin's issue time on the shared clock), so a
-        // node that learns the query late — e.g. after a reboot — slots
-        // into the same epochs as everyone else.
-        uint64_t qid = env.query_id;
-        Duration since = sim_->now() - aq->env.issued_at;
-        Duration to_boundary =
-            aq->env.plan.every - (since % aq->env.plan.every);
-        aq->epoch_task.Start(sim_, to_boundary, aq->env.plan.every,
-                             [this, qid] {
-                               auto qit = queries_.find(qid);
-                               if (qit == queries_.end()) return;
-                               ActiveQuery* q = qit->second.get();
-                               if (q->ended) return;
-                               StartEpoch(q, CurrentEpoch(*q));
-                             });
-      }
-      break;
+  if (aq->runtime == nullptr) {
+    aq->env.plan.EnsureGraph();
+    aq->runtime = std::make_unique<ops::QueryRuntime>(this, &aq->env,
+                                                      aq->is_origin);
+    if (!aq->runtime->Init().ok()) {
+      // Hostile or unexecutable graph: drop it (soft failure, no crash).
+      aq->runtime.reset();
+      return;
     }
-    case PlanKind::kJoin:
-      SetupJoin(aq);
-      break;
-    case PlanKind::kRecursive:
-      SetupRecursive(aq);
-      break;
+  }
+
+  if (aq->runtime->epochal()) {
+    StartEpoch(aq, CurrentEpoch(*aq));
+    if (aq->env.plan.every > 0) {
+      // Align the periodic scan to global epoch boundaries (epochs are
+      // numbered from the origin's issue time on the shared clock), so a
+      // node that learns the query late — e.g. after a reboot — slots
+      // into the same epochs as everyone else.
+      uint64_t qid = env.query_id;
+      Duration since = sim_->now() - aq->env.issued_at;
+      Duration to_boundary =
+          aq->env.plan.every - (since % aq->env.plan.every);
+      aq->epoch_task.Start(sim_, to_boundary, aq->env.plan.every,
+                           [this, qid] {
+                             auto qit = queries_.find(qid);
+                             if (qit == queries_.end()) return;
+                             ActiveQuery* q = qit->second.get();
+                             if (q->ended) return;
+                             StartEpoch(q, CurrentEpoch(*q));
+                           });
+    }
+  } else {
+    // Joins and recursion set up once: subscribe this node's exchange
+    // namespaces, then let the stages produce.
+    uint64_t qid = env.query_id;
+    for (const std::string& ns : aq->runtime->Namespaces()) {
+      dht_->SubscribeArrivals(ns,
+                              [this, qid, ns](const dht::StoredItem& item) {
+                                RouteArrival(qid, ns, item);
+                              });
+    }
+    aq->runtime->Start();
   }
 }
 
@@ -356,35 +442,8 @@ uint64_t QueryEngine::CurrentEpoch(const ActiveQuery& aq) const {
   return static_cast<uint64_t>(since / aq.env.plan.every);
 }
 
-// ---------------------------------------------------------------------------
-// Scanning
-// ---------------------------------------------------------------------------
-
-std::vector<Tuple> QueryEngine::ScanLocal(const ActiveQuery& aq,
-                                          const std::string& table,
-                                          const catalog::Schema& schema) {
-  ++stats_.scans_run;
-  std::vector<Tuple> out;
-  TimePoint cutoff =
-      aq.env.plan.window > 0 ? sim_->now() - aq.env.plan.window : 0;
-  for (const dht::StoredItem& item : dht_->LocalScan(table)) {
-    if (item.replica) continue;  // primaries only: no double counting
-    if (item.stored_at < cutoff) continue;
-    Tuple t;
-    if (!catalog::TupleFromBytes(item.value, &t).ok()) continue;
-    if (t.size() != schema.num_columns()) continue;
-    ++stats_.tuples_scanned;
-    out.push_back(std::move(t));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Epochs (select & aggregate)
-// ---------------------------------------------------------------------------
-
 void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
-  if (aq->ended) return;
+  if (aq->ended || aq->runtime == nullptr) return;
   // The origin schedules this epoch's finalize deadline (epoch 0's was
   // scheduled at Execute time) and refreshes the dissemination: nodes that
   // rebooted since the last broadcast re-learn the plan, and everyone gets
@@ -402,514 +461,11 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
     aq->env.Serialize(&w);
     broadcast_->Broadcast(w.Release());
   }
-  if (aq->env.plan.kind == PlanKind::kSelectProject) {
-    RunSelectEpoch(aq, epoch);
-  } else if (aq->env.plan.kind == PlanKind::kAggregate) {
-    RunAggregateEpoch(aq, epoch);
-  }
-}
-
-void QueryEngine::RunSelectEpoch(ActiveQuery* aq, uint64_t epoch) {
-  const QueryPlan& plan = aq->env.plan;
-  int64_t local_cap = -1;
-  if (plan.limit >= 0 && !plan.distinct && plan.order_col < 0 &&
-      plan.aggs.empty()) {
-    local_cap = plan.limit;  // no global ordering: first-k is first-k
-  }
-  int64_t sent = 0;
-  for (const Tuple& t : ScanLocal(*aq, plan.table, plan.scan_schema)) {
-    if (plan.where != nullptr) {
-      bool pass = false;
-      if (!exec::EvalPredicate(*plan.where, t, &pass).ok() || !pass) continue;
-    }
-    Tuple out;
-    if (plan.projections.empty()) {
-      out = t;
-    } else {
-      out.reserve(plan.projections.size());
-      for (const auto& e : plan.projections) {
-        Value v;
-        if (!e->Eval(t, &v).ok()) v = Value::Null();
-        out.push_back(std::move(v));
-      }
-    }
-    SendResult(aq, epoch, out);
-    if (local_cap >= 0 && ++sent >= local_cap) break;
-  }
-}
-
-void QueryEngine::RunAggregateEpoch(ActiveQuery* aq, uint64_t epoch) {
-  const QueryPlan& plan = aq->env.plan;
-  // Local partial aggregation over this node's slice.
-  exec::GroupByOp partial(plan.group_cols, plan.aggs,
-                          exec::AggPhase::kPartial);
-  std::vector<Tuple> partials;
-  exec::FnSink sink([&partials](const Tuple& t) { partials.push_back(t); });
-  partial.AddOutput(&sink);
-  for (const Tuple& t : ScanLocal(*aq, plan.table, plan.scan_schema)) {
-    if (plan.where != nullptr) {
-      bool pass = false;
-      if (!exec::EvalPredicate(*plan.where, t, &pass).ok() || !pass) continue;
-    }
-    partial.Push(t, 0);
-  }
-  partial.FlushAndReset();
-
-  if (plan.agg_strategy == AggStrategy::kDirect || aq->is_origin) {
-    for (const Tuple& p : partials) SendPartial(aq, epoch, p);
-    return;
-  }
-  // Tree strategy: fold local partials into this node's combiner and hold
-  // for children before flushing upward.
-  if (aq->combiner == nullptr || aq->combiner_epoch != epoch) {
-    if (aq->combiner != nullptr) FlushCombiner(aq, aq->combiner_epoch);
-    aq->combiner = std::make_unique<exec::GroupByOp>(
-        plan.group_cols, plan.aggs, exec::AggPhase::kCombine);
-    aq->combiner_epoch = epoch;
-    int levels_above = std::max(1, options_.agg_assumed_depth - aq->depth);
-    uint64_t qid = aq->env.query_id;
-    aq->combiner_flush_timer = ScheduleEngineTimer(
-        options_.agg_hold_base * levels_above, [this, qid, epoch] {
-          auto it = queries_.find(qid);
-          if (it == queries_.end() || it->second->ended) return;
-          FlushCombiner(it->second.get(), epoch);
-        });
-  }
-  for (const Tuple& p : partials) aq->combiner->Push(p, 0);
-}
-
-void QueryEngine::FlushCombiner(ActiveQuery* aq, uint64_t epoch) {
-  if (aq->combiner == nullptr || aq->combiner_epoch != epoch) return;
-  std::vector<Tuple> combined;
-  exec::FnSink sink([&combined](const Tuple& t) { combined.push_back(t); });
-  aq->combiner->AddOutput(&sink);
-  aq->combiner->FlushAndReset();
-  aq->combiner.reset();
-  if (aq->combiner_flush_timer != 0) {
-    sim_->Cancel(aq->combiner_flush_timer);
-    aq->combiner_flush_timer = 0;
-  }
-  for (const Tuple& t : combined) SendPartial(aq, epoch, t);
-}
-
-void QueryEngine::SendPartial(ActiveQuery* aq, uint64_t epoch,
-                              const Tuple& t) {
-  if (aq->is_origin) {
-    OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/true);
-    return;
-  }
-  sim::HostId to = aq->env.origin;
-  if (aq->env.plan.agg_strategy == AggStrategy::kTree &&
-      aq->parent != sim::kInvalidHost) {
-    to = aq->parent;
-  }
-  Writer w;
-  w.PutU8(static_cast<uint8_t>(MsgType::kPartialAgg));
-  w.PutVarint64(aq->env.query_id);
-  w.PutVarint64(epoch);
-  catalog::SerializeTuple(t, &w);
-  ++stats_.partial_msgs_sent;
-  SendDirect(to, w);
-}
-
-void QueryEngine::SendResult(ActiveQuery* aq, uint64_t epoch,
-                             const Tuple& t) {
-  if (aq->is_origin) {
-    OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/false);
-    return;
-  }
-  Writer w;
-  w.PutU8(static_cast<uint8_t>(MsgType::kResultTuple));
-  w.PutVarint64(aq->env.query_id);
-  w.PutVarint64(epoch);
-  catalog::SerializeTuple(t, &w);
-  ++stats_.result_msgs_sent;
-  SendDirect(aq->env.origin, w);
+  aq->runtime->StartEpoch(epoch);
 }
 
 // ---------------------------------------------------------------------------
-// Joins
-// ---------------------------------------------------------------------------
-
-void QueryEngine::SetupJoin(ActiveQuery* aq) {
-  const QueryPlan& plan = aq->env.plan;
-  uint64_t qid = aq->env.query_id;
-
-  if (plan.join_strategy != JoinStrategy::kFetchMatches) {
-    // Rendezvous role: consume rehashed tuples arriving in the temp
-    // namespace and join them incrementally.
-    std::vector<int> lkeys, rkeys;
-    if (plan.join_strategy == JoinStrategy::kSymmetricSemi) {
-      // Rehashed key-projections: [key values..., host, row id].
-      for (size_t i = 0; i < plan.left_key_cols.size(); ++i) {
-        lkeys.push_back(static_cast<int>(i));
-        rkeys.push_back(static_cast<int>(i));
-      }
-    } else {
-      lkeys = plan.left_key_cols;
-      rkeys = plan.right_key_cols;
-    }
-    aq->shj = aq->flow.Add<exec::SymmetricHashJoinOp>(lkeys, rkeys, nullptr);
-    exec::FnSink* sink = aq->flow.Add<exec::FnSink>([this, qid](const Tuple& t) {
-      auto it = queries_.find(qid);
-      if (it == queries_.end() || it->second->ended) return;
-      HandleJoinOutput(it->second.get(), t);
-    });
-    aq->flow.Connect(aq->shj, sink);
-    dht_->SubscribeArrivals(TempNamespace(qid),
-                            [this, qid](const dht::StoredItem& item) {
-                              OnTempArrival(qid, item);
-                            });
-    // Catch-up: tuples rehashed by fast nodes may land here before the plan
-    // broadcast did; they are waiting in the temp namespace.
-    for (const dht::StoredItem& item :
-         dht_->LocalScan(TempNamespace(qid))) {
-      if (!item.replica) OnTempArrival(qid, item);
-    }
-  }
-
-  switch (plan.join_strategy) {
-    case JoinStrategy::kSymmetricHash:
-    case JoinStrategy::kSymmetricSemi:
-    case JoinStrategy::kFetchMatches:
-      RunJoinScan(aq, /*bloom_phase2=*/false);
-      break;
-    case JoinStrategy::kBloom: {
-      // Phase 1: send local key filters to the origin.
-      BloomFilter left(options_.bloom_bits, options_.bloom_hashes);
-      BloomFilter right(options_.bloom_bits, options_.bloom_hashes);
-      for (const Tuple& t :
-           ScanLocal(*aq, plan.table, plan.scan_schema)) {
-        left.Add(catalog::HashTupleCols(t, plan.left_key_cols));
-      }
-      for (const Tuple& t :
-           ScanLocal(*aq, plan.right_table, plan.right_schema)) {
-        right.Add(catalog::HashTupleCols(t, plan.right_key_cols));
-      }
-      if (aq->is_origin) {
-        (void)aq->bloom_left->UnionWith(left);
-        (void)aq->bloom_right->UnionWith(right);
-      } else {
-        Writer w;
-        w.PutU8(static_cast<uint8_t>(MsgType::kBloomPart));
-        w.PutVarint64(qid);
-        left.Serialize(&w);
-        right.Serialize(&w);
-        ++stats_.bloom_filters_sent;
-        SendDirect(aq->env.origin, w);
-      }
-      break;
-    }
-  }
-}
-
-void QueryEngine::RunJoinScan(ActiveQuery* aq, bool bloom_phase2) {
-  const QueryPlan& plan = aq->env.plan;
-  uint64_t qid = aq->env.query_id;
-
-  std::vector<Tuple> left = ScanLocal(*aq, plan.table, plan.scan_schema);
-  std::vector<Tuple> right =
-      ScanLocal(*aq, plan.right_table, plan.right_schema);
-
-  switch (plan.join_strategy) {
-    case JoinStrategy::kBloom:
-      if (!bloom_phase2) return;  // phase 2 starts when filters arrive
-      [[fallthrough]];
-    case JoinStrategy::kSymmetricHash: {
-      for (const Tuple& t : left) {
-        if (bloom_phase2 && aq->dist_right != nullptr &&
-            !aq->dist_right->MayContain(
-                catalog::HashTupleCols(t, plan.left_key_cols))) {
-          ++stats_.bloom_suppressed;
-          continue;
-        }
-        RehashTuple(aq, 0, t);
-      }
-      for (const Tuple& t : right) {
-        if (bloom_phase2 && aq->dist_left != nullptr &&
-            !aq->dist_left->MayContain(
-                catalog::HashTupleCols(t, plan.right_key_cols))) {
-          ++stats_.bloom_suppressed;
-          continue;
-        }
-        RehashTuple(aq, 1, t);
-      }
-      break;
-    }
-    case JoinStrategy::kSymmetricSemi: {
-      auto rehash_keys = [&](const std::vector<Tuple>& rows,
-                             const std::vector<int>& keys, int side) {
-        for (const Tuple& t : rows) {
-          uint64_t row_id = aq->next_row_id++;
-          aq->row_registry.emplace(row_id, t);
-          Tuple proj;
-          for (int c : keys) {
-            proj.push_back(c >= 0 && static_cast<size_t>(c) < t.size()
-                               ? t[c]
-                               : Value::Null());
-          }
-          proj.push_back(Value::Int64(transport_->self()));
-          proj.push_back(Value::Int64(static_cast<int64_t>(row_id)));
-          RehashTuple(aq, side, proj);
-        }
-      };
-      rehash_keys(left, plan.left_key_cols, 0);
-      rehash_keys(right, plan.right_key_cols, 1);
-      break;
-    }
-    case JoinStrategy::kFetchMatches: {
-      for (const Tuple& t : left) {
-        std::string resource =
-            catalog::ResourceForCols(t, plan.left_key_cols);
-        ++stats_.fetch_gets;
-        Tuple probe = t;
-        dht_->Get(plan.right_table, resource,
-                  [this, qid, probe](Status s, std::vector<dht::DhtItem> items) {
-                    if (!s.ok()) return;
-                    auto it = queries_.find(qid);
-                    if (it == queries_.end() || it->second->ended) return;
-                    ActiveQuery* q = it->second.get();
-                    const QueryPlan& p = q->env.plan;
-                    for (const dht::DhtItem& item : items) {
-                      Tuple rt;
-                      if (!catalog::TupleFromBytes(item.value, &rt).ok()) {
-                        continue;
-                      }
-                      // Verify true key equality (resources are hashes).
-                      bool equal = true;
-                      for (size_t i = 0; i < p.left_key_cols.size(); ++i) {
-                        const Value& lv = probe[p.left_key_cols[i]];
-                        const Value& rv = rt[p.right_key_cols[i]];
-                        if (lv.is_null() || rv.is_null() ||
-                            lv.Compare(rv) != 0) {
-                          equal = false;
-                          break;
-                        }
-                      }
-                      if (!equal) continue;
-                      Tuple joined = probe;
-                      joined.insert(joined.end(), rt.begin(), rt.end());
-                      HandleJoinOutput(q, joined);
-                    }
-                  });
-      }
-      break;
-    }
-  }
-}
-
-void QueryEngine::RehashTuple(ActiveQuery* aq, int side, const Tuple& t) {
-  const QueryPlan& plan = aq->env.plan;
-  std::string resource;
-  if (plan.join_strategy == JoinStrategy::kSymmetricSemi) {
-    // Key projection: keys occupy the leading columns.
-    std::vector<int> cols;
-    for (size_t i = 0; i < plan.left_key_cols.size(); ++i) {
-      cols.push_back(static_cast<int>(i));
-    }
-    resource = catalog::ResourceForCols(t, cols);
-  } else {
-    resource = catalog::ResourceForCols(
-        t, side == 0 ? plan.left_key_cols : plan.right_key_cols);
-  }
-  Writer w;
-  w.PutU8(static_cast<uint8_t>(side));
-  catalog::SerializeTuple(t, &w);
-  uint64_t instance =
-      (static_cast<uint64_t>(transport_->self()) << 32) | aq->rehash_seq++;
-  ++stats_.rehash_puts;
-  dht_->PutEx(dht::DhtKey{TempNamespace(aq->env.query_id), resource, instance},
-              w.Release(), options_.temp_ttl, /*replicate=*/false, nullptr);
-}
-
-void QueryEngine::OnTempArrival(uint64_t query_id,
-                                const dht::StoredItem& item) {
-  auto it = queries_.find(query_id);
-  if (it == queries_.end() || it->second->ended ||
-      it->second->shj == nullptr) {
-    return;
-  }
-  Reader r(item.value);
-  uint8_t side = 0;
-  Tuple t;
-  if (!r.GetU8(&side).ok() || side > 1 ||
-      !catalog::DeserializeTuple(&r, &t).ok()) {
-    return;
-  }
-  it->second->shj->Push(t, side);
-}
-
-void QueryEngine::HandleJoinOutput(ActiveQuery* aq, const Tuple& joined) {
-  const QueryPlan& plan = aq->env.plan;
-  if (plan.join_strategy == JoinStrategy::kSymmetricSemi &&
-      joined.size() == 2 * (plan.left_key_cols.size() + 2)) {
-    // Matched key-projections: fetch the full tuples from both owners.
-    // Layout: [lkeys(k), lhost, lrow, rkeys(k), rhost, rrow].
-    size_t k = plan.left_key_cols.size();
-    int64_t lhost = 0, lrow = 0, rhost = 0, rrow = 0;
-    if (!joined[k].AsInt64(&lhost).ok() ||
-        !joined[k + 1].AsInt64(&lrow).ok() ||
-        !joined[2 * k + 2].AsInt64(&rhost).ok() ||
-        !joined[2 * k + 3].AsInt64(&rrow).ok()) {
-      return;
-    }
-    uint64_t match_id = aq->next_match_id++;
-    aq->pending_matches.emplace(match_id, ActiveQuery::PendingMatch{});
-    auto send_fetch = [&](int64_t host, int64_t row, uint8_t side) {
-      Writer w;
-      w.PutU8(static_cast<uint8_t>(MsgType::kFetchReq));
-      w.PutVarint64(aq->env.query_id);
-      w.PutVarint64(match_id);
-      w.PutU8(side);
-      w.PutVarint64(static_cast<uint64_t>(row));
-      w.PutFixed32(transport_->self());
-      ++stats_.semijoin_fetches;
-      SendDirect(static_cast<sim::HostId>(host), w);
-    };
-    send_fetch(lhost, lrow, 0);
-    send_fetch(rhost, rrow, 1);
-    return;
-  }
-
-  // Full concatenated row: residual predicate, then project (or ship raw for
-  // origin-side aggregation).
-  if (plan.where != nullptr) {
-    bool pass = false;
-    if (!exec::EvalPredicate(*plan.where, joined, &pass).ok() || !pass) {
-      return;
-    }
-  }
-  if (!plan.aggs.empty()) {
-    SendResult(aq, 0, joined);  // origin aggregates raw joined rows
-    return;
-  }
-  Tuple out;
-  if (plan.projections.empty()) {
-    out = joined;
-  } else {
-    out.reserve(plan.projections.size());
-    for (const auto& e : plan.projections) {
-      Value v;
-      if (!e->Eval(joined, &v).ok()) v = Value::Null();
-      out.push_back(std::move(v));
-    }
-  }
-  SendResult(aq, 0, out);
-}
-
-// ---------------------------------------------------------------------------
-// Recursion (transitive closure)
-// ---------------------------------------------------------------------------
-
-void QueryEngine::SetupRecursive(ActiveQuery* aq) {
-  uint64_t qid = aq->env.query_id;
-  dht_->SubscribeArrivals(ReachNamespace(qid),
-                          [this, qid](const dht::StoredItem& item) {
-                            OnReachArrival(qid, item);
-                          });
-  // Catch-up on reach tuples delivered before this node saw the plan.
-  for (const dht::StoredItem& item : dht_->LocalScan(ReachNamespace(qid))) {
-    if (!item.replica) OnReachArrival(qid, item);
-  }
-  const QueryPlan& plan = aq->env.plan;
-  // Seed: every local edge is a 1-hop path.
-  for (const Tuple& e : ScanLocal(*aq, plan.table, plan.scan_schema)) {
-    if (plan.where != nullptr) {
-      bool pass = false;
-      if (!exec::EvalPredicate(*plan.where, e, &pass).ok() || !pass) continue;
-    }
-    Tuple reach{e[plan.src_col], e[plan.dst_col], Value::Int64(1)};
-    std::string resource = catalog::ResourceForCols(reach, {0, 1});
-    uint64_t instance =
-        (static_cast<uint64_t>(transport_->self()) << 32) | aq->rehash_seq++;
-    dht_->PutEx(dht::DhtKey{ReachNamespace(qid), resource, instance},
-                catalog::TupleToBytes(reach), options_.temp_ttl,
-                /*replicate=*/false, nullptr);
-  }
-}
-
-void QueryEngine::OnReachArrival(uint64_t query_id,
-                                 const dht::StoredItem& item) {
-  auto it = queries_.find(query_id);
-  if (it == queries_.end() || it->second->ended) return;
-  ActiveQuery* aq = it->second.get();
-  const QueryPlan& plan = aq->env.plan;
-
-  Tuple reach;
-  if (!catalog::TupleFromBytes(item.value, &reach).ok() ||
-      reach.size() != 3) {
-    return;
-  }
-  // Dedup on the canonical (src, dst) resource: this node owns this pair.
-  if (!aq->reach_seen.insert(item.key.resource).second) {
-    ++stats_.recursion_duplicates;
-    return;
-  }
-
-  // Report (src, dst, hops) to the origin through the outer pipeline.
-  Tuple out = reach;
-  bool report = true;
-  if (plan.outer_where != nullptr) {
-    bool pass = false;
-    report = exec::EvalPredicate(*plan.outer_where, reach, &pass).ok() && pass;
-  }
-  if (report) {
-    if (!plan.projections.empty()) {
-      Tuple projected;
-      for (const auto& e : plan.projections) {
-        Value v;
-        if (!e->Eval(reach, &v).ok()) v = Value::Null();
-        projected.push_back(std::move(v));
-      }
-      out = std::move(projected);
-    }
-    SendResult(aq, 0, out);
-  }
-
-  // Expand: reach(s, d, h) ⋈ edge(d, w) -> reach(s, w, h+1).
-  int64_t hops = 0;
-  if (!reach[2].AsInt64(&hops).ok() || hops >= plan.max_hops) return;
-  Tuple probe(static_cast<size_t>(plan.src_col) + 1);
-  probe[plan.src_col] = reach[1];  // edges leaving `dst`
-  std::string edge_resource =
-      catalog::ResourceForCols(probe, {plan.src_col});
-  uint64_t qid = query_id;
-  Value src = reach[0];
-  Value via = reach[1];
-  dht_->Get(
-      plan.table, edge_resource,
-      [this, qid, src, via, hops](Status s, std::vector<dht::DhtItem> items) {
-        if (!s.ok()) return;
-        auto qit = queries_.find(qid);
-        if (qit == queries_.end() || qit->second->ended) return;
-        ActiveQuery* q = qit->second.get();
-        const QueryPlan& p = q->env.plan;
-        for (const dht::DhtItem& item : items) {
-          Tuple edge;
-          if (!catalog::TupleFromBytes(item.value, &edge).ok()) continue;
-          if (edge.size() != p.scan_schema.num_columns()) continue;
-          if (edge[p.src_col].Compare(via) != 0) continue;
-          if (p.where != nullptr) {
-            bool pass = false;
-            if (!exec::EvalPredicate(*p.where, edge, &pass).ok() || !pass) {
-              continue;
-            }
-          }
-          Tuple next{src, edge[p.dst_col], Value::Int64(hops + 1)};
-          std::string resource = catalog::ResourceForCols(next, {0, 1});
-          uint64_t instance =
-              (static_cast<uint64_t>(transport_->self()) << 32) |
-              q->rehash_seq++;
-          ++stats_.recursion_expansions;
-          dht_->PutEx(dht::DhtKey{ReachNamespace(qid), resource, instance},
-                      catalog::TupleToBytes(next), options_.temp_ttl,
-                      /*replicate=*/false, nullptr);
-        }
-      });
-}
-
-// ---------------------------------------------------------------------------
-// Origin-side collection and post-processing
+// Direct engine traffic
 // ---------------------------------------------------------------------------
 
 void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
@@ -924,6 +480,10 @@ void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
           !catalog::DeserializeTuple(r, &t).ok()) {
         return;
       }
+      // Epochs count periods since issue time; anything near the integer
+      // ceiling is a spoofed message (and would wrap the stage-timer token
+      // space, which reserves 0 and encodes combiner flushes as 1+epoch).
+      if (epoch >= (1ull << 62)) return;
       auto it = queries_.find(qid);
       if (it == queries_.end()) return;
       ActiveQuery* aq = it->second.get();
@@ -935,92 +495,30 @@ void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
       }
       if (aq->is_origin) {
         OriginAccept(aq, epoch, from, t, is_partial);
-      } else if (is_partial) {
-        // Interior tree node: combine if this epoch is still open, else
-        // relay upward unmodified (late child).
-        if (aq->combiner != nullptr && aq->combiner_epoch == epoch) {
-          aq->combiner->Push(t, 0);
-        } else {
-          SendPartial(aq, epoch, t);
-        }
+      } else if (is_partial && !aq->ended && aq->runtime != nullptr) {
+        // Interior tree node: combine if the window is open, else relay
+        // upward unmodified (late child).
+        aq->runtime->OnRemotePartial(epoch, t);
       }
       break;
     }
     case MsgType::kFetchReq: {
-      uint64_t qid = 0, match_id = 0, row_id = 0;
-      uint8_t side = 0;
-      uint32_t reply_to = 0;
-      if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&match_id).ok() ||
-          !r->GetU8(&side).ok() || !r->GetVarint64(&row_id).ok() ||
-          !r->GetFixed32(&reply_to).ok()) {
-        return;
-      }
+      uint64_t qid = 0;
+      if (!r->GetVarint64(&qid).ok()) return;
       auto it = queries_.find(qid);
-      if (it == queries_.end()) return;
-      auto row = it->second->row_registry.find(row_id);
-      Writer w;
-      w.PutU8(static_cast<uint8_t>(MsgType::kFetchResp));
-      w.PutVarint64(qid);
-      w.PutVarint64(match_id);
-      w.PutU8(side);
-      bool found = row != it->second->row_registry.end();
-      w.PutBool(found);
-      if (found) catalog::SerializeTuple(row->second, &w);
-      SendDirect(reply_to, w);
+      if (it == queries_.end() || it->second->runtime == nullptr) return;
+      it->second->runtime->OnFetchReq(from, r);
       break;
     }
     case MsgType::kFetchResp: {
-      uint64_t qid = 0, match_id = 0;
-      uint8_t side = 0;
-      bool found = false;
-      if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&match_id).ok() ||
-          !r->GetU8(&side).ok() || !r->GetBool(&found).ok()) {
-        return;
-      }
+      uint64_t qid = 0;
+      if (!r->GetVarint64(&qid).ok()) return;
       auto it = queries_.find(qid);
-      if (it == queries_.end() || it->second->ended) return;
-      ActiveQuery* aq = it->second.get();
-      auto pm = aq->pending_matches.find(match_id);
-      if (pm == aq->pending_matches.end()) return;
-      if (!found) {
-        aq->pending_matches.erase(pm);
+      if (it == queries_.end() || it->second->ended ||
+          it->second->runtime == nullptr) {
         return;
       }
-      Tuple t;
-      if (!catalog::DeserializeTuple(r, &t).ok()) return;
-      if (side == 0) {
-        pm->second.left = std::move(t);
-        pm->second.have_left = true;
-      } else {
-        pm->second.right = std::move(t);
-        pm->second.have_right = true;
-      }
-      if (pm->second.have_left && pm->second.have_right) {
-        Tuple joined = pm->second.left;
-        joined.insert(joined.end(), pm->second.right.begin(),
-                      pm->second.right.end());
-        aq->pending_matches.erase(pm);
-        // Route through the standard full-row path (residual + project).
-        const QueryPlan& plan = aq->env.plan;
-        if (plan.where != nullptr) {
-          bool pass = false;
-          if (!exec::EvalPredicate(*plan.where, joined, &pass).ok() ||
-              !pass) {
-            return;
-          }
-        }
-        Tuple out;
-        if (plan.projections.empty()) {
-          out = joined;
-        } else {
-          for (const auto& e : plan.projections) {
-            Value v;
-            if (!e->Eval(joined, &v).ok()) v = Value::Null();
-            out.push_back(std::move(v));
-          }
-        }
-        SendResult(aq, 0, out);
-      }
+      it->second->runtime->OnFetchResp(r);
       break;
     }
     case MsgType::kBloomPart: {
@@ -1028,36 +526,45 @@ void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
       if (!r->GetVarint64(&qid).ok()) return;
       auto it = queries_.find(qid);
       if (it == queries_.end() || !it->second->is_origin ||
-          it->second->ended) {
+          it->second->ended || it->second->runtime == nullptr) {
         return;
       }
-      BloomFilter left(64, 1), right(64, 1);
-      if (!BloomFilter::Deserialize(r, &left).ok() ||
-          !BloomFilter::Deserialize(r, &right).ok()) {
-        return;
-      }
-      (void)it->second->bloom_left->UnionWith(left);
-      (void)it->second->bloom_right->UnionWith(right);
+      it->second->runtime->OnBloomPart(r);
       break;
     }
   }
 }
 
+// ---------------------------------------------------------------------------
+// Origin-side collection and post-processing
+// ---------------------------------------------------------------------------
+
 void QueryEngine::OriginAccept(ActiveQuery* aq, uint64_t epoch,
                                sim::HostId from, const Tuple& t,
                                bool is_partial) {
+  if (static_cast<int64_t>(epoch) <= aq->last_finalized_epoch) {
+    ++stats_.late_partials;  // straggler past the window
+    return;
+  }
   ActiveQuery::EpochState& es = aq->epochs[epoch];
-  if (es.finalized) return;  // straggler past the window
+  if (es.finalized) {
+    ++stats_.late_partials;
+    return;
+  }
   es.reporters.insert(from);
   if (is_partial) {
+    const OpNode* fagg = aq->runtime != nullptr
+                             ? aq->runtime->final_agg_node()
+                             : nullptr;
+    if (fagg == nullptr) return;  // partial for a non-aggregate graph
     if (es.final_gb == nullptr) {
       es.final_gb = std::make_unique<exec::GroupByOp>(
-          aq->env.plan.group_cols, aq->env.plan.aggs, exec::AggPhase::kFinal);
+          fagg->group_cols, fagg->aggs, exec::AggPhase::kFinal);
     }
     es.final_gb->Push(t, 0);
     return;
   }
-  if (aq->env.plan.kind == PlanKind::kRecursive) {
+  if (aq->runtime != nullptr && aq->runtime->has_recurse()) {
     // Global dedup: the same pair may be reported via multiple temp owners
     // after churn.
     std::string key = catalog::TupleToBytes(t);
@@ -1069,21 +576,25 @@ void QueryEngine::OriginAccept(ActiveQuery* aq, uint64_t epoch,
 
 std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
                                                   uint64_t epoch) {
-  const QueryPlan& plan = aq->env.plan;
   ActiveQuery::EpochState& es = aq->epochs[epoch];
   std::vector<Tuple> rows;
+  const OpNode* fagg =
+      aq->runtime != nullptr ? aq->runtime->final_agg_node() : nullptr;
+  const OpNode* collect =
+      aq->runtime != nullptr ? aq->runtime->collect_node() : nullptr;
 
-  bool aggregated = !plan.aggs.empty();
-  if (aggregated) {
+  if (fagg != nullptr) {
     // Merge network partials (and, for join+aggregate, aggregate the raw
     // joined rows collected in es.rows with a complete group-by).
+    bool from_partials =
+        aq->runtime != nullptr && aq->runtime->has_partial_agg();
     exec::GroupByOp* gb = es.final_gb.get();
     std::unique_ptr<exec::GroupByOp> local;
     if (gb == nullptr || !es.rows.empty()) {
       local = std::make_unique<exec::GroupByOp>(
-          plan.group_cols, plan.aggs,
-          plan.kind == PlanKind::kAggregate ? exec::AggPhase::kFinal
-                                            : exec::AggPhase::kComplete);
+          fagg->group_cols, fagg->aggs,
+          from_partials ? exec::AggPhase::kFinal
+                        : exec::AggPhase::kComplete);
       gb = local.get();
       for (const Tuple& t : es.rows) gb->Push(t, 0);
       if (es.final_gb != nullptr) {
@@ -1099,9 +610,9 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
 
     // SQL scalar-aggregate semantics: no groups and no input still yields
     // one row (COUNT = 0, SUM = NULL, ...).
-    if (plan.group_cols.empty() && rows.empty()) {
+    if (fagg->group_cols.empty() && rows.empty()) {
       Tuple identity;
-      for (const exec::AggSpec& spec : plan.aggs) {
+      for (const exec::AggSpec& spec : fagg->aggs) {
         Value v1, v2;
         exec::AggInit(spec, &v1, &v2);
         identity.push_back(exec::AggFinalize(spec, v1, v2));
@@ -1109,21 +620,21 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
       rows.push_back(std::move(identity));
     }
 
-    if (plan.having != nullptr) {
+    if (fagg->having != nullptr) {
       std::vector<Tuple> kept;
       for (const Tuple& t : rows) {
         bool pass = false;
-        if (exec::EvalPredicate(*plan.having, t, &pass).ok() && pass) {
+        if (exec::EvalPredicate(*fagg->having, t, &pass).ok() && pass) {
           kept.push_back(t);
         }
       }
       rows = std::move(kept);
     }
-    if (!plan.final_projection.empty()) {
+    if (collect != nullptr && !collect->final_projection.empty()) {
       for (Tuple& t : rows) {
         Tuple permuted;
-        permuted.reserve(plan.final_projection.size());
-        for (int c : plan.final_projection) {
+        permuted.reserve(collect->final_projection.size());
+        for (int c : collect->final_projection) {
           permuted.push_back(c >= 0 && static_cast<size_t>(c) < t.size()
                                  ? t[c]
                                  : Value::Null());
@@ -1134,7 +645,7 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
   } else {
     rows = std::move(es.rows);
     es.rows.clear();
-    if (plan.distinct) {
+    if (collect != nullptr && collect->distinct) {
       std::vector<Tuple> unique;
       exec::DistinctOp distinct;
       exec::FnSink sink([&unique](const Tuple& t) { unique.push_back(t); });
@@ -1144,19 +655,19 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
     }
   }
 
-  if (plan.order_col >= 0) {
-    size_t k = plan.limit >= 0 ? static_cast<size_t>(plan.limit)
-                               : rows.size();
-    exec::TopKOp topk(plan.order_col, plan.order_desc, k);
+  if (collect != nullptr && collect->order_col >= 0) {
+    size_t k = collect->limit >= 0 ? static_cast<size_t>(collect->limit)
+                                   : rows.size();
+    exec::TopKOp topk(collect->order_col, collect->order_desc, k);
     std::vector<Tuple> ordered;
     exec::FnSink sink([&ordered](const Tuple& t) { ordered.push_back(t); });
     topk.AddOutput(&sink);
     for (const Tuple& t : rows) topk.Push(t, 0);
     topk.FlushAndReset();
     rows = std::move(ordered);
-  } else if (plan.limit >= 0 &&
-             rows.size() > static_cast<size_t>(plan.limit)) {
-    rows.resize(static_cast<size_t>(plan.limit));
+  } else if (collect != nullptr && collect->limit >= 0 &&
+             rows.size() > static_cast<size_t>(collect->limit)) {
+    rows.resize(static_cast<size_t>(collect->limit));
   }
   return rows;
 }
@@ -1176,6 +687,8 @@ void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch) {
   batch.epoch = epoch;
   batch.reporting_nodes = es.reporters.size();
   batch.rows = OriginPostProcess(aq, epoch);
+  aq->last_finalized_epoch =
+      std::max(aq->last_finalized_epoch, static_cast<int64_t>(epoch));
   if (aq->cb) aq->cb(batch);
 
   bool one_shot = aq->env.plan.every == 0;

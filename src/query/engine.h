@@ -1,19 +1,19 @@
 // QueryEngine: PIER's distributed query processor, one instance per node.
 //
-// Responsibilities:
-//   - query dissemination: plans broadcast over the DHT's dissemination tree;
-//   - scans: each node contributes its local slice of a namespace;
-//   - in-network aggregation: partials combine hop-by-hop up the broadcast
-//     tree (AggStrategy::kTree) or flow directly to the origin (kDirect);
-//   - distributed joins: symmetric hash (rehash into a per-query temp
-//     namespace), fetch matches, symmetric semi-join with match-time tuple
-//     fetch, and Bloom join with filter exchange;
-//   - recursion: semi-naive transitive closure with in-DHT dedup and
-//     quiescence detection at the origin;
-//   - continuous queries: periodic re-execution with windowed scans, epoch-
-//     aligned across nodes;
-//   - result collection and origin-side post-processing (final aggregation,
-//     HAVING, DISTINCT, ORDER BY / LIMIT).
+// The engine is the host side of the opgraph runtime (query/opgraph.h,
+// query/ops/): it disseminates plans over the DHT broadcast tree, builds a
+// per-query ops::QueryRuntime from each plan's graph, and routes network
+// events — exchange arrivals, relayed partials, fetch/Bloom traffic,
+// timers — to the runtime's stages. Operator logic lives in the stages;
+// the engine owns only choreography:
+//   - query dissemination and refresh (soft-state plan broadcasts);
+//   - epoch alignment for continuous queries;
+//   - the kToOrigin / kTree exchange routing (who a result or partial is
+//     sent to, given this node's dissemination-tree position);
+//   - origin-side collection and post-processing (final aggregation,
+//     HAVING, DISTINCT, ORDER BY / LIMIT) driven by the graph's
+//     final-agg / collect nodes;
+//   - recursion quiescence detection and query teardown/GC.
 //
 // Everything is soft state: one-shot results are "best effort within the
 // result wait window", exactly the guarantee the paper's demo gives.
@@ -25,87 +25,35 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "catalog/table_def.h"
 #include "catalog/tuple.h"
-#include "common/bloom.h"
 #include "common/result.h"
 #include "dht/broadcast.h"
 #include "dht/storage.h"
 #include "exec/operators.h"
 #include "overlay/router.h"
 #include "overlay/transport.h"
+#include "query/ops/runtime.h"
 #include "query/plan.h"
+#include "query/protocol.h"
 #include "sim/event_queue.h"
 
 namespace pier {
 namespace query {
 
-struct EngineOptions {
-  /// How long the origin waits for distributed results before finalizing an
-  /// epoch (the paper's demo semantics: sum over nodes *responding* in the
-  /// window).
-  Duration result_wait = Seconds(8);
-  /// Tree aggregation: a node at depth d holds partials for
-  /// agg_hold_base * (agg_assumed_depth - d) before flushing to its parent,
-  /// so children flush before parents.
-  Duration agg_hold_base = Millis(800);
-  int agg_assumed_depth = 8;
-  /// Bloom join: origin collects per-node filters for this long before
-  /// redistributing the union.
-  Duration bloom_wait = Seconds(4);
-  size_t bloom_bits = 1 << 14;
-  int bloom_hashes = 5;
-  /// TTL on rehashed temp tuples (per-query namespaces).
-  Duration temp_ttl = Seconds(90);
-  /// Recursion: the origin declares fixpoint after this long without a new
-  /// result, bounded by recursion_deadline.
-  Duration quiesce_window = Seconds(6);
-  Duration recursion_deadline = Seconds(120);
-  /// Member-side state GC delay after a query ends.
-  Duration cleanup_delay = Seconds(30);
-};
-
-struct EngineStats {
-  uint64_t queries_issued = 0;
-  uint64_t plans_received = 0;
-  uint64_t scans_run = 0;
-  uint64_t tuples_scanned = 0;
-  uint64_t result_msgs_sent = 0;
-  uint64_t result_msgs_received = 0;
-  uint64_t partial_msgs_sent = 0;
-  uint64_t partial_msgs_received = 0;
-  uint64_t rehash_puts = 0;
-  uint64_t fetch_gets = 0;
-  uint64_t semijoin_fetches = 0;
-  uint64_t bloom_filters_sent = 0;
-  uint64_t bloom_suppressed = 0;
-  uint64_t recursion_expansions = 0;
-  uint64_t recursion_duplicates = 0;
-};
-
-/// One epoch's worth of answers, delivered to the issuing client.
-struct ResultBatch {
-  uint64_t query_id = 0;
-  uint64_t epoch = 0;
-  /// Nodes heard from this epoch (aggregation queries: distinct reporters).
-  size_t reporting_nodes = 0;
-  std::vector<catalog::Tuple> rows;
-};
-
 /// Per-node query processor. Registers for Proto::kQuery and owns the
 /// node's broadcast handler.
-class QueryEngine {
+class QueryEngine : public ops::StageHost {
  public:
   using ResultCallback = std::function<void(const ResultBatch&)>;
 
   QueryEngine(overlay::Transport* transport, overlay::Router* router,
               dht::Dht* dht, dht::BroadcastService* broadcast,
               catalog::Catalog* catalog, EngineOptions options);
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -135,31 +83,41 @@ class QueryEngine {
   /// Number of queries this node currently tracks (diagnostics).
   size_t active_queries() const { return queries_.size(); }
 
+  // -- ops::StageHost --------------------------------------------------------
+  sim::Simulation* sim() override { return sim_; }
+  dht::Dht* dht() override { return dht_; }
+  uint32_t self_host() const override { return transport_->self(); }
+  const EngineOptions& engine_options() const override { return options_; }
+  EngineStats* mutable_stats() override { return &stats_; }
+  int QueryDepth(uint64_t qid) const override;
+  void DeliverResult(uint64_t qid, uint64_t epoch,
+                     const catalog::Tuple& t) override;
+  void DeliverPartial(uint64_t qid, uint64_t epoch, const catalog::Tuple& t,
+                      ExchangeKind route) override;
+  void SendQueryBytes(uint32_t to, const Writer& w) override;
+  void BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+                             const BloomFilter& right) override;
+  sim::TimerId ScheduleStageTimer(Duration delay, uint64_t qid,
+                                  uint32_t node_id, uint64_t token) override;
+  void CancelTimer(sim::TimerId id) override;
+  void PostToStage(uint64_t qid, uint32_t node_id,
+                   const std::function<void(ops::Stage*)>& fn) override;
+
  private:
   struct ActiveQuery;
-
-  // Message types under Proto::kQuery.
-  enum class MsgType : uint8_t {
-    kResultTuple = 1,
-    kPartialAgg = 2,
-    kFetchReq = 3,
-    kFetchResp = 4,
-    kBloomPart = 5,
-  };
-  // Broadcast payload kinds.
-  enum class BcastKind : uint8_t {
-    kPlan = 1,
-    kBloomDist = 2,
-    kQueryEnd = 3,
-  };
 
   // -- plumbing --------------------------------------------------------------
   void OnBroadcast(sim::HostId origin, uint64_t seq, sim::HostId parent,
                    int depth, const std::string& payload);
   void OnDirect(sim::HostId from, Reader* r);
   void SendDirect(sim::HostId to, const Writer& w);
+  void RouteArrival(uint64_t qid, const std::string& ns,
+                    const dht::StoredItem& item);
 
   // -- query lifecycle -------------------------------------------------------
+  /// Graph constraints that need the catalog (partitioning prerequisites
+  /// of fetch-matches joins and recursion).
+  Status ValidateGraphAgainstCatalog(const OpGraph& graph) const;
   void InstallQuery(const PlanEnvelope& env, sim::HostId parent, int depth);
   /// Globally time-aligned epoch number for a continuous query.
   uint64_t CurrentEpoch(const ActiveQuery& aq) const;
@@ -168,35 +126,11 @@ class QueryEngine {
   void EndQuery(uint64_t query_id);
   void GcQuery(uint64_t query_id);
 
-  // -- member-side execution -------------------------------------------------
-  std::vector<catalog::Tuple> ScanLocal(const ActiveQuery& aq,
-                                        const std::string& table,
-                                        const catalog::Schema& schema);
-  void RunSelectEpoch(ActiveQuery* aq, uint64_t epoch);
-  void RunAggregateEpoch(ActiveQuery* aq, uint64_t epoch);
-  void FlushCombiner(ActiveQuery* aq, uint64_t epoch);
-  void SendPartial(ActiveQuery* aq, uint64_t epoch, const catalog::Tuple& t);
-  void SendResult(ActiveQuery* aq, uint64_t epoch, const catalog::Tuple& t);
-  void SetupJoin(ActiveQuery* aq);
-  void RunJoinScan(ActiveQuery* aq, bool bloom_phase2);
-  void RehashTuple(ActiveQuery* aq, int side, const catalog::Tuple& t);
-  void OnTempArrival(uint64_t query_id, const dht::StoredItem& item);
-  void HandleJoinOutput(ActiveQuery* aq, const catalog::Tuple& joined);
-  void SetupRecursive(ActiveQuery* aq);
-  void OnReachArrival(uint64_t query_id, const dht::StoredItem& item);
-
   // -- origin-side post-processing --------------------------------------------
   void OriginAccept(ActiveQuery* aq, uint64_t epoch, sim::HostId from,
                     const catalog::Tuple& t, bool is_partial);
   std::vector<catalog::Tuple> OriginPostProcess(ActiveQuery* aq,
                                                 uint64_t epoch);
-
-  std::string TempNamespace(uint64_t query_id) const {
-    return "q" + std::to_string(query_id) + ".tmp";
-  }
-  std::string ReachNamespace(uint64_t query_id) const {
-    return "q" + std::to_string(query_id) + ".reach";
-  }
 
   overlay::Transport* transport_;
   overlay::Router* router_;

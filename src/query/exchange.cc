@@ -1,0 +1,83 @@
+#include "query/exchange.h"
+
+#include "dht/key.h"
+
+namespace pier {
+namespace query {
+
+using catalog::Tuple;
+
+RehashExchange::RehashExchange(ops::StageHost* host, uint64_t qid,
+                               uint32_t edge_id)
+    : host_(host), qid_(qid), ns_(NamespaceFor(qid, edge_id)) {}
+
+RehashExchange::RehashExchange(ops::StageHost* host, uint64_t qid,
+                               std::string ns)
+    : host_(host), qid_(qid), ns_(std::move(ns)) {}
+
+std::string RehashExchange::NamespaceFor(uint64_t qid, uint32_t edge_id) {
+  return "q" + std::to_string(qid) + ".x" + std::to_string(edge_id);
+}
+
+void RehashExchange::Publish(int side, const std::vector<int>& key_cols,
+                             const Tuple& t) {
+  PublishAt(side, catalog::ResourceForCols(t, key_cols), t);
+}
+
+void RehashExchange::PublishAt(int side, const std::string& resource,
+                               const Tuple& t) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(side));
+  catalog::SerializeTuple(t, &w);
+  ++host_->mutable_stats()->rehash_puts;
+  PublishValue(resource, w.Release());
+}
+
+void RehashExchange::PublishValue(const std::string& resource,
+                                  std::string value) {
+  uint64_t instance =
+      (static_cast<uint64_t>(host_->self_host()) << 32) | seq_++;
+  // Temp tuples skip replication: cheap to recreate, dead within the query.
+  host_->dht()->PutEx(dht::DhtKey{ns_, resource, instance}, std::move(value),
+                      host_->engine_options().temp_ttl, /*replicate=*/false,
+                      nullptr);
+}
+
+Status RehashExchange::DecodeArrival(const dht::StoredItem& item, int* side,
+                                     Tuple* t) {
+  Reader r(item.value);
+  uint8_t s = 0;
+  PIER_RETURN_IF_ERROR(r.GetU8(&s));
+  if (s > 1) return Status::Corruption("bad exchange side");
+  PIER_RETURN_IF_ERROR(catalog::DeserializeTuple(&r, t));
+  *side = s;
+  return Status::OK();
+}
+
+TreeCombiner::TreeCombiner(std::vector<int> group_cols,
+                           std::vector<exec::AggSpec> aggs, uint64_t epoch)
+    : epoch_(epoch),
+      op_(std::make_unique<exec::GroupByOp>(std::move(group_cols),
+                                            std::move(aggs),
+                                            exec::AggPhase::kCombine)) {}
+
+void TreeCombiner::Push(const Tuple& partial) {
+  if (op_ != nullptr) op_->Push(partial, 0);
+}
+
+std::vector<Tuple> TreeCombiner::Flush() {
+  return DrainGroupBy(std::move(op_));
+}
+
+std::vector<Tuple> DrainGroupBy(std::unique_ptr<exec::GroupByOp> op) {
+  std::vector<Tuple> out;
+  if (op == nullptr) return out;
+  exec::FnSink sink([&out](const Tuple& t) { out.push_back(t); });
+  op->AddOutput(&sink);
+  op->FlushAndReset();
+  // `op` dies here, with its sink: a spent group-by is never reused.
+  return out;
+}
+
+}  // namespace query
+}  // namespace pier

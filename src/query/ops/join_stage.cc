@@ -1,0 +1,357 @@
+#include "query/ops/join_stage.h"
+
+namespace pier {
+namespace query {
+namespace ops {
+
+using catalog::Tuple;
+
+namespace {
+const std::string kNoNamespace;
+constexpr uint64_t kBloomBroadcastToken = 0;
+}  // namespace
+
+JoinStage::JoinStage(StageHost* host, uint64_t qid, uint32_t node_id,
+                     const OpNode* node, const OpNode* left_scan,
+                     const OpNode* right_scan, Duration window,
+                     bool is_origin, uint32_t origin_host)
+    : host_(host),
+      qid_(qid),
+      node_id_(node_id),
+      node_(node),
+      left_scan_(left_scan),
+      right_scan_(right_scan),
+      window_(window),
+      is_origin_(is_origin),
+      origin_host_(origin_host) {
+  if (node_->strategy != JoinStrategy::kFetchMatches) {
+    exchange_ = std::make_unique<RehashExchange>(host_, qid_, node_id_);
+  }
+}
+
+const std::string& JoinStage::ns() const {
+  return exchange_ != nullptr ? exchange_->ns() : kNoNamespace;
+}
+
+void JoinStage::InitOrigin() {
+  if (node_->strategy != JoinStrategy::kBloom) return;
+  const EngineOptions& o = host_->engine_options();
+  collect_left_ =
+      std::make_unique<BloomFilter>(o.bloom_bits, o.bloom_hashes);
+  collect_right_ =
+      std::make_unique<BloomFilter>(o.bloom_bits, o.bloom_hashes);
+  host_->ScheduleStageTimer(o.bloom_wait, qid_, node_id_,
+                            kBloomBroadcastToken);
+}
+
+void JoinStage::OnTimer(uint64_t /*token*/) {
+  // Bloom collection window over: redistribute the union network-wide.
+  if (collect_left_ == nullptr || collect_right_ == nullptr) return;
+  host_->BroadcastBloomFilters(qid_, *collect_left_, *collect_right_);
+}
+
+void JoinStage::Setup() {
+  if (node_->strategy != JoinStrategy::kFetchMatches) {
+    // Rendezvous role: join rehashed arrivals incrementally.
+    std::vector<int> lkeys, rkeys;
+    if (node_->strategy == JoinStrategy::kSymmetricSemi) {
+      // Rehashed key-projections: [key values..., host, row id].
+      for (size_t i = 0; i < node_->left_keys.size(); ++i) {
+        lkeys.push_back(static_cast<int>(i));
+        rkeys.push_back(static_cast<int>(i));
+      }
+    } else {
+      lkeys = node_->left_keys;
+      rkeys = node_->right_keys;
+    }
+    shj_ = flow_.Add<exec::SymmetricHashJoinOp>(lkeys, rkeys, nullptr);
+    exec::FnSink* sink = flow_.Add<exec::FnSink>(
+        [this](const Tuple& t) { HandleJoinOutput(t); });
+    flow_.Connect(shj_, sink);
+    // Catch-up: tuples rehashed by fast nodes may land here before the
+    // plan broadcast did; they are waiting in the exchange namespace.
+    for (const dht::StoredItem& item : host_->dht()->LocalScan(ns())) {
+      if (!item.replica) OnArrival(item);
+    }
+  }
+
+  if (node_->strategy == JoinStrategy::kBloom) {
+    BloomPhase1();
+  } else {
+    ProduceFromScans(/*bloom_phase2=*/false);
+  }
+}
+
+void JoinStage::BloomPhase1() {
+  const EngineOptions& o = host_->engine_options();
+  BloomFilter left(o.bloom_bits, o.bloom_hashes);
+  BloomFilter right(o.bloom_bits, o.bloom_hashes);
+  if (left_scan_ != nullptr) {
+    ScanStage scan(host_, left_scan_, window_);
+    scan.Run([&](const Tuple& t) {
+      left.Add(catalog::HashTupleCols(t, node_->left_keys));
+      return true;
+    });
+  }
+  if (right_scan_ != nullptr) {
+    ScanStage scan(host_, right_scan_, window_);
+    scan.Run([&](const Tuple& t) {
+      right.Add(catalog::HashTupleCols(t, node_->right_keys));
+      return true;
+    });
+  }
+  if (is_origin_) {
+    if (collect_left_ != nullptr) (void)collect_left_->UnionWith(left);
+    if (collect_right_ != nullptr) (void)collect_right_->UnionWith(right);
+    return;
+  }
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kBloomPart));
+  w.PutVarint64(qid_);
+  left.Serialize(&w);
+  right.Serialize(&w);
+  ++host_->mutable_stats()->bloom_filters_sent;
+  host_->SendQueryBytes(origin_host_, w);
+}
+
+void JoinStage::OnBloomPart(Reader* r) {
+  if (!is_origin_ || collect_left_ == nullptr) return;
+  BloomFilter left(64, 1), right(64, 1);
+  if (!BloomFilter::Deserialize(r, &left).ok() ||
+      !BloomFilter::Deserialize(r, &right).ok()) {
+    return;
+  }
+  (void)collect_left_->UnionWith(left);
+  (void)collect_right_->UnionWith(right);
+}
+
+void JoinStage::OnBloomDist(BloomFilter left, BloomFilter right) {
+  dist_left_ = std::make_unique<BloomFilter>(std::move(left));
+  dist_right_ = std::make_unique<BloomFilter>(std::move(right));
+  ProduceFromScans(/*bloom_phase2=*/true);
+}
+
+void JoinStage::ProduceFromScans(bool bloom_phase2) {
+  std::vector<Tuple> left, right;
+  if (left_scan_ != nullptr) {
+    ScanStage scan(host_, left_scan_, window_);
+    scan.Run([&](const Tuple& t) {
+      left.push_back(t);
+      return true;
+    });
+  }
+  if (right_scan_ != nullptr) {
+    ScanStage scan(host_, right_scan_, window_);
+    scan.Run([&](const Tuple& t) {
+      right.push_back(t);
+      return true;
+    });
+  }
+
+  switch (node_->strategy) {
+    case JoinStrategy::kBloom:
+      if (!bloom_phase2) return;  // phase 2 starts when filters arrive
+      [[fallthrough]];
+    case JoinStrategy::kSymmetricHash: {
+      for (const Tuple& t : left) {
+        if (bloom_phase2 && dist_right_ != nullptr &&
+            !dist_right_->MayContain(
+                catalog::HashTupleCols(t, node_->left_keys))) {
+          ++host_->mutable_stats()->bloom_suppressed;
+          continue;
+        }
+        exchange_->Publish(0, node_->left_keys, t);
+      }
+      for (const Tuple& t : right) {
+        if (bloom_phase2 && dist_left_ != nullptr &&
+            !dist_left_->MayContain(
+                catalog::HashTupleCols(t, node_->right_keys))) {
+          ++host_->mutable_stats()->bloom_suppressed;
+          continue;
+        }
+        exchange_->Publish(1, node_->right_keys, t);
+      }
+      break;
+    }
+    case JoinStrategy::kSymmetricSemi: {
+      auto rehash_keys = [&](const std::vector<Tuple>& rows,
+                             const std::vector<int>& keys, int side) {
+        std::vector<int> leading;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          leading.push_back(static_cast<int>(i));
+        }
+        for (const Tuple& t : rows) {
+          uint64_t row_id = next_row_id_++;
+          row_registry_.emplace(row_id, t);
+          Tuple proj;
+          for (int c : keys) {
+            proj.push_back(c >= 0 && static_cast<size_t>(c) < t.size()
+                               ? t[c]
+                               : Value::Null());
+          }
+          proj.push_back(Value::Int64(host_->self_host()));
+          proj.push_back(Value::Int64(static_cast<int64_t>(row_id)));
+          exchange_->Publish(side, leading, proj);
+        }
+      };
+      rehash_keys(left, node_->left_keys, 0);
+      rehash_keys(right, node_->right_keys, 1);
+      break;
+    }
+    case JoinStrategy::kFetchMatches: {
+      for (const Tuple& t : left) {
+        std::string resource =
+            catalog::ResourceForCols(t, node_->left_keys);
+        ++host_->mutable_stats()->fetch_gets;
+        Tuple probe = t;
+        StageHost* host = host_;
+        uint64_t qid = qid_;
+        uint32_t node_id = node_id_;
+        host_->dht()->Get(
+            right_scan_->table, resource,
+            [host, qid, node_id, probe](Status s,
+                                        std::vector<dht::DhtItem> items) {
+              if (!s.ok()) return;
+              host->PostToStage(qid, node_id, [&](Stage* stage) {
+                static_cast<JoinStage*>(stage)->ResolveFetchMatches(probe,
+                                                                    items);
+              });
+            });
+      }
+      break;
+    }
+  }
+}
+
+void JoinStage::ResolveFetchMatches(const Tuple& probe,
+                                    const std::vector<dht::DhtItem>& items) {
+  for (const dht::DhtItem& item : items) {
+    Tuple rt;
+    if (!catalog::TupleFromBytes(item.value, &rt).ok()) continue;
+    // Verify true key equality (resources are hashes).
+    bool equal = true;
+    for (size_t i = 0; i < node_->left_keys.size(); ++i) {
+      int lc = node_->left_keys[i];
+      int rc = node_->right_keys[i];
+      if (lc < 0 || static_cast<size_t>(lc) >= probe.size() || rc < 0 ||
+          static_cast<size_t>(rc) >= rt.size()) {
+        equal = false;
+        break;
+      }
+      const Value& lv = probe[lc];
+      const Value& rv = rt[rc];
+      if (lv.is_null() || rv.is_null() || lv.Compare(rv) != 0) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) continue;
+    Tuple joined = probe;
+    joined.insert(joined.end(), rt.begin(), rt.end());
+    HandleJoinOutput(joined);
+  }
+}
+
+void JoinStage::PublishUpstream(int side, const Tuple& t) {
+  if (exchange_ == nullptr) return;
+  exchange_->Publish(side, side == 0 ? node_->left_keys : node_->right_keys,
+                     t);
+}
+
+void JoinStage::OnArrival(const dht::StoredItem& item) {
+  if (shj_ == nullptr) return;
+  int side = 0;
+  Tuple t;
+  if (!RehashExchange::DecodeArrival(item, &side, &t).ok()) return;
+  shj_->Push(t, side);
+}
+
+void JoinStage::HandleJoinOutput(const Tuple& joined) {
+  size_t k = node_->left_keys.size();
+  if (node_->strategy == JoinStrategy::kSymmetricSemi &&
+      joined.size() == 2 * (k + 2)) {
+    // Matched key-projections: fetch the full tuples from both owners.
+    // Layout: [lkeys(k), lhost, lrow, rkeys(k), rhost, rrow].
+    int64_t lhost = 0, lrow = 0, rhost = 0, rrow = 0;
+    if (!joined[k].AsInt64(&lhost).ok() ||
+        !joined[k + 1].AsInt64(&lrow).ok() ||
+        !joined[2 * k + 2].AsInt64(&rhost).ok() ||
+        !joined[2 * k + 3].AsInt64(&rrow).ok()) {
+      return;
+    }
+    uint64_t match_id = next_match_id_++;
+    pending_matches_.emplace(match_id, PendingMatch{});
+    auto send_fetch = [&](int64_t host, int64_t row, uint8_t side) {
+      Writer w;
+      w.PutU8(static_cast<uint8_t>(MsgType::kFetchReq));
+      w.PutVarint64(qid_);
+      w.PutVarint64(match_id);
+      w.PutU8(side);
+      w.PutVarint64(static_cast<uint64_t>(row));
+      w.PutFixed32(host_->self_host());
+      ++host_->mutable_stats()->semijoin_fetches;
+      host_->SendQueryBytes(static_cast<uint32_t>(host), w);
+    };
+    send_fetch(lhost, lrow, 0);
+    send_fetch(rhost, rrow, 1);
+    return;
+  }
+  if (downstream_) downstream_(joined);
+}
+
+void JoinStage::OnFetchReq(uint32_t /*from*/, Reader* r) {
+  uint64_t match_id = 0, row_id = 0;
+  uint8_t side = 0;
+  uint32_t reply_to = 0;
+  if (!r->GetVarint64(&match_id).ok() || !r->GetU8(&side).ok() ||
+      !r->GetVarint64(&row_id).ok() || !r->GetFixed32(&reply_to).ok()) {
+    return;
+  }
+  auto row = row_registry_.find(row_id);
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kFetchResp));
+  w.PutVarint64(qid_);
+  w.PutVarint64(match_id);
+  w.PutU8(side);
+  bool found = row != row_registry_.end();
+  w.PutBool(found);
+  if (found) catalog::SerializeTuple(row->second, &w);
+  host_->SendQueryBytes(reply_to, w);
+}
+
+void JoinStage::OnFetchResp(Reader* r) {
+  uint64_t match_id = 0;
+  uint8_t side = 0;
+  bool found = false;
+  if (!r->GetVarint64(&match_id).ok() || !r->GetU8(&side).ok() ||
+      !r->GetBool(&found).ok()) {
+    return;
+  }
+  auto pm = pending_matches_.find(match_id);
+  if (pm == pending_matches_.end()) return;
+  if (!found) {
+    pending_matches_.erase(pm);
+    return;
+  }
+  Tuple t;
+  if (!catalog::DeserializeTuple(r, &t).ok()) return;
+  if (side == 0) {
+    pm->second.left = std::move(t);
+    pm->second.have_left = true;
+  } else {
+    pm->second.right = std::move(t);
+    pm->second.have_right = true;
+  }
+  if (pm->second.have_left && pm->second.have_right) {
+    Tuple joined = pm->second.left;
+    joined.insert(joined.end(), pm->second.right.begin(),
+                  pm->second.right.end());
+    pending_matches_.erase(pm);
+    // Route through the standard full-row path (residual + project).
+    if (downstream_) downstream_(joined);
+  }
+}
+
+}  // namespace ops
+}  // namespace query
+}  // namespace pier

@@ -1,0 +1,25 @@
+#include "query/ops/scan_stage.h"
+
+namespace pier {
+namespace query {
+namespace ops {
+
+using catalog::Tuple;
+
+void ScanStage::Run(const EmitFn& emit) {
+  ++host_->mutable_stats()->scans_run;
+  TimePoint cutoff = window_ > 0 ? host_->sim()->now() - window_ : 0;
+  for (const dht::StoredItem& item : host_->dht()->LocalScan(node_->table)) {
+    if (item.replica) continue;  // primaries only: no double counting
+    if (item.stored_at < cutoff) continue;
+    Tuple t;
+    if (!catalog::TupleFromBytes(item.value, &t).ok()) continue;
+    if (t.size() != node_->schema.num_columns()) continue;
+    ++host_->mutable_stats()->tuples_scanned;
+    if (!emit(t)) break;
+  }
+}
+
+}  // namespace ops
+}  // namespace query
+}  // namespace pier

@@ -1,0 +1,93 @@
+// The runtime side of the opgraph: every node of the network instantiates
+// the graph's operator boxes as *stages* — live objects holding per-query
+// operator state (hash tables, combiners, pending fetches) — and the engine
+// routes network events to them.
+//
+// Stages never talk to the network directly; they go through StageHost, the
+// narrow engine interface below. That keeps the choreography (who a partial
+// is sent to, which timers survive a node crash) in one place and the
+// operator logic testable in isolation.
+
+#ifndef PIER_QUERY_OPS_STAGE_H_
+#define PIER_QUERY_OPS_STAGE_H_
+
+#include <functional>
+
+#include "catalog/tuple.h"
+#include "common/bloom.h"
+#include "dht/storage.h"
+#include "query/opgraph.h"
+#include "query/protocol.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace query {
+namespace ops {
+
+class Stage;
+
+/// Engine services available to stages and exchanges. Implemented by
+/// QueryEngine. All callbacks dispatched through the host are dropped
+/// automatically once the query ends or the engine dies, so stages never
+/// have to defend against their own destruction.
+class StageHost {
+ public:
+  virtual ~StageHost() = default;
+
+  virtual sim::Simulation* sim() = 0;
+  virtual dht::Dht* dht() = 0;
+  /// This node's transport address.
+  virtual uint32_t self_host() const = 0;
+  virtual const EngineOptions& engine_options() const = 0;
+  virtual EngineStats* mutable_stats() = 0;
+  /// This node's current dissemination-tree depth for `qid` (refresh
+  /// broadcasts can reparent a node between epochs).
+  virtual int QueryDepth(uint64_t qid) const = 0;
+
+  /// kToOrigin exchange: routes a result row to the query origin (loops
+  /// back into origin collection when this node *is* the origin).
+  virtual void DeliverResult(uint64_t qid, uint64_t epoch,
+                             const catalog::Tuple& t) = 0;
+  /// Routes a partial aggregate. kTree sends to the dissemination-tree
+  /// parent (which combines before forwarding); anything else goes straight
+  /// to the origin.
+  virtual void DeliverPartial(uint64_t qid, uint64_t epoch,
+                              const catalog::Tuple& t, ExchangeKind route) = 0;
+  /// Raw engine-protocol message (semi-join fetch and Bloom traffic).
+  virtual void SendQueryBytes(uint32_t to, const Writer& w) = 0;
+  /// Bloom join: origin redistributes the unioned filters network-wide.
+  virtual void BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+                                     const BloomFilter& right) = 0;
+
+  /// Arms an engine-owned timer that invokes Stage::OnTimer(token) on graph
+  /// node `node_id` of `qid` — but only if the query is still live, so
+  /// stage timers can never fire on freed state.
+  virtual sim::TimerId ScheduleStageTimer(Duration delay, uint64_t qid,
+                                          uint32_t node_id,
+                                          uint64_t token) = 0;
+  virtual void CancelTimer(sim::TimerId id) = 0;
+
+  /// Runs `fn` on graph node `node_id`'s stage iff the query is still
+  /// live. The safe re-entry point for deferred work (DHT get responses)
+  /// whose continuation must not outlive the query.
+  virtual void PostToStage(uint64_t qid, uint32_t node_id,
+                           const std::function<void(Stage*)>& fn) = 0;
+};
+
+/// A stage consuming tuples from a local edge. Returns false to stop the
+/// producer early (LIMIT pushdown into scans).
+using EmitFn = std::function<bool(const catalog::Tuple&)>;
+
+/// Base class for per-query runtime stages.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  /// Engine-dispatched timer callback (token is stage-defined).
+  virtual void OnTimer(uint64_t token) { (void)token; }
+};
+
+}  // namespace ops
+}  // namespace query
+}  // namespace pier
+
+#endif  // PIER_QUERY_OPS_STAGE_H_

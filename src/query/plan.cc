@@ -3,6 +3,11 @@
 namespace pier {
 namespace query {
 
+using detail::GetIntVec;
+using detail::GetOptionalExpr;
+using detail::PutIntVec;
+using detail::PutOptionalExpr;
+
 const char* PlanKindName(PlanKind k) {
   switch (k) {
     case PlanKind::kSelectProject:
@@ -17,67 +22,164 @@ const char* PlanKindName(PlanKind k) {
   return "?";
 }
 
-const char* JoinStrategyName(JoinStrategy s) {
-  switch (s) {
-    case JoinStrategy::kSymmetricHash:
-      return "symmetric-hash";
-    case JoinStrategy::kFetchMatches:
-      return "fetch-matches";
-    case JoinStrategy::kSymmetricSemi:
-      return "symmetric-semi";
-    case JoinStrategy::kBloom:
-      return "bloom";
-  }
-  return "?";
-}
-
-const char* AggStrategyName(AggStrategy s) {
-  switch (s) {
-    case AggStrategy::kDirect:
-      return "direct";
-    case AggStrategy::kTree:
-      return "tree";
-  }
-  return "?";
-}
+// ---------------------------------------------------------------------------
+// Canonicalization: classic fields -> degenerate opgraph
+// ---------------------------------------------------------------------------
 
 namespace {
 
-void PutOptionalExpr(Writer* w, const exec::ExprPtr& e) {
-  w->PutBool(e != nullptr);
-  if (e != nullptr) e->Serialize(w);
-}
-
-Status GetOptionalExpr(Reader* r, exec::ExprPtr* out) {
-  bool present = false;
-  PIER_RETURN_IF_ERROR(r->GetBool(&present));
-  if (!present) {
-    out->reset();
-    return Status::OK();
+/// Appends `node` reading from the current chain tail and returns its id.
+uint32_t Chain(OpGraph* g, OpNode node) {
+  if (!g->nodes.empty()) {
+    node.inputs = {static_cast<uint32_t>(g->nodes.size()) - 1};
   }
-  return exec::Expr::Deserialize(r, out);
+  g->nodes.push_back(std::move(node));
+  return static_cast<uint32_t>(g->nodes.size()) - 1;
 }
 
-void PutIntVec(Writer* w, const std::vector<int>& v) {
-  w->PutVarint32(static_cast<uint32_t>(v.size()));
-  for (int x : v) w->PutVarint64Signed(x);
+OpNode ScanNode(const std::string& table, const catalog::Schema& schema) {
+  OpNode n;
+  n.type = OpType::kScan;
+  n.table = table;
+  n.schema = schema;
+  return n;
 }
 
-Status GetIntVec(Reader* r, std::vector<int>* out) {
-  uint32_t n = 0;
-  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
-  if (n > 100000) return Status::Corruption("int vector too long");
-  out->clear();
-  out->reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    int64_t x = 0;
-    PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&x));
-    out->push_back(static_cast<int>(x));
-  }
-  return Status::OK();
+OpNode CollectNode(const QueryPlan& p, bool aggregated) {
+  OpNode n;
+  n.type = OpType::kCollect;
+  n.distinct = aggregated ? false : p.distinct;
+  if (aggregated) n.final_projection = p.final_projection;
+  n.order_col = p.order_col;
+  n.order_desc = p.order_desc;
+  n.limit = p.limit;
+  return n;
+}
+
+OpNode FinalAggNode(const QueryPlan& p) {
+  OpNode n;
+  n.type = OpType::kFinalAgg;
+  n.group_cols = p.group_cols;
+  n.aggs = p.aggs;
+  n.having = p.having;
+  return n;
 }
 
 }  // namespace
+
+OpGraph QueryPlan::CanonicalGraph() const {
+  OpGraph g;
+  switch (kind) {
+    case PlanKind::kSelectProject: {
+      Chain(&g, ScanNode(table, scan_schema));
+      if (where != nullptr) {
+        OpNode f;
+        f.type = OpType::kFilter;
+        f.predicate = where;
+        Chain(&g, std::move(f));
+      }
+      if (!projections.empty()) {
+        OpNode pr;
+        pr.type = OpType::kProject;
+        pr.exprs = projections;
+        Chain(&g, std::move(pr));
+      }
+      g.nodes.back().out = ExchangeKind::kToOrigin;
+      Chain(&g, CollectNode(*this, /*aggregated=*/false));
+      break;
+    }
+    case PlanKind::kAggregate: {
+      Chain(&g, ScanNode(table, scan_schema));
+      if (where != nullptr) {
+        OpNode f;
+        f.type = OpType::kFilter;
+        f.predicate = where;
+        Chain(&g, std::move(f));
+      }
+      OpNode pa;
+      pa.type = OpType::kPartialAgg;
+      pa.group_cols = group_cols;
+      pa.aggs = aggs;
+      pa.out = agg_strategy == AggStrategy::kTree ? ExchangeKind::kTree
+                                                  : ExchangeKind::kToOrigin;
+      Chain(&g, std::move(pa));
+      Chain(&g, FinalAggNode(*this));
+      Chain(&g, CollectNode(*this, /*aggregated=*/true));
+      break;
+    }
+    case PlanKind::kJoin: {
+      OpNode left = ScanNode(table, scan_schema);
+      left.out = ExchangeKind::kRehash;
+      g.nodes.push_back(std::move(left));
+      OpNode right = ScanNode(right_table, right_schema);
+      right.out = ExchangeKind::kRehash;
+      g.nodes.push_back(std::move(right));
+      OpNode j;
+      j.type = OpType::kJoin;
+      j.strategy = join_strategy;
+      j.left_keys = left_key_cols;
+      j.right_keys = right_key_cols;
+      j.inputs = {0, 1};
+      g.nodes.push_back(std::move(j));
+      if (where != nullptr) {
+        OpNode f;
+        f.type = OpType::kFilter;
+        f.predicate = where;
+        Chain(&g, std::move(f));
+      }
+      bool aggregated = !aggs.empty();
+      if (!aggregated && !projections.empty()) {
+        OpNode pr;
+        pr.type = OpType::kProject;
+        pr.exprs = projections;
+        Chain(&g, std::move(pr));
+      }
+      // Joined rows ship to the origin either way: raw for origin-side
+      // aggregation, projected otherwise.
+      g.nodes.back().out = ExchangeKind::kToOrigin;
+      if (aggregated) Chain(&g, FinalAggNode(*this));
+      Chain(&g, CollectNode(*this, aggregated));
+      break;
+    }
+    case PlanKind::kRecursive: {
+      Chain(&g, ScanNode(table, scan_schema));
+      OpNode rec;
+      rec.type = OpType::kRecurse;
+      rec.src_col = src_col;
+      rec.dst_col = dst_col;
+      rec.max_hops = max_hops;
+      rec.predicate = where;  // base/expansion edge filter
+      Chain(&g, std::move(rec));
+      if (outer_where != nullptr) {
+        OpNode f;
+        f.type = OpType::kFilter;
+        f.predicate = outer_where;
+        Chain(&g, std::move(f));
+      }
+      if (!projections.empty()) {
+        OpNode pr;
+        pr.type = OpType::kProject;
+        pr.exprs = projections;
+        Chain(&g, std::move(pr));
+      }
+      g.nodes.back().out = ExchangeKind::kToOrigin;
+      Chain(&g, CollectNode(*this, /*aggregated=*/false));
+      break;
+    }
+  }
+  return g;
+}
+
+void QueryPlan::EnsureGraph() {
+  if (graph.empty()) {
+    graph = CanonicalGraph();
+    graph_is_derived = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
 
 void QueryPlan::Serialize(Writer* w) const {
   w->PutU8(static_cast<uint8_t>(kind));
@@ -109,6 +211,9 @@ void QueryPlan::Serialize(Writer* w) const {
   w->PutVarint64Signed(dst_col);
   w->PutVarint64Signed(max_hops);
   PutOptionalExpr(w, outer_where);
+  bool ship_graph = !graph.empty() && !graph_is_derived;
+  w->PutBool(ship_graph);
+  if (ship_graph) graph.Serialize(w);
 }
 
 Status QueryPlan::Deserialize(Reader* r, QueryPlan* out) {
@@ -185,6 +290,13 @@ Status QueryPlan::Deserialize(Reader* r, QueryPlan* out) {
   out->dst_col = static_cast<int>(dst_col);
   out->max_hops = static_cast<int>(max_hops);
   PIER_RETURN_IF_ERROR(GetOptionalExpr(r, &out->outer_where));
+  bool has_graph = false;
+  PIER_RETURN_IF_ERROR(r->GetBool(&has_graph));
+  out->graph.nodes.clear();
+  out->graph_is_derived = false;
+  if (has_graph) {
+    PIER_RETURN_IF_ERROR(OpGraph::Deserialize(r, &out->graph));
+  }
   return Status::OK();
 }
 
@@ -208,6 +320,7 @@ std::string QueryPlan::ToString() const {
   if (where != nullptr) out += " where=" + where->ToString();
   if (every > 0) out += " every=" + FormatDuration(every);
   if (limit >= 0) out += " limit=" + std::to_string(limit);
+  if (!graph.empty()) out += " ops=" + std::to_string(graph.size());
   out += "}";
   return out;
 }

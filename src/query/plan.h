@@ -1,10 +1,17 @@
 // QueryPlan: the distributed plan PIER disseminates to every node.
 //
-// A plan fixes the shape of the distributed dataflow (which the engine
-// instantiates as local operator chains) plus all bound expressions.
+// The executable representation is the opgraph (query/opgraph.h): a DAG of
+// typed operator nodes wired by exchanges, interpreted by every node's
+// QueryRuntime. A plan also keeps the flat "classic" fields describing the
+// four canonical shapes (select/project, aggregate, binary join,
+// recursion); plans built through the algebraic API fill only those, and
+// EnsureGraph() canonicalizes them into the equivalent degenerate opgraph
+// before execution. Planner-built plans (multi-way joins, in-network
+// aggregation over joins) carry a composed graph directly.
+//
 // Column references inside expressions are bound to tuple layouts at
 // planning time:
-//   - `where`               -> the scan schema (left++right concat for joins)
+//   - `where`               -> the scan schema (full concat for joins)
 //   - `projections`         -> same layout as `where`
 //   - `having`              -> the aggregate output layout
 //                              [group values..., aggregate results...]
@@ -24,40 +31,36 @@
 #include "common/time_util.h"
 #include "exec/agg.h"
 #include "exec/expr.h"
+#include "query/opgraph.h"
 
 namespace pier {
 namespace query {
 
-/// Distributed plan shapes the engine executes.
+/// The four canonical plan shapes of the algebraic API (each canonicalizes
+/// into a degenerate opgraph; composed graphs have no PlanKind).
 enum class PlanKind : uint8_t {
   kSelectProject = 0,  ///< scan -> filter -> project, results to origin
   kAggregate = 1,      ///< scan -> filter -> partial agg -> in-network tree
-  kJoin = 2,           ///< binary equi-join (strategy below)
+  kJoin = 2,           ///< equi-join (binary via `kind`; n-way via graph)
   kRecursive = 3,      ///< transitive closure over an edge table
 };
 
-/// The four distributed join algorithms from the PIER design papers.
-enum class JoinStrategy : uint8_t {
-  kSymmetricHash = 0,  ///< rehash both relations into a temp namespace
-  kFetchMatches = 1,   ///< probe the already-partitioned inner by DHT get
-  kSymmetricSemi = 2,  ///< rehash keys+ids only, fetch full tuples on match
-  kBloom = 3,          ///< pre-filter both sides with exchanged Bloom filters
-};
-
-/// How partial aggregates reach the query origin.
-enum class AggStrategy : uint8_t {
-  kDirect = 0,  ///< every node sends partials straight to the origin
-  kTree = 1,    ///< partials combine hop-by-hop up the dissemination tree
-};
-
 const char* PlanKindName(PlanKind k);
-const char* JoinStrategyName(JoinStrategy s);
-const char* AggStrategyName(AggStrategy s);
 
 /// One distributed query. Plain data; built by the planner or directly via
 /// the algebraic API.
 struct QueryPlan {
   PlanKind kind = PlanKind::kSelectProject;
+
+  /// The executable dataflow. Empty for algebraic-API plans until
+  /// EnsureGraph() derives it from the classic fields below.
+  OpGraph graph;
+  /// True when `graph` came from EnsureGraph(): derived graphs are NOT
+  /// serialized (the classic fields already carry everything, and every
+  /// member re-derives the identical graph at install), so legacy-shape
+  /// broadcasts don't pay twice for expressions and schemas. Composed
+  /// planner graphs always travel.
+  bool graph_is_derived = false;
 
   // -- Source relation(s) ---------------------------------------------------
   std::string table;            ///< left/only relation (DHT namespace)
@@ -104,10 +107,17 @@ struct QueryPlan {
   /// `where` filters base edges instead.
   exec::ExprPtr outer_where;
 
+  /// Builds the degenerate opgraph equivalent to the classic fields. The
+  /// four legacy shapes reproduce their historical dataflow byte-for-byte.
+  OpGraph CanonicalGraph() const;
+  /// Fills `graph` from CanonicalGraph() when empty (idempotent).
+  void EnsureGraph();
+
   void Serialize(Writer* w) const;
   static Status Deserialize(Reader* r, QueryPlan* out);
 
-  /// Multi-line EXPLAIN-style description.
+  /// One-line summary ("plan{join table=... }"); the opgraph's ToString()
+  /// is the full EXPLAIN rendering.
   std::string ToString() const;
 };
 

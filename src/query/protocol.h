@@ -1,0 +1,94 @@
+// Shared query-layer protocol surface: the engine's tuning knobs, its
+// counters, the client-visible result batch, and the wire tags used by the
+// engine's direct and broadcast messages. Split out of engine.h so the
+// exchange layer (src/query/exchange.h) and the operator stages
+// (src/query/ops/) can depend on it without pulling in the engine itself.
+
+#ifndef PIER_QUERY_PROTOCOL_H_
+#define PIER_QUERY_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "common/time_util.h"
+
+namespace pier {
+namespace query {
+
+struct EngineOptions {
+  /// How long the origin waits for distributed results before finalizing an
+  /// epoch (the paper's demo semantics: sum over nodes *responding* in the
+  /// window).
+  Duration result_wait = Seconds(8);
+  /// Tree aggregation: a node at depth d holds partials for
+  /// agg_hold_base * (agg_assumed_depth - d) before flushing to its parent,
+  /// so children flush before parents.
+  Duration agg_hold_base = Millis(800);
+  int agg_assumed_depth = 8;
+  /// Bloom join: origin collects per-node filters for this long before
+  /// redistributing the union.
+  Duration bloom_wait = Seconds(4);
+  size_t bloom_bits = 1 << 14;
+  int bloom_hashes = 5;
+  /// TTL on rehashed temp tuples (per-query exchange namespaces).
+  Duration temp_ttl = Seconds(90);
+  /// Recursion: the origin declares fixpoint after this long without a new
+  /// result, bounded by recursion_deadline.
+  Duration quiesce_window = Seconds(6);
+  Duration recursion_deadline = Seconds(120);
+  /// Member-side state GC delay after a query ends.
+  Duration cleanup_delay = Seconds(30);
+};
+
+struct EngineStats {
+  uint64_t queries_issued = 0;
+  uint64_t plans_received = 0;
+  uint64_t scans_run = 0;
+  uint64_t tuples_scanned = 0;
+  uint64_t result_msgs_sent = 0;
+  uint64_t result_msgs_received = 0;
+  uint64_t partial_msgs_sent = 0;
+  uint64_t partial_msgs_received = 0;
+  /// Results/partials reaching the origin after their epoch finalized —
+  /// stragglers the best-effort window dropped (they are counted, not
+  /// folded into the already-delivered answer).
+  uint64_t late_partials = 0;
+  uint64_t rehash_puts = 0;
+  uint64_t fetch_gets = 0;
+  uint64_t semijoin_fetches = 0;
+  uint64_t bloom_filters_sent = 0;
+  uint64_t bloom_suppressed = 0;
+  uint64_t recursion_expansions = 0;
+  uint64_t recursion_duplicates = 0;
+};
+
+/// One epoch's worth of answers, delivered to the issuing client.
+struct ResultBatch {
+  uint64_t query_id = 0;
+  uint64_t epoch = 0;
+  /// Nodes heard from this epoch (aggregation queries: distinct reporters).
+  size_t reporting_nodes = 0;
+  std::vector<catalog::Tuple> rows;
+};
+
+/// Message types under overlay::Proto::kQuery (direct engine traffic).
+enum class MsgType : uint8_t {
+  kResultTuple = 1,
+  kPartialAgg = 2,
+  kFetchReq = 3,
+  kFetchResp = 4,
+  kBloomPart = 5,
+};
+
+/// Broadcast payload kinds (dissemination-tree traffic).
+enum class BcastKind : uint8_t {
+  kPlan = 1,
+  kBloomDist = 2,
+  kQueryEnd = 3,
+};
+
+}  // namespace query
+}  // namespace pier
+
+#endif  // PIER_QUERY_PROTOCOL_H_

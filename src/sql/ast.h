@@ -2,8 +2,10 @@
 // planner binds them against the catalog).
 //
 // Supported surface:
+//   [EXPLAIN]
 //   SELECT [DISTINCT] item[, ...]
-//   FROM table [alias] [, table [alias]] | FROM t1 JOIN t2 ON expr
+//   FROM table [alias] [, table [alias] ...]
+//      | FROM t1 JOIN t2 ON expr [JOIN t3 ON expr ...]
 //   [WHERE expr] [GROUP BY col, ...] [HAVING expr]
 //   [ORDER BY expr [ASC|DESC]] [LIMIT n]
 //   [EVERY n SECONDS] [WINDOW n SECONDS]          -- continuous variant
@@ -12,6 +14,10 @@
 //     SELECT a, b FROM edges [WHERE ...]
 //     UNION SELECT name.src, e.b FROM name JOIN edges e ON name.dst = e.a
 //   ) SELECT ... FROM name [WHERE ...] [MAXHOPS n]
+//
+// FROM lists of three or more relations plan as left-deep chains of binary
+// equi-joins; EXPLAIN returns the planned opgraph rendering instead of
+// executing.
 
 #ifndef PIER_SQL_AST_H_
 #define PIER_SQL_AST_H_
@@ -73,8 +79,8 @@ struct SelectStmt {
   bool distinct = false;
   bool select_star = false;
   std::vector<SelectItem> items;
-  std::vector<TableRef> from;   ///< 1 = scan, 2 = join
-  AstExprPtr join_on;           ///< explicit JOIN ... ON condition
+  std::vector<TableRef> from;   ///< 1 = scan, 2+ = (chained) joins
+  AstExprPtr join_on;           ///< AND of all JOIN ... ON conditions
   AstExprPtr where;
   std::vector<std::string> group_by;
   AstExprPtr having;
@@ -94,10 +100,14 @@ struct RecursiveQuery {
   int64_t max_hops = 16;
 };
 
-/// A parsed statement: either a plain select or a recursive query.
+/// A parsed statement: either a plain select or a recursive query,
+/// optionally wrapped in EXPLAIN.
 struct Statement {
   enum class Kind : uint8_t { kSelect, kRecursive };
   Kind kind = Kind::kSelect;
+  /// EXPLAIN <query>: plan but do not execute; the answer is the planned
+  /// opgraph's rendering as a one-row result.
+  bool explain = false;
   SelectStmt select;
   std::optional<RecursiveQuery> recursive;
 };

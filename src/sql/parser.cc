@@ -20,6 +20,7 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Status ParseStatement(Statement* out) {
+    if (ConsumeKeyword("EXPLAIN")) out->explain = true;
     if (PeekKeyword("WITH")) {
       PIER_RETURN_IF_ERROR(ParseRecursive(out));
     } else {
@@ -105,14 +106,31 @@ class Parser {
     }
     PIER_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     PIER_RETURN_IF_ERROR(ParseTableRef(out));
-    if (ConsumeSymbol(",")) {
-      PIER_RETURN_IF_ERROR(ParseTableRef(out));
-    } else if (ConsumeKeyword("JOIN")) {
-      PIER_RETURN_IF_ERROR(ParseTableRef(out));
-      PIER_RETURN_IF_ERROR(ExpectKeyword("ON"));
-      PIER_RETURN_IF_ERROR(ParseExpr(&out->join_on));
+    // Any number of further relations: comma list and/or JOIN ... ON
+    // chains. All ON conditions AND together; the planner re-extracts
+    // per-join equi keys from the conjuncts.
+    while (true) {
+      if (ConsumeSymbol(",")) {
+        PIER_RETURN_IF_ERROR(ParseTableRef(out));
+        continue;
+      }
+      if (ConsumeKeyword("JOIN")) {
+        PIER_RETURN_IF_ERROR(ParseTableRef(out));
+        PIER_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        AstExprPtr on;
+        PIER_RETURN_IF_ERROR(ParseExpr(&on));
+        if (out->join_on == nullptr) {
+          out->join_on = on;
+        } else {
+          auto e = MakeExpr(AstExpr::Kind::kAnd);
+          e->left = out->join_on;
+          e->right = on;
+          out->join_on = e;
+        }
+        continue;
+      }
+      break;
     }
-    if (out->from.size() > 2) return Error("at most two relations");
     if (ConsumeKeyword("WHERE")) {
       PIER_RETURN_IF_ERROR(ParseExpr(&out->where));
     }

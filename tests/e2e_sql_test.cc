@@ -50,6 +50,16 @@ TableDef RulesTable() {
   return def;
 }
 
+TableDef SeveritiesTable() {
+  TableDef def;
+  def.name = "sevs";
+  def.schema = Schema("sevs", {{"severity", ValueType::kInt64},
+                               {"label", ValueType::kString}});
+  def.partition_cols = {0};
+  def.ttl = Seconds(600);
+  return def;
+}
+
 void RegisterEverywhere(PierNetwork& net, const TableDef& def) {
   for (size_t i = 0; i < net.size(); ++i) {
     ASSERT_TRUE(net.node(i)->catalog()->Register(def).ok());
@@ -217,6 +227,184 @@ TEST(E2eSqlTest, SqlJoinWithAggregation) {
   }
   // severity 1 matches alerts {1, 2, 2}; severity 2 matches alert {3}.
   EXPECT_EQ(got, (std::map<int64_t, int64_t>{{1, 3}, {2, 1}}));
+}
+
+// The opgraph acceptance case: a three-table join with GROUP BY, from SQL
+// text, over multi-hop Chord routing — the shape the fixed-plan engine
+// could not express. The planner chains two symmetric-hash joins and pushes
+// partial aggregation to the final join's rendezvous nodes; with
+// AggStrategy::kTree the partials combine up the dissemination tree, so the
+// aggregation runs in-network rather than at the origin.
+TEST(E2eSqlTest, ThreeTableJoinWithGroupByOnChord) {
+  PierNetworkOptions opts;
+  opts.seed = 131;
+  opts.node.router_kind = RouterKind::kChord;
+  opts.node.engine.result_wait = Seconds(25);
+  opts.node.engine.agg_hold_base = Millis(250);
+  // Deep enough for a real dissemination tree: interior nodes must exist
+  // between the join rendezvous and the origin for in-network combining.
+  PierNetwork net(24, opts);
+  net.Boot(Seconds(60));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, AlertsTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, RulesTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, SeveritiesTable()));
+
+  // alerts x rules x sevs: every row published from a different node.
+  std::vector<std::tuple<int, std::string, int>> alerts;
+  for (int i = 0; i < 24; ++i) {
+    alerts.push_back({1 + (i % 6), "a" + std::to_string(i), 10 + i});
+  }
+  ASSERT_NO_FATAL_FAILURE(PublishAlerts(net, alerts));
+  std::map<int, int> rule_to_sev = {{1, 1}, {2, 1}, {3, 2}, {4, 2},
+                                    {5, 3}, {6, 3}};
+  size_t p = 0;
+  for (auto [rule, sev] : rule_to_sev) {
+    ASSERT_TRUE(net.node(p++ % net.size())
+                    ->query_engine()
+                    ->Publish("rules",
+                              Tuple{Value::Int64(rule), Value::Int64(sev)})
+                    .ok());
+  }
+  std::map<int, std::string> sev_label = {
+      {1, "low"}, {2, "medium"}, {3, "high"}};
+  for (auto& [sev, label] : sev_label) {
+    ASSERT_TRUE(net.node(p++ % net.size())
+                    ->query_engine()
+                    ->Publish("sevs", Tuple{Value::Int64(sev),
+                                            Value::String(label)})
+                    .ok());
+  }
+  net.RunFor(Seconds(8));
+
+  // Reference: label -> (sum of hits, row count) over the 3-way join.
+  std::map<std::string, std::pair<int64_t, int64_t>> expected;
+  for (auto& [rule, descr, hits] : alerts) {
+    const std::string& label = sev_label[rule_to_sev[rule]];
+    expected[label].first += hits;
+    expected[label].second += 1;
+  }
+
+  planner::PlannerOptions popts;
+  popts.agg_strategy = query::AggStrategy::kTree;
+  std::vector<ResultBatch> batches;
+  auto r = planner::ExecuteSql(
+      net.node(0)->query_engine(),
+      "SELECT s.label, SUM(a.hits) AS total, COUNT(*) AS n "
+      "FROM alerts a, rules r, sevs s "
+      "WHERE a.rule_id = r.rule_id AND r.severity = s.severity "
+      "GROUP BY s.label",
+      [&](const ResultBatch& b) { batches.push_back(b); }, popts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  net.RunFor(Seconds(40));
+
+  ASSERT_EQ(batches.size(), 1u);
+  std::map<std::string, std::pair<int64_t, int64_t>> got;
+  for (const Tuple& t : batches[0].rows) {
+    got[t[0].string_value()] = {t[1].int64_value(), t[2].int64_value()};
+  }
+  EXPECT_EQ(got, expected);
+
+  // In-network aggregation: partials must combine at interior tree nodes,
+  // so at least one NON-origin node received partial-aggregate traffic.
+  uint64_t interior_partials = 0;
+  for (size_t i = 1; i < net.size(); ++i) {
+    interior_partials +=
+        net.node(i)->query_engine()->stats().partial_msgs_received;
+  }
+  EXPECT_GT(interior_partials, 0u)
+      << "tree aggregation should combine partials in-network";
+}
+
+// The multiway path without aggregation, written with chained JOIN ... ON
+// syntax: the final join's rendezvous nodes project and ship result rows
+// straight to the origin (no partial-agg stage in the graph).
+TEST(E2eSqlTest, ThreeTableJoinProjectionNoAggregate) {
+  PierNetworkOptions opts;
+  opts.seed = 139;
+  opts.node.router_kind = RouterKind::kOneHop;
+  opts.node.engine.result_wait = Seconds(15);
+  PierNetwork net(8, opts);
+  net.Boot(Seconds(5));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, AlertsTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, RulesTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, SeveritiesTable()));
+
+  std::vector<std::tuple<int, std::string, int>> alerts = {
+      {1, "a1", 10}, {2, "a2", 20}, {2, "a3", 25}, {3, "a4", 30}};
+  ASSERT_NO_FATAL_FAILURE(PublishAlerts(net, alerts));
+  std::map<int, int> rule_to_sev = {{1, 1}, {2, 2}, {3, 3}};
+  std::map<int, std::string> sev_label = {
+      {1, "low"}, {2, "medium"}, {3, "high"}};
+  size_t p = 0;
+  for (auto [rule, sev] : rule_to_sev) {
+    ASSERT_TRUE(net.node(p++ % net.size())
+                    ->query_engine()
+                    ->Publish("rules",
+                              Tuple{Value::Int64(rule), Value::Int64(sev)})
+                    .ok());
+  }
+  for (auto& [sev, label] : sev_label) {
+    ASSERT_TRUE(net.node(p++ % net.size())
+                    ->query_engine()
+                    ->Publish("sevs", Tuple{Value::Int64(sev),
+                                            Value::String(label)})
+                    .ok());
+  }
+  net.RunFor(Seconds(5));
+
+  std::vector<ResultBatch> batches;
+  auto r = planner::ExecuteSql(
+      net.node(2)->query_engine(),
+      "SELECT a.descr, s.label FROM alerts a "
+      "JOIN rules r ON a.rule_id = r.rule_id "
+      "JOIN sevs s ON r.severity = s.severity "
+      "WHERE s.severity >= 2",
+      [&](const ResultBatch& b) { batches.push_back(b); });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  net.RunFor(Seconds(25));
+
+  ASSERT_EQ(batches.size(), 1u);
+  std::multiset<std::pair<std::string, std::string>> got;
+  for (const Tuple& t : batches[0].rows) {
+    got.insert({t[0].string_value(), t[1].string_value()});
+  }
+  // severity >= 2 keeps rules 2 (medium) and 3 (high).
+  std::multiset<std::pair<std::string, std::string>> expected = {
+      {"a2", "medium"}, {"a3", "medium"}, {"a4", "high"}};
+  EXPECT_EQ(got, expected);
+}
+
+// EXPLAIN returns the planned opgraph rendering as a one-row result and
+// disseminates nothing.
+TEST(E2eSqlTest, ExplainRendersOpgraph) {
+  PierNetworkOptions opts;
+  opts.seed = 137;
+  opts.node.router_kind = RouterKind::kOneHop;
+  PierNetwork net(4, opts);
+  net.Boot(Seconds(5));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, AlertsTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, RulesTable()));
+  ASSERT_NO_FATAL_FAILURE(RegisterEverywhere(net, SeveritiesTable()));
+
+  std::vector<ResultBatch> batches;
+  auto r = planner::ExecuteSql(
+      net.node(0)->query_engine(),
+      "EXPLAIN SELECT s.label, SUM(a.hits) AS total "
+      "FROM alerts a, rules r, sevs s "
+      "WHERE a.rule_id = r.rule_id AND r.severity = s.severity "
+      "GROUP BY s.label",
+      [&](const ResultBatch& b) { batches.push_back(b); });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 0u);  // nothing executed
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].rows.size(), 1u);
+  std::string rendering = batches[0].rows[0][0].string_value();
+  // Two chained joins, partial aggregation shipped over the tree exchange.
+  EXPECT_NE(rendering.find("scan(alerts)"), std::string::npos) << rendering;
+  EXPECT_NE(rendering.find("join[symmetric-hash]"), std::string::npos);
+  EXPECT_NE(rendering.find("partial-agg"), std::string::npos);
+  EXPECT_NE(rendering.find("=> tree"), std::string::npos);
+  EXPECT_EQ(net.node(0)->query_engine()->stats().queries_issued, 0u);
 }
 
 }  // namespace

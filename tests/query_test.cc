@@ -816,6 +816,52 @@ TEST(QueryRobustnessTest, AggregationSurvivesNodeCrashMidQuery) {
   EXPECT_LE(batches[0].rows[0][1].int64_value(), 36);
 }
 
+TEST(QueryRobustnessTest, LatePartialsCountedAfterFinalize) {
+  // A deliberately impossible result window: the origin finalizes epoch 0
+  // before any remote partial can cross the network (min one-way latency is
+  // 5ms), so every reporting node becomes a straggler. Those partials used
+  // to vanish silently; now they are counted. A node crashing mid-query
+  // (churn) must not disturb the accounting — its partials simply never
+  // arrive.
+  PierNetworkOptions opts = OneHopOpts(83);
+  opts.node.engine.result_wait = Millis(1);
+  PierNetwork net(6, opts);
+  net.Boot(Seconds(5));
+  RegisterEverywhere(net, AlertsTable());
+  // Enough distinct keys that (under this seed) every node's ring arc owns
+  // a slice and therefore has a partial to report.
+  std::vector<std::tuple<int, std::string, int>> rows;
+  for (int i = 0; i < 240; ++i) {
+    rows.push_back({i, "r" + std::to_string(i), i});
+  }
+  PublishAlerts(net, rows);
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kAggregate;
+  plan.table = "alerts";
+  plan.scan_schema = AlertsTable().schema;
+  plan.group_cols = {};
+  plan.aggs = {{AggFunc::kCount, -1, "n"}};
+  plan.agg_strategy = AggStrategy::kDirect;
+
+  std::vector<ResultBatch> batches;
+  ASSERT_TRUE(net.node(0)
+                  ->query_engine()
+                  ->Execute(plan,
+                            [&](const ResultBatch& b) { batches.push_back(b); })
+                  .ok());
+  net.Crash(4);  // churn: one reporter dies while its partial is in flight
+  net.RunFor(Seconds(10));
+
+  // The epoch still reported (best-effort: the origin's own slice).
+  ASSERT_EQ(batches.size(), 1u);
+  // Every surviving non-origin node's partial arrived after the finalize
+  // and was counted as late instead of dropped silently.
+  const EngineStats& st = net.node(0)->query_engine()->stats();
+  EXPECT_GE(st.late_partials, 3u);
+  EXPECT_LE(st.late_partials, 4u);  // 4 surviving non-origin reporters
+}
+
 TEST(QueryRobustnessTest, EngineStatsAccumulate) {
   PierNetwork net(4, OneHopOpts(79));
   net.Boot(Seconds(5));

@@ -124,6 +124,35 @@ TEST(ParserTest, JoinForms) {
   EXPECT_NE(r2.value().select.where, nullptr);
 }
 
+TEST(ParserTest, MultiTableFromForms) {
+  // Comma list of three relations.
+  auto r1 = sql::Parse(
+      "SELECT s.label FROM alerts a, rules r, sevs s "
+      "WHERE a.rule_id = r.rule_id AND r.severity = s.severity");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().select.from.size(), 3u);
+
+  // Chained JOIN ... ON: the ON conditions AND together.
+  auto r2 = sql::Parse(
+      "SELECT s.label FROM alerts a JOIN rules r ON a.rule_id = r.rule_id "
+      "JOIN sevs s ON r.severity = s.severity");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().select.from.size(), 3u);
+  ASSERT_NE(r2.value().select.join_on, nullptr);
+  EXPECT_EQ(r2.value().select.join_on->kind, sql::AstExpr::Kind::kAnd);
+}
+
+TEST(ParserTest, ExplainPrefix) {
+  auto r = sql::Parse("EXPLAIN SELECT rule_id FROM alerts");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().explain);
+  EXPECT_EQ(r.value().kind, sql::Statement::Kind::kSelect);
+
+  auto plain = sql::Parse("SELECT rule_id FROM alerts");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().explain);
+}
+
 TEST(ParserTest, ExpressionPrecedence) {
   auto r = sql::Parse("SELECT a FROM t WHERE x + 1 * 2 = 3 AND y < 4 OR z = 5");
   ASSERT_TRUE(r.ok());
@@ -201,6 +230,12 @@ catalog::Catalog TestCatalog() {
                                   {"dst", ValueType::kString}});
   links.partition_cols = {0};
   EXPECT_TRUE(cat.Register(links).ok());
+  TableDef sevs;
+  sevs.name = "sevs";
+  sevs.schema = Schema("sevs", {{"severity", ValueType::kInt64},
+                                {"label", ValueType::kString}});
+  sevs.partition_cols = {0};
+  EXPECT_TRUE(cat.Register(sevs).ok());
   return cat;
 }
 
@@ -266,6 +301,46 @@ TEST(PlannerTest, JoinKeyExtraction) {
   EXPECT_NE(p.where, nullptr);  // residual severity > 1
   // rules is partitioned on rule_id, so the planner picks fetch-matches.
   EXPECT_EQ(p.join_strategy, query::JoinStrategy::kFetchMatches);
+}
+
+TEST(PlannerTest, MultiwayJoinComposesOpgraph) {
+  QueryPlan p = MustPlan(
+      "SELECT s.label, SUM(a.hits) AS total FROM alerts a, rules r, sevs s "
+      "WHERE a.rule_id = r.rule_id AND r.severity = s.severity "
+      "GROUP BY s.label");
+  ASSERT_FALSE(p.graph.empty());
+  EXPECT_TRUE(p.graph.Validate().ok()) << p.graph.Validate().ToString();
+  // Three scans chained through two binary symmetric-hash joins, with the
+  // group-by pushed below the origin: partial-agg ships over the tree
+  // exchange and finalizes at the origin.
+  int scans = 0, joins = 0, partial = 0, final_agg = 0;
+  for (const query::OpNode& n : p.graph.nodes) {
+    scans += n.type == query::OpType::kScan;
+    joins += n.type == query::OpType::kJoin;
+    partial += n.type == query::OpType::kPartialAgg;
+    final_agg += n.type == query::OpType::kFinalAgg;
+    if (n.type == query::OpType::kJoin) {
+      EXPECT_EQ(n.strategy, query::JoinStrategy::kSymmetricHash);
+      EXPECT_EQ(n.left_keys.size(), n.right_keys.size());
+    }
+    if (n.type == query::OpType::kPartialAgg) {
+      EXPECT_EQ(n.out, query::ExchangeKind::kTree);
+    }
+  }
+  EXPECT_EQ(scans, 3);
+  EXPECT_EQ(joins, 2);
+  EXPECT_EQ(partial, 1);
+  EXPECT_EQ(final_agg, 1);
+  EXPECT_EQ(p.graph.nodes.back().type, query::OpType::kCollect);
+}
+
+TEST(PlannerTest, DisconnectedMultiwayJoinRejected) {
+  auto stmt = sql::Parse(
+      "SELECT a.rule_id FROM alerts a, rules r, sevs s "
+      "WHERE a.rule_id = r.rule_id");  // sevs connects to nothing
+  ASSERT_TRUE(stmt.ok());
+  catalog::Catalog cat = TestCatalog();
+  EXPECT_FALSE(planner::PlanStatement(stmt.value(), cat).ok());
 }
 
 TEST(PlannerTest, JoinWithoutEquiPredicateRejected) {
@@ -446,6 +521,25 @@ TEST_F(SqlEndToEnd, ParseErrorSurfacesToCaller) {
                                "SELEKT * FROM alerts",
                                [](const ResultBatch&) {});
   EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlEndToEnd, ExplainReturnsOpgraphAsOneRowResult) {
+  Boot(3);
+  auto batches = Run(
+      "EXPLAIN SELECT rule_id, SUM(hits) AS total FROM alerts "
+      "WHERE hits > 0 GROUP BY rule_id ORDER BY total DESC LIMIT 10",
+      /*wait=*/Seconds(1));
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].rows.size(), 1u);
+  ASSERT_EQ(batches[0].rows[0].size(), 1u);
+  std::string rendering = batches[0].rows[0][0].string_value();
+  EXPECT_NE(rendering.find("opgraph{"), std::string::npos) << rendering;
+  EXPECT_NE(rendering.find("scan(alerts)"), std::string::npos);
+  EXPECT_NE(rendering.find("partial-agg"), std::string::npos);
+  EXPECT_NE(rendering.find("final-agg"), std::string::npos);
+  EXPECT_NE(rendering.find("collect"), std::string::npos);
+  // EXPLAIN plans without executing: no query was disseminated.
+  EXPECT_EQ(net_->node(0)->query_engine()->stats().queries_issued, 0u);
 }
 
 }  // namespace
