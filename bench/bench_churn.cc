@@ -8,8 +8,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "core/network.h"
 #include "planner/planner.h"
 #include "workload/workloads.h"
@@ -17,8 +19,19 @@
 namespace pier {
 namespace {
 
-void RunChurn(Duration mean_session, const char* label) {
-  const size_t kNodes = 128;
+struct ChurnResult {
+  size_t epochs = 0;
+  double mean_coverage = 0;
+  double mean_rel_err = 0;
+  size_t alive_end = 0;
+  uint64_t bytes_sent = 0;
+  bool ok = false;
+};
+
+ChurnResult RunChurn(size_t nodes, Duration mean_session, Duration query_span,
+                     const char* label) {
+  const size_t kNodes = nodes;
+  ChurnResult result;
   core::PierNetworkOptions opts;
   opts.seed = 555;
   opts.node.router_kind = core::RouterKind::kChord;
@@ -62,8 +75,8 @@ void RunChurn(Duration mean_session, const char* label) {
           rel_err.push_back(std::abs(kbps - oracle) / oracle);
         }
       });
-  if (!r.ok()) return;
-  net.RunFor(Seconds(240));
+  if (!r.ok()) return result;
+  net.RunFor(query_span);
   net.node(0)->query_engine()->Cancel(r.value());
   net.RunFor(Seconds(10));
 
@@ -72,25 +85,65 @@ void RunChurn(Duration mean_session, const char* label) {
     for (double x : v) s += x;
     return v.empty() ? 0.0 : s / static_cast<double>(v.size());
   };
-  uint64_t transitions = 0;  // alive count at end as a dynamism proxy
-  std::printf("%-14s %7zu %10.1f%% %10.1f%% %8zu\n", label, coverage.size(),
-              100.0 * mean(coverage), 100.0 * mean(rel_err),
-              net.alive_count());
-  (void)transitions;
+  result.epochs = coverage.size();
+  result.mean_coverage = mean(coverage);
+  result.mean_rel_err = mean(rel_err);
+  result.alive_end = net.alive_count();
+  result.bytes_sent = net.net()->stats().bytes_sent;
+  result.ok = true;
+  std::printf("%-14s %7zu %10.1f%% %10.1f%% %8zu\n", label, result.epochs,
+              100.0 * result.mean_coverage, 100.0 * result.mean_rel_err,
+              result.alive_end);
+  return result;
 }
 
 }  // namespace
 }  // namespace pier
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace pier;
+  bench::JsonOptions json = bench::ParseJsonFlag(argc, argv);
+  size_t nodes = json.enabled ? 1000 : 128;
+  for (const std::string& arg : json.args) {
+    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
+  }
+
+  if (json.enabled) {
+    // Perf-trajectory mode: one representative run (medium churn) at scale,
+    // timed wall-clock. The self-check is answer quality, never timing.
+    std::printf("== churn perf run: nodes=%zu, medium churn (180s) ==\n",
+                nodes);
+    std::printf("%-14s %7s %11s %11s %8s\n", "churn", "epochs", "coverage",
+                "sum.err", "alive@end");
+    bench::WallTimer timer;
+    ChurnResult r =
+        RunChurn(nodes, Seconds(180), Seconds(120), "medium(180s)");
+    double wall = timer.Seconds();
+    bool ok = r.ok && r.epochs > 0 && r.mean_coverage > 0.3;
+    std::printf("\nwall-clock: %.2fs  self-check: %s\n", wall,
+                ok ? "OK" : "FAILED");
+    bench::JsonReport report("bench_churn");
+    report.Metric("nodes", static_cast<double>(nodes), "count");
+    report.Metric("wall_clock", wall, "s");
+    report.Metric("epochs", static_cast<double>(r.epochs), "count");
+    report.Metric("coverage", r.mean_coverage, "fraction");
+    report.Metric("bytes_sent", static_cast<double>(r.bytes_sent), "bytes");
+    if (!report.WriteMerged(json.path)) {
+      std::printf("failed to write %s\n", json.path.c_str());
+      return 1;
+    }
+    std::printf("merged metrics into %s\n", json.path.c_str());
+    return ok ? 0 : 1;
+  }
+
   std::printf("== Ablation D: continuous aggregates under churn ==\n");
-  std::printf("nodes=128, 10s epochs for 4 virtual minutes\n\n");
+  std::printf("nodes=%zu, 10s epochs for 4 virtual minutes\n\n", nodes);
   std::printf("%-14s %7s %11s %11s %8s\n", "churn", "epochs", "coverage",
               "sum.err", "alive@end");
-  pier::RunChurn(0, "none");
-  pier::RunChurn(pier::Seconds(600), "mild(600s)");
-  pier::RunChurn(pier::Seconds(180), "medium(180s)");
-  pier::RunChurn(pier::Seconds(60), "heavy(60s)");
+  RunChurn(nodes, 0, Seconds(240), "none");
+  RunChurn(nodes, Seconds(600), Seconds(240), "mild(600s)");
+  RunChurn(nodes, Seconds(180), Seconds(240), "medium(180s)");
+  RunChurn(nodes, Seconds(60), Seconds(240), "heavy(60s)");
   std::printf("\nexpected shape: coverage and accuracy degrade gracefully — "
               "the query keeps answering over responding nodes\n");
   return 0;

@@ -26,13 +26,13 @@ void RunSize(size_t n) {
   for (size_t i = 0; i < n; ++i) {
     net.node(i)->broadcast()->SetHandler(
         [&delivered, &max_depth, i](sim::HostId, uint64_t, sim::HostId,
-                                    int depth, const std::string&) {
+                                    int depth, const sim::Payload&) {
           ++delivered[i];
           if (depth > max_depth) max_depth = depth;
         });
   }
   TimePoint t0 = net.sim()->now();
-  net.node(0)->broadcast()->Broadcast("query-plan-payload");
+  net.node(0)->broadcast()->Broadcast(sim::Payload("query-plan-payload"));
   net.RunFor(Seconds(20));
 
   size_t reached = 0;

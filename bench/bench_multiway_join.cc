@@ -11,6 +11,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "core/network.h"
 #include "planner/planner.h"
 #include "workload/workloads.h"
@@ -63,7 +64,16 @@ uint64_t TotalBytes(core::PierNetwork& net) {
          net.TotalBytesOut(overlay::Proto::kBroadcast);
 }
 
-void RunAt(size_t nodes) {
+struct MultiwayResult {
+  bool ok = false;
+  size_t groups = 0;
+  int64_t expected_groups = 0;
+  int64_t rows = 0;
+  uint64_t traffic_bytes = 0;
+};
+
+MultiwayResult RunAt(size_t nodes) {
+  MultiwayResult result;
   core::PierNetworkOptions opts;
   opts.seed = 2026;  // identical data at every scale
   opts.node.router_kind = core::RouterKind::kChord;
@@ -126,7 +136,7 @@ void RunAt(size_t nodes) {
       popts);
   if (!r.ok()) {
     std::printf("%6zu  FAILED: %s\n", nodes, r.status().ToString().c_str());
-    return;
+    return result;
   }
   net.RunFor(Seconds(40));
 
@@ -145,23 +155,56 @@ void RunAt(size_t nodes) {
               ToSecondsF(t_done - t0),
               static_cast<double>(bytes_after - bytes_before) / 1024.0,
               rehash, interior_partials);
+  result.ok = true;
+  result.groups = got_groups;
+  result.expected_groups = expected_groups;
+  result.rows = got_rows;
+  result.traffic_bytes = bytes_after - bytes_before;
+  return result;
 }
 
 }  // namespace
 }  // namespace pier
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace pier;
+  bench::JsonOptions json = bench::ParseJsonFlag(argc, argv);
+  if (json.enabled) {
+    // Perf-trajectory mode: the middle scale only, timed wall-clock.
+    std::printf("== multiway join perf run: nodes=32 ==\n");
+    bench::WallTimer timer;
+    MultiwayResult r = RunAt(32);
+    double wall = timer.Seconds();
+    bool ok = r.ok &&
+              r.groups == static_cast<size_t>(r.expected_groups) &&
+              r.rows == kFactRows;
+    std::printf("wall-clock: %.2fs  self-check: %s\n", wall,
+                ok ? "OK" : "FAILED");
+    bench::JsonReport report("bench_multiway_join");
+    report.Metric("wall_clock", wall, "s");
+    report.Metric("groups", static_cast<double>(r.groups), "count");
+    report.Metric("rows", static_cast<double>(r.rows), "count");
+    report.Metric("bytes_sent", static_cast<double>(r.traffic_bytes),
+                  "bytes");
+    if (!report.WriteMerged(json.path)) {
+      std::printf("failed to write %s\n", json.path.c_str());
+      return 1;
+    }
+    std::printf("merged metrics into %s\n", json.path.c_str());
+    return ok ? 0 : 1;
+  }
+
   std::printf("== Multi-way join: facts ⋈ dims ⋈ cats, GROUP BY, tree "
               "aggregation ==\n");
   std::printf("|facts|=%d |dims|=%d |cats|=%d; two chained symmetric-hash "
               "joins, partial agg at rendezvous\n\n",
-              pier::kFactRows, pier::kDimRows, pier::kCatRows);
+              kFactRows, kDimRows, kCatRows);
   std::printf("%6s %17s %16s %9s %12s %10s %10s\n", "nodes", "groups/expect",
               "rows/published", "time.s", "traffic.KiB", "rehashed",
               "tree.part");
-  pier::RunAt(16);
-  pier::RunAt(32);
-  pier::RunAt(48);
+  RunAt(16);
+  RunAt(32);
+  RunAt(48);
   std::printf("\nexpected shape: traffic and rehash grow with node count "
               "(every node scans+ships its slice); tree.part > 0 shows "
               "in-network aggregation at interior tree nodes\n");

@@ -11,6 +11,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "core/network.h"
 #include "planner/planner.h"
 #include "workload/workloads.h"
@@ -18,7 +19,14 @@
 namespace pier {
 namespace {
 
-int Run() {
+struct Table1Metrics {
+  int matches = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t partial_msgs = 0;
+  size_t reporting_nodes = 0;
+};
+
+int Run(Table1Metrics* metrics) {
   const size_t kNodes = 300;
   core::PierNetworkOptions opts;
   opts.seed = 20040613;  // SIGMOD'04 started June 13
@@ -79,10 +87,37 @@ int Run() {
   const auto& st = net.node(0)->query_engine()->stats();
   std::printf("origin partial-aggregate messages received: %" PRIu64 "\n",
               st.partial_msgs_received);
+  metrics->matches = matches;
+  metrics->bytes_sent = net.net()->stats().bytes_sent;
+  metrics->partial_msgs = st.partial_msgs_received;
+  metrics->reporting_nodes = batches[0].reporting_nodes;
   return matches == 10 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace pier
 
-int main() { return pier::Run(); }
+int main(int argc, char** argv) {
+  using namespace pier;
+  bench::JsonOptions json = bench::ParseJsonFlag(argc, argv);
+  Table1Metrics metrics;
+  bench::WallTimer timer;
+  int rc = Run(&metrics);
+  double wall = timer.Seconds();
+  if (json.enabled) {
+    bench::JsonReport report("bench_table1_top_intrusions");
+    report.Metric("wall_clock", wall, "s");
+    report.Metric("rows_matched", metrics.matches, "count");
+    report.Metric("bytes_sent", static_cast<double>(metrics.bytes_sent),
+                  "bytes");
+    report.Metric("reporting_nodes",
+                  static_cast<double>(metrics.reporting_nodes), "count");
+    if (!report.WriteMerged(json.path)) {
+      std::printf("failed to write %s\n", json.path.c_str());
+      return 1;
+    }
+    std::printf("merged metrics into %s (wall-clock %.2fs)\n",
+                json.path.c_str(), wall);
+  }
+  return rc;
+}

@@ -3,20 +3,29 @@
 # examples), run the test suite. CI and local pre-push both run exactly this,
 # so the README's build instructions can never rot.
 #
-# Usage: ci/check.sh [--sanitize] [build-dir]
+# Usage: ci/check.sh [--sanitize] [--no-perf] [build-dir]
 #   --sanitize   Debug build with ASan+UBSan (-DPIER_SANITIZE=address;undefined)
 #                — the job that keeps the ownership-heavy dataflow runtime
 #                (query/ops/, query/exchange.*) memory-clean on every PR.
+#                Skips the perf smoke (sanitized timings are meaningless).
+#   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1
+#                with --json, merged into BENCH_PR3.json). The smoke fails
+#                only on a bench self-check mismatch, never on timing.
 #   build-dir    defaults to "build" ("build-asan" under --sanitize)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  SANITIZE=1
+PERF=1
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --sanitize) SANITIZE=1; PERF=0 ;;
+    --no-perf)  PERF=0 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 
 if [[ $SANITIZE -eq 1 ]]; then
   BUILD_DIR="${1:-build-asan}"
@@ -35,5 +44,14 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== ctest =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+if [[ $PERF -eq 1 ]]; then
+  # Perf smoke: refresh the machine-readable perf trajectory. Exit codes
+  # carry only the benches' answer self-checks (10/10 Table 1 rows, exact
+  # event counts); wall-clock numbers are recorded, never gated on.
+  echo "== perf smoke (BENCH_PR3.json) =="
+  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR3.json
+  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR3.json | tail -4
+fi
 
 echo "== OK =="

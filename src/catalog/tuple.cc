@@ -6,6 +6,9 @@ namespace pier {
 namespace catalog {
 
 void SerializeTuple(const Tuple& t, Writer* w) {
+  size_t bound = 5;
+  for (const Value& v : t) bound += v.SerializedSizeBound();
+  w->Reserve(bound);
   w->PutVarint32(static_cast<uint32_t>(t.size()));
   for (const Value& v : t) v.Serialize(w);
 }
@@ -76,6 +79,7 @@ std::string ResourceForCols(const Tuple& t, const std::vector<int>& cols) {
   // guarantees INT64/DOUBLE equality), fixed-length, and key values do not
   // leak into routing keys.
   Writer w;
+  w.Reserve(cols.size() * 8);
   for (int c : cols) {
     uint64_t h = (c >= 0 && static_cast<size_t>(c) < t.size())
                      ? t[c].Hash()

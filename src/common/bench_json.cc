@@ -1,0 +1,126 @@
+#include "common/bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pier {
+namespace bench {
+
+namespace {
+constexpr char kHeader0[] = "{";
+constexpr char kHeader1[] = "  \"schema\": \"pier-bench-v1\",";
+constexpr char kHeader2[] = "  \"benches\": [";
+constexpr char kFooter0[] = "  ]";
+constexpr char kFooter1[] = "}";
+
+/// Formats a double the way JSON wants it: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string NumberToJson(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+      v > -1e15) {
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Extracts the "name" of an entry line this harness wrote earlier.
+std::string EntryName(const std::string& line) {
+  const std::string tag = "\"name\": \"";
+  size_t p = line.find(tag);
+  if (p == std::string::npos) return "";
+  p += tag.size();
+  size_t e = line.find('"', p);
+  if (e == std::string::npos) return "";
+  return line.substr(p, e - p);
+}
+}  // namespace
+
+JsonOptions ParseJsonFlag(int argc, char** argv) {
+  JsonOptions out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      out.enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.enabled = true;
+      out.path = arg.substr(7);
+    } else {
+      out.args.push_back(arg);
+    }
+  }
+  return out;
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void JsonReport::Metric(const std::string& name, double value,
+                        const std::string& unit) {
+  for (Entry& e : metrics_) {
+    if (e.name == name) {
+      e.value = value;
+      e.unit = unit;
+      return;
+    }
+  }
+  metrics_.push_back(Entry{name, value, unit});
+}
+
+std::string JsonReport::ToJsonLine() const {
+  std::ostringstream os;
+  os << "    {\"name\": \"" << EscapeJson(name_) << "\", \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << EscapeJson(metrics_[i].name) << "\": {\"value\": "
+       << NumberToJson(metrics_[i].value) << ", \"unit\": \""
+       << EscapeJson(metrics_[i].unit) << "\"}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool JsonReport::WriteMerged(const std::string& path) const {
+  // Collect surviving entry lines from a previous report (if any). Anything
+  // that is not an entry line from our own format is ignored — the file is
+  // regenerated wholesale each time.
+  std::vector<std::string> entries;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("    {", 0) != 0) continue;
+      std::string name = EntryName(line);
+      if (name.empty() || name == name_) continue;
+      // Strip any trailing comma; commas are re-inserted on write.
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      entries.push_back(line);
+    }
+  }
+  entries.push_back(ToJsonLine());
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kHeader0 << '\n' << kHeader1 << '\n' << kHeader2 << '\n';
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i] << (i + 1 < entries.size() ? "," : "") << '\n';
+  }
+  out << kFooter0 << '\n' << kFooter1 << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace bench
+}  // namespace pier

@@ -1,0 +1,87 @@
+// Machine-readable benchmark output: the shared `--json` harness.
+//
+// Every macro bench accepts `--json[=path]` (default BENCH_PR3.json) and, in
+// that mode, appends/replaces its entry in a merged report file so a CI step
+// can run several bench binaries and upload one artifact. The file is the
+// perf trajectory of the repo: each PR lands with fresh numbers, so a
+// regression is a visible diff, not an anecdote (PIQL's perf-as-contract).
+//
+// Schema (documented in docs/benchmarks.md):
+//   {
+//     "schema": "pier-bench-v1",
+//     "benches": [
+//       {"name": "...", "metrics": {"<metric>": {"value": <num>, "unit": "..."}}},
+//       ...
+//     ]
+//   }
+//
+// The merge is line-oriented over a file this harness itself wrote: one
+// bench entry per line, replaced by name. Timing metrics are informational;
+// the bench's exit code carries only its self-check (CI fails on a wrong
+// answer, never on a slow machine).
+
+#ifndef PIER_COMMON_BENCH_JSON_H_
+#define PIER_COMMON_BENCH_JSON_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace pier {
+namespace bench {
+
+/// Result of scanning argv for harness flags. `args` keeps everything the
+/// harness did not consume, so benches can layer their own flags on top.
+struct JsonOptions {
+  bool enabled = false;
+  std::string path = "BENCH_PR3.json";
+  std::vector<std::string> args;
+};
+
+/// Consumes `--json` / `--json=PATH` from the command line.
+JsonOptions ParseJsonFlag(int argc, char** argv);
+
+/// Collects one bench's metrics and merges them into the report file.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Records a metric; re-adding a name overwrites the earlier value.
+  void Metric(const std::string& name, double value, const std::string& unit);
+
+  /// This bench's entry as a single JSON line (no trailing newline).
+  std::string ToJsonLine() const;
+
+  /// Merges this entry into `path`: keeps other benches' lines, replaces any
+  /// previous entry with the same name. Returns false on I/O failure.
+  bool WriteMerged(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Entry> metrics_;
+};
+
+/// Wall-clock stopwatch for the real-time metrics (virtual time is free;
+/// wall-clock is what the perf trajectory tracks).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace pier
+
+#endif  // PIER_COMMON_BENCH_JSON_H_

@@ -27,8 +27,9 @@ void Logger::Log(LogLevel level, const std::string& who,
     case LogLevel::kNone:
       return;
   }
-  if (now_ != nullptr) {
-    fprintf(stderr, "[%s %10.3fs %s] %s\n", tag, ToSecondsF(*now_),
+  const TimePoint* now = clock_source();
+  if (now != nullptr) {
+    fprintf(stderr, "[%s %10.3fs %s] %s\n", tag, ToSecondsF(*now),
             who.c_str(), msg.c_str());
   } else {
     fprintf(stderr, "[%s %s] %s\n", tag, who.c_str(), msg.c_str());

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/time_util.h"
 
@@ -33,8 +35,19 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
-  /// Set by the simulator so log lines carry virtual time.
-  void set_clock_source(const TimePoint* now) { now_ = now; }
+  /// Clock registration is a stack keyed by pointer identity so Simulation
+  /// lifetimes may nest OR interleave: a destroyed simulation removes its
+  /// own entry wherever it sits, and the most recent survivor supplies the
+  /// timestamps. The logger can therefore never be left reading a
+  /// destroyed clock.
+  void push_clock_source(const TimePoint* now) { clocks_.push_back(now); }
+  void remove_clock_source(const TimePoint* now) {
+    clocks_.erase(std::remove(clocks_.begin(), clocks_.end(), now),
+                  clocks_.end());
+  }
+  const TimePoint* clock_source() const {
+    return clocks_.empty() ? nullptr : clocks_.back();
+  }
 
   /// Writes one formatted line to stderr if `level` passes the filter.
   void Log(LogLevel level, const std::string& who, const std::string& msg);
@@ -44,7 +57,7 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
-  const TimePoint* now_ = nullptr;
+  std::vector<const TimePoint*> clocks_;
 };
 
 namespace log_internal {

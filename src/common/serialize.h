@@ -44,6 +44,10 @@ class Writer {
   /// Raw bytes with no length prefix (caller knows the width).
   void PutRaw(const void* data, size_t n);
 
+  /// Pre-sizes the buffer for `n` more bytes; encoders that know their
+  /// output size (tuples, frames, opgraphs) avoid realloc-and-copy growth.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   const std::string& buffer() const { return buf_; }
   std::string Release() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }

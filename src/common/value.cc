@@ -168,6 +168,24 @@ void Value::Serialize(Writer* w) const {
   }
 }
 
+size_t Value::SerializedSizeBound() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 2;
+    case ValueType::kInt64:
+      return 11;  // tag + max varint64
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kString:
+      return 6 + string_value().size();  // tag + max varint32 len + bytes
+    case ValueType::kBytes:
+      return 6 + bytes_value().size();
+  }
+  return 1;
+}
+
 Status Value::Deserialize(Reader* r, Value* out) {
   uint8_t tag = 0;
   PIER_RETURN_IF_ERROR(r->GetU8(&tag));

@@ -80,6 +80,8 @@ class Value {
 
   void Serialize(Writer* w) const;
   static Status Deserialize(Reader* r, Value* out);
+  /// Upper bound on Serialize output, for Writer::Reserve.
+  size_t SerializedSizeBound() const;
 
  private:
   using Rep = std::variant<std::monostate, bool, int64_t, double, std::string,

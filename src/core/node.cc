@@ -21,9 +21,9 @@ PierNode::PierNode(sim::Network* network, std::string name,
 
 PierNode::~PierNode() = default;
 
-void PierNode::OnMessage(sim::HostId from, const std::string& bytes) {
+void PierNode::OnMessage(sim::HostId from, const sim::Packet& packet) {
   if (!alive_) return;
-  transport_->Dispatch(from, bytes);
+  transport_->Dispatch(from, packet);
 }
 
 void PierNode::BuildComponents() {

@@ -53,7 +53,7 @@ class PierNode : public sim::MessageHandler {
   PierNode& operator=(const PierNode&) = delete;
 
   // sim::MessageHandler.
-  void OnMessage(sim::HostId from, const std::string& bytes) override;
+  void OnMessage(sim::HostId from, const sim::Packet& packet) override;
 
   /// Becomes the first node of the ring and starts all services.
   void CreateRing();

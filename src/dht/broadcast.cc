@@ -11,10 +11,12 @@ BroadcastService::BroadcastService(overlay::Transport* transport,
     : transport_(transport), router_(router) {
   transport_->RegisterHandler(
       overlay::Proto::kBroadcast,
-      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+      [this](sim::HostId from, Reader* r, const sim::Payload& body) {
+        OnMessage(from, r, body);
+      });
 }
 
-uint64_t BroadcastService::Broadcast(std::string payload) {
+uint64_t BroadcastService::Broadcast(sim::Payload payload) {
   if (!running_) return 0;
   uint64_t seq = next_seq_++;
   ++stats_.initiated;
@@ -29,7 +31,7 @@ uint64_t BroadcastService::Broadcast(std::string payload) {
 
 void BroadcastService::Relay(sim::HostId origin, uint64_t seq,
                              const Id160& limit, int depth,
-                             const std::string& payload) {
+                             const sim::Payload& payload) {
   if (depth >= kMaxDepth) return;
   const Id160 self_id = router_->self().id;
   std::vector<overlay::NodeInfo> neighbors = router_->RoutingNeighbors();
@@ -52,6 +54,8 @@ void BroadcastService::Relay(sim::HostId origin, uint64_t seq,
                  in_range.end());
   for (size_t i = 0; i < in_range.size(); ++i) {
     // Neighbor i covers up to the next neighbor (or our limit for the last).
+    // Only this small tree header is rebuilt per edge; the payload buffer
+    // is shared down the entire dissemination tree.
     const Id160& sub_limit =
         (i + 1 < in_range.size()) ? in_range[i + 1].id : limit;
     Writer w;
@@ -59,20 +63,19 @@ void BroadcastService::Relay(sim::HostId origin, uint64_t seq,
     w.PutVarint64(seq);
     sub_limit.Serialize(&w);
     w.PutVarint32(static_cast<uint32_t>(depth + 1));
-    w.PutString(payload);
-    transport_->Send(in_range[i].host, overlay::Proto::kBroadcast, w);
+    transport_->SendWithBody(in_range[i].host, overlay::Proto::kBroadcast, w,
+                             payload);
     ++stats_.forwarded;
   }
 }
 
-void BroadcastService::OnMessage(sim::HostId from, Reader* r) {
+void BroadcastService::OnMessage(sim::HostId from, Reader* r,
+                                 const sim::Payload& body) {
   uint32_t origin = 0, depth = 0;
   uint64_t seq = 0;
   Id160 limit;
-  std::string payload;
   if (!r->GetFixed32(&origin).ok() || !r->GetVarint64(&seq).ok() ||
-      !Id160::Deserialize(r, &limit).ok() || !r->GetVarint32(&depth).ok() ||
-      !r->GetString(&payload).ok()) {
+      !Id160::Deserialize(r, &limit).ok() || !r->GetVarint32(&depth).ok()) {
     return;
   }
   if (!running_) return;
@@ -82,13 +85,13 @@ void BroadcastService::OnMessage(sim::HostId from, Reader* r) {
   }
   stats_.max_depth_seen =
       std::max(stats_.max_depth_seen, static_cast<int>(depth));
-  Deliver(origin, seq, from, static_cast<int>(depth), payload);
-  Relay(origin, seq, limit, static_cast<int>(depth), payload);
+  Deliver(origin, seq, from, static_cast<int>(depth), body);
+  Relay(origin, seq, limit, static_cast<int>(depth), body);
 }
 
 void BroadcastService::Deliver(sim::HostId origin, uint64_t seq,
                                sim::HostId parent, int depth,
-                               const std::string& payload) {
+                               const sim::Payload& payload) {
   ++stats_.delivered;
   if (handler_) handler_(origin, seq, parent, depth, payload);
 }

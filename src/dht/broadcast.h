@@ -37,18 +37,21 @@ class BroadcastService {
   /// Delivery upcall: `origin` initiated broadcast `seq`; `parent` is the
   /// node that forwarded it to us (self at the origin) — the edge of the
   /// dissemination tree, which aggregation re-uses in reverse; `depth` is
-  /// the tree depth at this node.
+  /// the tree depth at this node. The payload is the origin's buffer,
+  /// shared (not copied) across the whole tree.
   using Handler =
       std::function<void(sim::HostId origin, uint64_t seq, sim::HostId parent,
-                         int depth, const std::string& payload)>;
+                         int depth, const sim::Payload& payload)>;
 
   BroadcastService(overlay::Transport* transport, overlay::Router* router);
 
   void SetHandler(Handler handler) { handler_ = std::move(handler); }
 
   /// Disseminates `payload` to every reachable node, including this one.
-  /// Returns the broadcast sequence number.
-  uint64_t Broadcast(std::string payload);
+  /// The payload is serialized exactly once (by the caller); every relay
+  /// hop re-frames only the small tree header. Returns the broadcast
+  /// sequence number.
+  uint64_t Broadcast(sim::Payload payload);
 
   void Start() { running_ = true; }
   void Stop() { running_ = false; }
@@ -56,12 +59,12 @@ class BroadcastService {
   const BroadcastStats& stats() const { return stats_; }
 
  private:
-  void OnMessage(sim::HostId from, Reader* r);
+  void OnMessage(sim::HostId from, Reader* r, const sim::Payload& body);
   /// Forwards into (self, limit), splitting among neighbors.
   void Relay(sim::HostId origin, uint64_t seq, const Id160& limit, int depth,
-             const std::string& payload);
+             const sim::Payload& payload);
   void Deliver(sim::HostId origin, uint64_t seq, sim::HostId parent,
-               int depth, const std::string& payload);
+               int depth, const sim::Payload& payload);
   bool AlreadySeen(sim::HostId origin, uint64_t seq);
 
   overlay::Transport* transport_;

@@ -1,14 +1,22 @@
 #include "dht/local_store.h"
 
+#include <algorithm>
+
 namespace pier {
 namespace dht {
 
 void LocalStore::Put(StoredItem item) {
-  ResourceMap& rm = by_namespace_[item.key.ns];
-  auto map_key = std::make_pair(item.key.resource, item.key.instance);
-  auto it = rm.find(map_key);
-  if (it == rm.end()) {
-    rm.emplace(map_key, std::move(item));
+  auto nit = by_namespace_.find(std::string_view(item.key.ns));
+  if (nit == by_namespace_.end()) {
+    nit = by_namespace_.emplace(item.key.ns, NamespaceShard{}).first;
+  }
+  NamespaceShard& shard = nit->second;
+  shard.min_expiry = std::min(shard.min_expiry, item.expires_at);
+  auto it = shard.items.find(
+      ResourceRef{std::string_view(item.key.resource), item.key.instance});
+  if (it == shard.items.end()) {
+    auto map_key = std::make_pair(item.key.resource, item.key.instance);
+    shard.items.emplace(std::move(map_key), std::move(item));
     ++size_;
   } else {
     // Renewal: replace value, keep the later expiry.
@@ -18,57 +26,65 @@ void LocalStore::Put(StoredItem item) {
   }
 }
 
-std::vector<StoredItem> LocalStore::Get(const std::string& ns,
-                                        const std::string& resource,
+std::vector<StoredItem> LocalStore::Get(std::string_view ns,
+                                        std::string_view resource,
                                         TimePoint now) const {
   std::vector<StoredItem> out;
-  auto nit = by_namespace_.find(ns);
-  if (nit == by_namespace_.end()) return out;
-  auto lo = nit->second.lower_bound({resource, 0});
-  for (auto it = lo; it != nit->second.end() && it->first.first == resource;
-       ++it) {
-    if (it->second.expires_at > now) out.push_back(it->second);
-  }
+  ForEachAt(ns, resource, now, [&out](const StoredItem& item) {
+    out.push_back(item);
+    return true;
+  });
   return out;
 }
 
-std::vector<StoredItem> LocalStore::Scan(const std::string& ns,
+std::vector<StoredItem> LocalStore::Scan(std::string_view ns,
                                          TimePoint now) const {
   std::vector<StoredItem> out;
-  auto nit = by_namespace_.find(ns);
-  if (nit == by_namespace_.end()) return out;
-  for (const auto& [k, item] : nit->second) {
-    if (item.expires_at > now) out.push_back(item);
-  }
+  ForEach(ns, now, [&out](const StoredItem& item) {
+    out.push_back(item);
+    return true;
+  });
   return out;
 }
 
 size_t LocalStore::Sweep(TimePoint now) {
+  ++stats_.sweep_runs;
   size_t reclaimed = 0;
   for (auto nit = by_namespace_.begin(); nit != by_namespace_.end();) {
-    ResourceMap& rm = nit->second;
-    for (auto it = rm.begin(); it != rm.end();) {
+    NamespaceShard& shard = nit->second;
+    if (shard.min_expiry > now) {
+      // Nothing in this namespace can have expired yet.
+      ++stats_.sweep_namespaces_skipped;
+      ++nit;
+      continue;
+    }
+    ++stats_.sweep_namespaces_scanned;
+    TimePoint new_min = std::numeric_limits<TimePoint>::max();
+    for (auto it = shard.items.begin(); it != shard.items.end();) {
       if (it->second.expires_at <= now) {
-        it = rm.erase(it);
+        it = shard.items.erase(it);
         ++reclaimed;
         --size_;
       } else {
+        new_min = std::min(new_min, it->second.expires_at);
         ++it;
       }
     }
-    if (rm.empty()) {
+    if (shard.items.empty()) {
       nit = by_namespace_.erase(nit);
     } else {
+      // The rescan tightens the watermark (renewals only loosened it).
+      shard.min_expiry = new_min;
       ++nit;
     }
   }
   return reclaimed;
 }
 
-size_t LocalStore::DropNamespace(const std::string& ns) {
+size_t LocalStore::DropNamespace(std::string_view ns) {
   auto nit = by_namespace_.find(ns);
   if (nit == by_namespace_.end()) return 0;
-  size_t n = nit->second.size();
+  size_t n = nit->second.items.size();
   size_ -= n;
   by_namespace_.erase(nit);
   return n;
@@ -77,7 +93,7 @@ size_t LocalStore::DropNamespace(const std::string& ns) {
 std::vector<std::string> LocalStore::Namespaces() const {
   std::vector<std::string> out;
   out.reserve(by_namespace_.size());
-  for (const auto& [ns, rm] : by_namespace_) out.push_back(ns);
+  for (const auto& [ns, shard] : by_namespace_) out.push_back(ns);
   return out;
 }
 

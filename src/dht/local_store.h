@@ -4,14 +4,26 @@
 // reads and reclaimed by periodic sweeps. There is no delete operation in
 // the hot path: publishers keep data alive by renewing (re-putting), and
 // stale data ages out. This is the paper's "soft state" storage model.
+//
+// Read path performance contract (see DESIGN.md "Performance model"):
+//   - ForEach/ForEachAt visit items in place — the aggregation path scans
+//     every namespace once per epoch on every node, so reads must not
+//     materialize vectors of copied values;
+//   - lookups are heterogeneous (string_view all the way down): Get/ForEachAt
+//     never construct a temporary (string, instance) pair key;
+//   - Sweep skips namespaces whose earliest possible expiry is in the future
+//     (per-namespace min-expiry watermark), so idle namespaces cost nothing.
 
 #ifndef PIER_DHT_LOCAL_STORE_H_
 #define PIER_DHT_LOCAL_STORE_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time_util.h"
@@ -37,33 +49,108 @@ struct StoredItem {
 /// In-memory multimap from (namespace, resource, instance) to items.
 class LocalStore {
  public:
+  /// Sweep-path counters (experiment accounting).
+  struct Stats {
+    uint64_t sweep_runs = 0;
+    uint64_t sweep_namespaces_scanned = 0;
+    uint64_t sweep_namespaces_skipped = 0;
+  };
+
   /// Upserts by exact key. A renewal with a later expiry extends lifetime.
   void Put(StoredItem item);
 
-  /// All live (non-expired) items under (ns, resource).
-  std::vector<StoredItem> Get(const std::string& ns,
-                              const std::string& resource,
+  /// Visits every live (non-expired) item in `ns` in deterministic
+  /// (resource, instance) order; `fn` returns false to stop early. Items
+  /// are visited in place — no copies.
+  template <typename Fn>
+  void ForEach(std::string_view ns, TimePoint now, Fn&& fn) const {
+    auto nit = by_namespace_.find(ns);
+    if (nit == by_namespace_.end()) return;
+    for (const auto& [k, item] : nit->second.items) {
+      if (item.expires_at > now && !fn(item)) return;
+    }
+  }
+
+  /// Visits live items under (ns, resource), all instances, in place.
+  template <typename Fn>
+  void ForEachAt(std::string_view ns, std::string_view resource,
+                 TimePoint now, Fn&& fn) const {
+    auto nit = by_namespace_.find(ns);
+    if (nit == by_namespace_.end()) return;
+    const ResourceMap& rm = nit->second.items;
+    for (auto it = rm.lower_bound(ResourceRef{resource, 0});
+         it != rm.end() && it->first.first == resource; ++it) {
+      if (it->second.expires_at > now && !fn(it->second)) return;
+    }
+  }
+
+  /// All live items under (ns, resource), copied out (compat wrapper; hot
+  /// paths use ForEachAt).
+  std::vector<StoredItem> Get(std::string_view ns, std::string_view resource,
                               TimePoint now) const;
 
-  /// All live items in a namespace — PIER's "lscan" access method.
-  std::vector<StoredItem> Scan(const std::string& ns, TimePoint now) const;
+  /// All live items in a namespace, copied out — PIER's "lscan" compat
+  /// wrapper; hot paths use ForEach.
+  std::vector<StoredItem> Scan(std::string_view ns, TimePoint now) const;
 
-  /// Drops expired items; returns how many were reclaimed.
+  /// Drops expired items; returns how many were reclaimed. Namespaces whose
+  /// min-expiry watermark is in the future are skipped wholesale.
   size_t Sweep(TimePoint now);
 
   /// Drops an entire namespace (end-of-query cleanup for temp namespaces).
-  size_t DropNamespace(const std::string& ns);
+  size_t DropNamespace(std::string_view ns);
 
   /// Live + not-yet-swept expired items currently held.
   size_t size() const { return size_; }
   /// Namespaces currently present (diagnostics).
   std::vector<std::string> Namespaces() const;
 
+  const Stats& stats() const { return stats_; }
+
  private:
+  /// Heterogeneous key for lookups: no temporary std::string.
+  using ResourceRef = std::pair<std::string_view, uint64_t>;
+
+  struct ResourceKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      // Compares pair<string-ish, uint64_t> across string/string_view.
+      std::string_view ar = a.first, br = b.first;
+      return ar != br ? ar < br : a.second < b.second;
+    }
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   // resource -> instance -> item. An ordered map keeps scans deterministic.
-  using ResourceMap = std::map<std::pair<std::string, uint64_t>, StoredItem>;
-  std::unordered_map<std::string, ResourceMap> by_namespace_;
+  using ResourceMap =
+      std::map<std::pair<std::string, uint64_t>, StoredItem, ResourceKeyLess>;
+
+  struct NamespaceShard {
+    ResourceMap items;
+    /// Conservative lower bound on the earliest expiry in this shard:
+    /// always <= the true minimum (renewals may raise the true minimum
+    /// without touching the watermark), so a future watermark proves there
+    /// is nothing to reclaim yet.
+    TimePoint min_expiry = std::numeric_limits<TimePoint>::max();
+  };
+
+  std::unordered_map<std::string, NamespaceShard, StringHash, StringEq>
+      by_namespace_;
   size_t size_ = 0;
+  Stats stats_;
 };
 
 }  // namespace dht

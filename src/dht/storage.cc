@@ -20,7 +20,9 @@ Dht::Dht(overlay::Transport* transport, overlay::Router* router,
   });
   transport_->RegisterHandler(
       overlay::Proto::kDht,
-      [this](sim::HostId from, Reader* r) { OnDirect(from, r); });
+      [this](sim::HostId from, Reader* r, const sim::Payload& /*body*/) {
+        OnDirect(from, r);
+      });
 }
 
 void Dht::Start() {
@@ -94,7 +96,7 @@ void Dht::SendPutOnce(const DhtKey& key, const std::string& value,
   w.PutVarint64(req_id);  // 0 = no ack requested
   w.PutFixed32(transport_->self());
   w.PutBool(replicate);
-  router_->Route(key.RoutingKey(), kPutTag, w.Release());
+  router_->Route(key.RoutingKey(), kPutTag, sim::Payload(w.Release()));
 }
 
 void Dht::Get(const std::string& ns, const std::string& resource,
@@ -148,7 +150,7 @@ void Dht::SendGetOnce(const std::string& ns, const std::string& resource,
   w.PutString(resource);
   w.PutVarint64(req_id);
   w.PutFixed32(transport_->self());
-  router_->Route(probe.RoutingKey(), kGetTag, w.Release());
+  router_->Route(probe.RoutingKey(), kGetTag, sim::Payload(w.Release()));
 }
 
 // ---------------------------------------------------------------------------
@@ -157,7 +159,7 @@ void Dht::SendGetOnce(const std::string& ns, const std::string& resource,
 
 void Dht::OnRoutedPut(const overlay::RoutedMessage& m) {
   if (!running_) return;
-  Reader r(m.payload);
+  Reader r(m.payload.view());
   StoredItem item;
   uint64_t ttl = 0, req_id = 0;
   uint32_t origin = 0;
@@ -187,7 +189,7 @@ void Dht::OnRoutedPut(const overlay::RoutedMessage& m) {
 
 void Dht::OnRoutedGet(const overlay::RoutedMessage& m) {
   if (!running_) return;
-  Reader r(m.payload);
+  Reader r(m.payload.view());
   std::string ns, resource;
   uint64_t req_id = 0;
   uint32_t origin = 0;
@@ -197,16 +199,26 @@ void Dht::OnRoutedGet(const overlay::RoutedMessage& m) {
   }
   ++stats_.serve_requests;
   // Replica copies answer too: if this node now owns the key after a
-  // failover, its replicas are the surviving data.
-  std::vector<StoredItem> items = store_.Get(ns, resource, sim_->now());
+  // failover, its replicas are the surviving data. Two visitor passes
+  // (count, then serialize straight from the store) — no item copies.
+  TimePoint now = sim_->now();
+  uint32_t count = 0;
+  size_t bytes = 0;
+  store_.ForEachAt(ns, resource, now, [&](const StoredItem& item) {
+    ++count;
+    bytes += item.key.resource.size() + item.value.size() + 24;
+    return true;
+  });
   Writer w;
+  w.Reserve(bytes + 16);
   w.PutU8(static_cast<uint8_t>(MsgType::kGetResp));
   w.PutVarint64(req_id);
-  w.PutVarint32(static_cast<uint32_t>(items.size()));
-  for (const StoredItem& item : items) {
+  w.PutVarint32(count);
+  store_.ForEachAt(ns, resource, now, [&w](const StoredItem& item) {
     item.key.Serialize(&w);
     w.PutString(item.value);
-  }
+    return true;
+  });
   transport_->Send(origin, overlay::Proto::kDht, w);
 }
 

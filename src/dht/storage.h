@@ -112,8 +112,16 @@ class Dht {
   void Get(const std::string& ns, const std::string& resource,
            GetCallback cb);
 
-  /// PIER's "lscan": this node's local slice of a namespace.
-  std::vector<StoredItem> LocalScan(const std::string& ns) const {
+  /// PIER's "lscan": visits this node's local slice of a namespace in
+  /// place (no value copies); `fn(const StoredItem&)` returns false to
+  /// stop early. The hot path for every ScanStage pass and join catch-up.
+  template <typename Fn>
+  void ForEachLocal(std::string_view ns, Fn&& fn) const {
+    store_.ForEach(ns, sim_->now(), std::forward<Fn>(fn));
+  }
+
+  /// Copying variant of the local scan (tests, diagnostics).
+  std::vector<StoredItem> LocalScan(std::string_view ns) const {
     return store_.Scan(ns, sim_->now());
   }
 

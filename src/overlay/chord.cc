@@ -18,8 +18,10 @@ ChordNode::ChordNode(Transport* transport, const Id160& id,
       options_(options),
       rpc_(transport->simulation()) {
   transport_->RegisterHandler(
-      Proto::kOverlay,
-      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+      Proto::kOverlay, [this](sim::HostId from, Reader* r,
+                              const sim::Payload& body) {
+        OnMessage(from, r, body);
+      });
 }
 
 ChordNode::~ChordNode() { StopTasks(); }
@@ -160,6 +162,20 @@ NodeInfo ChordNode::successor() const {
   return successors_.empty() ? self_ : successors_[0];
 }
 
+const std::vector<NodeInfo>& ChordNode::CompactFingers() const {
+  if (finger_cache_dirty_) {
+    finger_compact_.clear();
+    for (const auto& f : fingers_) {
+      if (!f.has_value()) continue;
+      bool dup = false;
+      for (const auto& e : finger_compact_) dup = dup || e.host == f->host;
+      if (!dup) finger_compact_.push_back(*f);
+    }
+    finger_cache_dirty_ = false;
+  }
+  return finger_compact_;
+}
+
 NodeInfo ChordNode::NextHop(const Id160& key) const {
   if (IsResponsibleFor(key) || successors_.empty()) return self_;
   // Immediate successor owns (self, successor].
@@ -182,9 +198,10 @@ NodeInfo ChordNode::NextHop(const Id160& key) const {
       best_dist = dist;
     }
   };
-  for (const auto& f : fingers_) {
-    if (f.has_value()) consider(*f);
-  }
+  // Same slot-order traversal as the raw table, minus the duplicates: this
+  // runs once per routed hop, so it iterates the handful of distinct
+  // fingers, not all 160 slots.
+  for (const auto& f : CompactFingers()) consider(f);
   for (const auto& s : successors_) consider(s);
   if (best.host != self_.host) return best;
   // Fall back to any live successor.
@@ -205,10 +222,7 @@ std::vector<NodeInfo> ChordNode::RoutingNeighbors() const {
   };
   for (const auto& s : successors_) add(s);
   // Fingers in increasing clockwise distance from self.
-  std::vector<NodeInfo> fs;
-  for (const auto& f : fingers_) {
-    if (f.has_value()) fs.push_back(*f);
-  }
+  std::vector<NodeInfo> fs = CompactFingers();
   std::sort(fs.begin(), fs.end(), [this](const NodeInfo& a, const NodeInfo& b) {
     return self_.id.DistanceTo(a.id) < self_.id.DistanceTo(b.id);
   });
@@ -217,30 +231,16 @@ std::vector<NodeInfo> ChordNode::RoutingNeighbors() const {
 }
 
 std::vector<NodeInfo> ChordNode::FingerEntries() const {
-  std::vector<NodeInfo> out;
-  for (const auto& f : fingers_) {
-    if (!f.has_value()) continue;
-    bool dup = false;
-    for (const auto& e : out) dup = dup || e.host == f->host;
-    if (!dup) out.push_back(*f);
-  }
-  return out;
+  return CompactFingers();
 }
 
 // ---------------------------------------------------------------------------
 // Routing
 // ---------------------------------------------------------------------------
 
-void ChordNode::Route(const Id160& key, uint8_t app_tag, std::string payload) {
+void ChordNode::Route(const Id160& key, uint8_t app_tag, sim::Payload payload) {
   if (state_ != State::kActive) return;
   ++stats_.routes_initiated;
-  Writer w;
-  w.PutU8(static_cast<uint8_t>(MsgType::kRoute));
-  key.Serialize(&w);
-  w.PutU8(app_tag);
-  w.PutFixed32(self_.host);
-  w.PutVarint32(0);
-  w.PutString(payload);
   NodeInfo hop = NextHop(key);
   if (hop.host == self_.host) {
     if (deliver_) {
@@ -248,17 +248,22 @@ void ChordNode::Route(const Id160& key, uint8_t app_tag, std::string payload) {
     }
     return;
   }
-  SendMsg(hop.host, w);
+  // Per-hop header only; the payload rides as the shared packet body.
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRoute));
+  key.Serialize(&w);
+  w.PutU8(app_tag);
+  w.PutFixed32(self_.host);
+  w.PutVarint32(0);
+  transport_->SendWithBody(hop.host, Proto::kOverlay, w, std::move(payload));
 }
 
-void ChordNode::HandleRoute(Reader* r) {
+void ChordNode::HandleRoute(Reader* r, const sim::Payload& body) {
   Id160 key;
   uint8_t app_tag = 0;
   uint32_t origin = 0, hops = 0;
-  std::string payload;
   if (!Id160::Deserialize(r, &key).ok() || !r->GetU8(&app_tag).ok() ||
-      !r->GetFixed32(&origin).ok() || !r->GetVarint32(&hops).ok() ||
-      !r->GetString(&payload).ok()) {
+      !r->GetFixed32(&origin).ok() || !r->GetVarint32(&hops).ok()) {
     return;
   }
   if (state_ != State::kActive) return;
@@ -267,7 +272,7 @@ void ChordNode::HandleRoute(Reader* r) {
   if (hop.host == self_.host) {
     if (deliver_) {
       deliver_(RoutedMessage{key, origin, app_tag, static_cast<int>(hops),
-                             std::move(payload)});
+                             body});
     }
     return;
   }
@@ -278,8 +283,7 @@ void ChordNode::HandleRoute(Reader* r) {
   w.PutU8(app_tag);
   w.PutFixed32(origin);
   w.PutVarint32(hops + 1);
-  w.PutString(payload);
-  SendMsg(hop.host, w);
+  transport_->SendWithBody(hop.host, Proto::kOverlay, w, body);
 }
 
 void ChordNode::Lookup(const Id160& key, LookupCallback cb) {
@@ -525,6 +529,7 @@ void ChordNode::HandleLeaveNotice(Reader* r) {
   for (auto& f : fingers_) {
     if (f.has_value() && f->host == leaving.host) f.reset();
   }
+  InvalidateFingerCache();
 }
 
 void ChordNode::FixFingers() {
@@ -547,6 +552,7 @@ void ChordNode::FixFingers() {
           } else {
             fingers_[index] = owner;
           }
+          InvalidateFingerCache();
         },
         options_.rpc_timeout);
     ForwardFindSucc(target, req_id, self_.host, 0);
@@ -584,9 +590,11 @@ void ChordNode::Suspect(sim::HostId host) {
   for (auto& f : fingers_) {
     if (f.has_value() && f->host == host) f.reset();
   }
+  InvalidateFingerCache();
 }
 
 bool ChordNode::IsSuspect(sim::HostId host) const {
+  if (suspects_.empty()) return false;  // the common case on a stable ring
   auto it = suspects_.find(host);
   if (it == suspects_.end()) return false;
   return transport_->simulation()->now() < it->second;
@@ -610,12 +618,13 @@ void ChordNode::NotifyNeighborsChanged() {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-void ChordNode::OnMessage(sim::HostId from, Reader* r) {
+void ChordNode::OnMessage(sim::HostId from, Reader* r,
+                          const sim::Payload& body) {
   uint8_t type = 0;
   if (!r->GetU8(&type).ok()) return;
   switch (static_cast<MsgType>(type)) {
     case MsgType::kRoute:
-      HandleRoute(r);
+      HandleRoute(r, body);
       break;
     case MsgType::kFindSuccReq:
       HandleFindSuccReq(r);

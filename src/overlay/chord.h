@@ -95,7 +95,7 @@ class ChordNode : public Router {
 
   // Router interface.
   void SetDeliverCallback(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void Route(const Id160& key, uint8_t app_tag, std::string payload) override;
+  void Route(const Id160& key, uint8_t app_tag, sim::Payload payload) override;
   bool IsResponsibleFor(const Id160& key) const override;
   NodeInfo self() const override { return self_; }
   std::vector<NodeInfo> RoutingNeighbors() const override;
@@ -132,8 +132,8 @@ class ChordNode : public Router {
     kLeaveNotice = 9,
   };
 
-  void OnMessage(sim::HostId from, Reader* r);
-  void HandleRoute(Reader* r);
+  void OnMessage(sim::HostId from, Reader* r, const sim::Payload& body);
+  void HandleRoute(Reader* r, const sim::Payload& body);
   void HandleFindSuccReq(Reader* r);
   void HandleGetNeighborsReq(sim::HostId from, Reader* r);
   void HandleNotify(Reader* r);
@@ -141,6 +141,9 @@ class ChordNode : public Router {
 
   /// Greedy next hop for `key`; self when locally responsible.
   NodeInfo NextHop(const Id160& key) const;
+  /// Deduplicated finger entries in slot order (cached).
+  const std::vector<NodeInfo>& CompactFingers() const;
+  void InvalidateFingerCache() { finger_cache_dirty_ = true; }
   /// Forwards a find-successor query one hop (or answers it).
   void ForwardFindSucc(const Id160& key, uint64_t req_id,
                        sim::HostId reply_to, int hops);
@@ -166,6 +169,10 @@ class ChordNode : public Router {
   std::vector<NodeInfo> successors_;  // clockwise from self; [0] = successor
   std::array<std::optional<NodeInfo>, Id160::kBits> fingers_;
   int next_finger_ = Id160::kBits - 1;
+  /// Distinct finger entries in slot order, rebuilt lazily: NextHop runs on
+  /// every routed hop and must not walk all 160 (mostly duplicate) slots.
+  mutable std::vector<NodeInfo> finger_compact_;
+  mutable bool finger_cache_dirty_ = true;
 
   std::unordered_map<sim::HostId, TimePoint> suspects_;
 

@@ -9,8 +9,10 @@ OneHopRouter::OneHopRouter(Transport* transport, const Id160& id,
       self_{transport->self(), id},
       directory_(directory) {
   transport_->RegisterHandler(
-      Proto::kOverlay,
-      [this](sim::HostId from, Reader* r) { OnMessage(from, r); });
+      Proto::kOverlay, [this](sim::HostId from, Reader* r,
+                              const sim::Payload& body) {
+        OnMessage(from, r, body);
+      });
 }
 
 OneHopRouter::~OneHopRouter() { Deactivate(); }
@@ -26,7 +28,7 @@ void OneHopRouter::Deactivate() {
 }
 
 void OneHopRouter::Route(const Id160& key, uint8_t app_tag,
-                         std::string payload) {
+                         sim::Payload payload) {
   if (!active_) return;
   NodeInfo owner = directory_->Owner(key);
   if (!owner.valid()) return;
@@ -40,22 +42,21 @@ void OneHopRouter::Route(const Id160& key, uint8_t app_tag,
   key.Serialize(&w);
   w.PutU8(app_tag);
   w.PutFixed32(self_.host);
-  w.PutString(payload);
-  transport_->Send(owner.host, Proto::kOverlay, w);
+  transport_->SendWithBody(owner.host, Proto::kOverlay, w, std::move(payload));
 }
 
-void OneHopRouter::OnMessage(sim::HostId /*from*/, Reader* r) {
+void OneHopRouter::OnMessage(sim::HostId /*from*/, Reader* r,
+                             const sim::Payload& body) {
   Id160 key;
   uint8_t app_tag = 0;
   uint32_t origin = 0;
-  std::string payload;
   if (!Id160::Deserialize(r, &key).ok() || !r->GetU8(&app_tag).ok() ||
-      !r->GetFixed32(&origin).ok() || !r->GetString(&payload).ok()) {
+      !r->GetFixed32(&origin).ok()) {
     return;
   }
   if (!active_) return;
   if (deliver_) {
-    deliver_(RoutedMessage{key, origin, app_tag, 1, std::move(payload)});
+    deliver_(RoutedMessage{key, origin, app_tag, 1, body});
   }
 }
 

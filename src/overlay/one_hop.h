@@ -61,14 +61,14 @@ class OneHopRouter : public Router {
   bool active() const { return active_; }
 
   void SetDeliverCallback(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void Route(const Id160& key, uint8_t app_tag, std::string payload) override;
+  void Route(const Id160& key, uint8_t app_tag, sim::Payload payload) override;
   bool IsResponsibleFor(const Id160& key) const override;
   NodeInfo self() const override { return self_; }
   std::vector<NodeInfo> RoutingNeighbors() const override;
   void Lookup(const Id160& key, LookupCallback cb) override;
 
  private:
-  void OnMessage(sim::HostId from, Reader* r);
+  void OnMessage(sim::HostId from, Reader* r, const sim::Payload& body);
 
   Transport* transport_;
   NodeInfo self_;

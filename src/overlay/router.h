@@ -17,6 +17,7 @@
 
 #include "common/id160.h"
 #include "overlay/node_info.h"
+#include "sim/payload.h"
 
 namespace pier {
 namespace overlay {
@@ -27,7 +28,7 @@ struct RoutedMessage {
   sim::HostId origin;         ///< host that initiated the route
   uint8_t app_tag = 0;        ///< application demux tag (DHT put vs get ...)
   int hops = 0;               ///< overlay hops taken
-  std::string payload;        ///< opaque application bytes
+  sim::Payload payload;       ///< opaque application bytes (shared buffer)
 };
 
 /// Key-based routing interface.
@@ -41,9 +42,10 @@ class Router {
 
   /// Routes `payload` toward the node currently responsible for `key`.
   /// Best-effort: messages can be lost under churn; callers that need
-  /// reliability retry (soft state).
+  /// reliability retry (soft state). The payload buffer is serialized once
+  /// by the caller and shared across every overlay hop.
   virtual void Route(const Id160& key, uint8_t app_tag,
-                     std::string payload) = 0;
+                     sim::Payload payload) = 0;
 
   /// True iff this node currently owns `key`.
   virtual bool IsResponsibleFor(const Id160& key) const = 0;

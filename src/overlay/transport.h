@@ -36,8 +36,11 @@ struct ProtoTraffic {
 /// registered once at boot.
 class Transport {
  public:
-  /// Handler receives the sender host and a Reader positioned at the payload.
-  using Handler = std::function<void(sim::HostId from, Reader* r)>;
+  /// Handler receives the sender host, a Reader positioned at the frame's
+  /// header payload, and the packet body (empty for head-only frames). The
+  /// body is a shared buffer: forwarding it onward never copies bytes.
+  using Handler =
+      std::function<void(sim::HostId from, Reader* r, const sim::Payload& body)>;
 
   Transport(sim::Network* network, sim::HostId self)
       : network_(network), self_(self) {}
@@ -50,25 +53,38 @@ class Transport {
     handlers_[static_cast<size_t>(proto)] = std::move(handler);
   }
 
-  /// Sends `payload` to `to` under `proto`.
+  /// Sends `payload` to `to` under `proto` as a head-only frame.
   Status Send(sim::HostId to, Proto proto, const Writer& payload) {
     Writer framed;
+    framed.Reserve(payload.size() + 1);
     framed.PutU8(static_cast<uint8_t>(proto));
     framed.PutRaw(payload.buffer().data(), payload.size());
-    ProtoTraffic& t = traffic_[static_cast<size_t>(proto)];
-    ++t.messages_out;
-    t.bytes_out += framed.size();
-    return network_->Send(self_, to, framed.Release());
+    return SendPacket(to, proto,
+                      sim::Packet(sim::Payload(framed.Release()), {}));
+  }
+
+  /// Sends `header` plus a shared `body` — the zero-copy path for routed
+  /// and broadcast application payloads: the header is rebuilt per hop, the
+  /// body buffer travels untouched end to end.
+  Status SendWithBody(sim::HostId to, Proto proto, const Writer& header,
+                      sim::Payload body) {
+    Writer framed;
+    framed.Reserve(header.size() + 1);
+    framed.PutU8(static_cast<uint8_t>(proto));
+    framed.PutRaw(header.buffer().data(), header.size());
+    return SendPacket(to, proto,
+                      sim::Packet(sim::Payload(framed.Release()),
+                                  std::move(body)));
   }
 
   /// Entry point wired to sim::MessageHandler by the owning node.
-  void Dispatch(sim::HostId from, const std::string& bytes) {
-    Reader r(bytes);
+  void Dispatch(sim::HostId from, const sim::Packet& packet) {
+    Reader r(packet.head.view());
     uint8_t proto = 0;
     if (!r.GetU8(&proto).ok()) return;  // malformed frame: drop
     if (proto >= handlers_.size()) return;
     const Handler& h = handlers_[proto];
-    if (h) h(from, &r);
+    if (h) h(from, &r, packet.body);
   }
 
   sim::HostId self() const { return self_; }
@@ -80,6 +96,13 @@ class Transport {
   }
 
  private:
+  Status SendPacket(sim::HostId to, Proto proto, sim::Packet packet) {
+    ProtoTraffic& t = traffic_[static_cast<size_t>(proto)];
+    ++t.messages_out;
+    t.bytes_out += packet.size();
+    return network_->Send(self_, to, std::move(packet));
+  }
+
   sim::Network* network_;
   sim::HostId self_;
   std::array<Handler, 8> handlers_;

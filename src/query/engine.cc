@@ -62,10 +62,12 @@ QueryEngine::QueryEngine(overlay::Transport* transport,
       options_(options) {
   transport_->RegisterHandler(
       overlay::Proto::kQuery,
-      [this](sim::HostId from, Reader* r) { OnDirect(from, r); });
+      [this](sim::HostId from, Reader* r, const sim::Payload& /*body*/) {
+        OnDirect(from, r);
+      });
   broadcast_->SetHandler([this](sim::HostId origin, uint64_t seq,
                                 sim::HostId parent, int depth,
-                                const std::string& payload) {
+                                const sim::Payload& payload) {
     OnBroadcast(origin, seq, parent, depth, payload);
   });
 }
@@ -175,7 +177,7 @@ void QueryEngine::BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
   w.PutVarint64(qid);
   left.Serialize(&w);
   right.Serialize(&w);
-  broadcast_->Broadcast(w.Release());
+  broadcast_->Broadcast(sim::Payload(w.Release()));
 }
 
 sim::TimerId QueryEngine::ScheduleStageTimer(Duration delay, uint64_t qid,
@@ -302,7 +304,7 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
   Writer w;
   w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
   raw->env.Serialize(&w);
-  broadcast_->Broadcast(w.Release());
+  broadcast_->Broadcast(sim::Payload(w.Release()));
   PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
       << "issued query " << query_id << " " << raw->env.plan.ToString();
   return query_id;
@@ -316,8 +318,8 @@ void QueryEngine::Cancel(uint64_t query_id) {
 
 void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
                               sim::HostId parent, int depth,
-                              const std::string& payload) {
-  Reader r(payload);
+                              const sim::Payload& payload) {
+  Reader r(payload.view());
   uint8_t kind = 0;
   if (!r.GetU8(&kind).ok()) return;
   switch (static_cast<BcastKind>(kind)) {
@@ -459,7 +461,7 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
     Writer w;
     w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
     aq->env.Serialize(&w);
-    broadcast_->Broadcast(w.Release());
+    broadcast_->Broadcast(sim::Payload(w.Release()));
   }
   aq->runtime->StartEpoch(epoch);
 }
@@ -707,7 +709,7 @@ void QueryEngine::EndQuery(uint64_t query_id) {
   Writer w;
   w.PutU8(static_cast<uint8_t>(BcastKind::kQueryEnd));
   w.PutVarint64(query_id);
-  broadcast_->Broadcast(w.Release());  // includes local delivery
+  broadcast_->Broadcast(sim::Payload(w.Release()));  // includes local delivery
 }
 
 void QueryEngine::GcQuery(uint64_t query_id) { queries_.erase(query_id); }

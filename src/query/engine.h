@@ -108,7 +108,7 @@ class QueryEngine : public ops::StageHost {
 
   // -- plumbing --------------------------------------------------------------
   void OnBroadcast(sim::HostId origin, uint64_t seq, sim::HostId parent,
-                   int depth, const std::string& payload);
+                   int depth, const sim::Payload& payload);
   void OnDirect(sim::HostId from, Reader* r);
   void SendDirect(sim::HostId to, const Writer& w);
   void RouteArrival(uint64_t qid, const std::string& ns,

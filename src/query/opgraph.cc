@@ -340,6 +340,9 @@ int OpGraph::ConsumerOf(uint32_t id) const {
 }
 
 void OpGraph::Serialize(Writer* w) const {
+  // Nodes serialize to a few dozen bytes each (kind, edges, columns); one
+  // up-front reservation keeps plan encoding from growing through doubling.
+  w->Reserve(8 + nodes.size() * 64);
   w->PutVarint32(static_cast<uint32_t>(nodes.size()));
   for (const OpNode& n : nodes) n.Serialize(w);
 }

@@ -70,9 +70,10 @@ void JoinStage::Setup() {
     flow_.Connect(shj_, sink);
     // Catch-up: tuples rehashed by fast nodes may land here before the
     // plan broadcast did; they are waiting in the exchange namespace.
-    for (const dht::StoredItem& item : host_->dht()->LocalScan(ns())) {
+    host_->dht()->ForEachLocal(ns(), [this](const dht::StoredItem& item) {
       if (!item.replica) OnArrival(item);
-    }
+      return true;
+    });
   }
 
   if (node_->strategy == JoinStrategy::kBloom) {

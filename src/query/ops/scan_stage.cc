@@ -9,15 +9,17 @@ using catalog::Tuple;
 void ScanStage::Run(const EmitFn& emit) {
   ++host_->mutable_stats()->scans_run;
   TimePoint cutoff = window_ > 0 ? host_->sim()->now() - window_ : 0;
-  for (const dht::StoredItem& item : host_->dht()->LocalScan(node_->table)) {
-    if (item.replica) continue;  // primaries only: no double counting
-    if (item.stored_at < cutoff) continue;
-    Tuple t;
-    if (!catalog::TupleFromBytes(item.value, &t).ok()) continue;
-    if (t.size() != node_->schema.num_columns()) continue;
+  // In-place visitation: the store is scanned once per epoch per relation on
+  // every node, so this path must not copy values (see dht::LocalStore).
+  Tuple t;
+  host_->dht()->ForEachLocal(node_->table, [&](const dht::StoredItem& item) {
+    if (item.replica) return true;  // primaries only: no double counting
+    if (item.stored_at < cutoff) return true;
+    if (!catalog::TupleFromBytes(item.value, &t).ok()) return true;
+    if (t.size() != node_->schema.num_columns()) return true;
     ++host_->mutable_stats()->tuples_scanned;
-    if (!emit(t)) break;
-  }
+    return emit(t);
+  });
 }
 
 }  // namespace ops

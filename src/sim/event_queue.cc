@@ -3,47 +3,115 @@
 namespace pier {
 namespace sim {
 
-TimerId Simulation::ScheduleAt(TimePoint t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  EventKey key{t, next_seq_++};
-  TimerId id = key.seq;
-  queue_.emplace(key, std::move(fn));
-  timer_index_.emplace(id, key);
-  return id;
+uint32_t Simulation::AllocNode() {
+  if (!free_nodes_.empty()) {
+    uint32_t index = free_nodes_.back();
+    free_nodes_.pop_back();
+    return index;
+  }
+  if ((node_count_ >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<EventNode[]>(kChunkSize));
+  }
+  return node_count_++;
+}
+
+void Simulation::FreeNode(uint32_t index) {
+  EventNode& node = NodeAt(index);
+  node.cb.Reset();
+  ++node.gen;  // invalidates the TimerId and any heap entry still pointing here
+  free_nodes_.push_back(index);
+}
+
+void Simulation::FireNode(uint32_t index) {
+  EventNode& node = NodeAt(index);
+  ++node.gen;  // the TimerId dies before the callback runs
+  --live_;
+  ++executed_;
+  node.cb();  // node storage is chunk-stable: safe even if this schedules
+  node.cb.Reset();
+  free_nodes_.push_back(index);
 }
 
 void Simulation::Cancel(TimerId id) {
-  auto it = timer_index_.find(id);
-  if (it == timer_index_.end()) return;
-  queue_.erase(it->second);
-  timer_index_.erase(it);
+  uint32_t index = static_cast<uint32_t>(id & 0xffffffffu);
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (index >= node_count_ || NodeAt(index).gen != gen) return;
+  FreeNode(index);
+  --live_;
+}
+
+void Simulation::HeapPush(HeapKey key, HeapRef ref) {
+  // Hole insertion: bubble the vacancy up and write the entry once.
+  heap_keys_.push_back(key);
+  heap_refs_.push_back(ref);
+  size_t i = heap_keys_.size() - 1;
+  while (i > 0) {
+    size_t parent = (i - 1) >> 2;
+    if (!Before(key, heap_keys_[parent])) break;
+    heap_keys_[i] = heap_keys_[parent];
+    heap_refs_[i] = heap_refs_[parent];
+    i = parent;
+  }
+  heap_keys_[i] = key;
+  heap_refs_[i] = ref;
+}
+
+void Simulation::HeapPop() {
+  HeapKey last_key = heap_keys_.back();
+  HeapRef last_ref = heap_refs_.back();
+  heap_keys_.pop_back();
+  heap_refs_.pop_back();
+  size_t n = heap_keys_.size();
+  if (n == 0) return;
+  // Hole sift-down with early exit, comparing only the key array (a 4-ary
+  // node's four 16-byte children keys span one cache line). The early-exit
+  // test beats Floyd's bottom-up variant at this arity (measured).
+  size_t i = 0;
+  for (;;) {
+    size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    size_t best = first;
+    size_t end = first + 4 < n ? first + 4 : n;
+    for (size_t c = first + 1; c < end; ++c) {
+      if (Before(heap_keys_[c], heap_keys_[best])) best = c;
+    }
+    if (!Before(heap_keys_[best], last_key)) break;
+    heap_keys_[i] = heap_keys_[best];
+    heap_refs_[i] = heap_refs_[best];
+    i = best;
+  }
+  heap_keys_[i] = last_key;
+  heap_refs_[i] = last_ref;
 }
 
 void Simulation::RunUntil(TimePoint deadline) {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    if (it->first.time > deadline) break;
-    now_ = it->first.time;
-    std::function<void()> fn = std::move(it->second);
-    timer_index_.erase(it->first.seq);
-    queue_.erase(it);
-    ++executed_;
-    fn();
+  while (!heap_keys_.empty()) {
+    HeapRef top_ref = heap_refs_.front();
+    if (NodeAt(top_ref.node).gen != top_ref.gen) {
+      HeapPop();  // tombstone of a cancelled event
+      continue;
+    }
+    TimePoint top_time = heap_keys_.front().time;
+    if (top_time > deadline) break;
+    HeapPop();
+    now_ = top_time;
+    FireNode(top_ref.node);
   }
   if (now_ < deadline) now_ = deadline;
 }
 
 size_t Simulation::RunAll(size_t max_events) {
   size_t count = 0;
-  while (!queue_.empty() && count < max_events) {
-    auto it = queue_.begin();
-    now_ = it->first.time;
-    std::function<void()> fn = std::move(it->second);
-    timer_index_.erase(it->first.seq);
-    queue_.erase(it);
-    ++executed_;
+  while (count < max_events && !heap_keys_.empty()) {
+    HeapRef top_ref = heap_refs_.front();
+    if (NodeAt(top_ref.node).gen != top_ref.gen) {
+      HeapPop();  // tombstone of a cancelled event
+      continue;
+    }
+    now_ = heap_keys_.front().time;
+    HeapPop();
+    FireNode(top_ref.node);
     ++count;
-    fn();
   }
   return count;
 }

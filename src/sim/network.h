@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/event_queue.h"
+#include "sim/payload.h"
 
 namespace pier {
 namespace sim {
@@ -25,12 +26,14 @@ namespace sim {
 using HostId = uint32_t;
 inline constexpr HostId kInvalidHost = 0xffffffffu;
 
-/// Receiver interface for host endpoints.
+/// Receiver interface for host endpoints. Deliveries hand over the Packet's
+/// payloads by reference; handlers that keep bytes alive copy the Payload
+/// handle (refcount bump), never the bytes.
 class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
   /// Called when a message addressed to this host is delivered.
-  virtual void OnMessage(HostId from, const std::string& bytes) = 0;
+  virtual void OnMessage(HostId from, const Packet& packet) = 0;
 };
 
 /// Knobs for the network model (RocksDB-style options struct).
@@ -79,10 +82,14 @@ class Network {
   bool IsUp(HostId host) const;
   size_t host_count() const { return hosts_.size(); }
 
-  /// Sends `bytes` from `from` to `to`. Delivery (if any) happens later in
+  /// Sends `packet` from `from` to `to`. Delivery (if any) happens later in
   /// virtual time. Self-sends are delivered with minimal loopback delay and
-  /// are never lost.
-  Status Send(HostId from, HostId to, std::string bytes);
+  /// are never lost. The packet's body buffer is shared, not copied.
+  Status Send(HostId from, HostId to, Packet packet);
+  /// Convenience for flat byte strings (tests, single-hop protocols).
+  Status Send(HostId from, HostId to, std::string bytes) {
+    return Send(from, to, Packet(std::move(bytes)));
+  }
 
   /// Stable base one-way latency for the pair (diagnostics, experiments).
   Duration BaseLatency(HostId a, HostId b) const;
@@ -103,7 +110,8 @@ class Network {
     uint64_t epoch = 0;
   };
 
-  void Deliver(HostId from, HostId to, uint64_t to_epoch, std::string bytes);
+  void Deliver(HostId from, HostId to, uint64_t to_epoch,
+               const Packet& packet);
 
   Simulation* sim_;
   NetworkOptions options_;

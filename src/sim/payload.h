@@ -1,0 +1,114 @@
+// Payload: the zero-copy unit of the simulated data plane.
+//
+// A Payload is an immutable, cheaply-copyable slice of a ref-counted byte
+// buffer. Layers serialize once at the origin (materializing one buffer) and
+// then hand the same bytes through sim::Network -> Transport -> overlay
+// forwarding -> broadcast relays without ever copying them again: copying a
+// Payload bumps a refcount, slicing adjusts offsets.
+//
+// Messages on the wire are a Packet: a small per-hop `head` (protocol
+// framing, rebuilt whenever a hop rewrites routing state) plus a shared
+// `body` (application bytes, forwarded untouched). Control messages are
+// head-only; bulk paths (routed puts, broadcast dissemination) put their
+// application payload in `body` so an O(log n)-hop route or an n-node
+// broadcast costs one serialization total.
+//
+// Materialization counters make "zero copies per hop" testable: every byte
+// buffer created from owned bytes is counted; sharing and slicing are not.
+// The simulator is single-threaded, so plain counters suffice.
+
+#ifndef PIER_SIM_PAYLOAD_H_
+#define PIER_SIM_PAYLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pier {
+namespace sim {
+
+class Payload {
+ public:
+  Payload() = default;
+  /// Materializes a buffer from owned bytes (counted; this is "the copy").
+  explicit Payload(std::string bytes)
+      : data_(std::make_shared<const std::string>(std::move(bytes))),
+        offset_(0),
+        len_(data_->size()) {
+    ++buffers_created_;
+    bytes_materialized_ += len_;
+  }
+
+  std::string_view view() const {
+    return data_ == nullptr
+               ? std::string_view()
+               : std::string_view(data_->data() + offset_, len_);
+  }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  /// A sub-range sharing the same buffer (never counted as a copy).
+  Payload Slice(size_t offset, size_t len) const {
+    Payload out;
+    if (offset > len_) offset = len_;
+    if (len > len_ - offset) len = len_ - offset;
+    out.data_ = data_;
+    out.offset_ = offset_ + offset;
+    out.len_ = len;
+    return out;
+  }
+
+  /// Copies the viewed bytes out into a fresh string (rare; explicit).
+  std::string ToString() const { return std::string(view()); }
+
+  /// True when both payloads view into the same underlying buffer — the
+  /// zero-copy assertion used by tests.
+  bool SharesBufferWith(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  // -- materialization accounting -------------------------------------------
+  static uint64_t buffers_created() { return buffers_created_; }
+  static uint64_t bytes_materialized() { return bytes_materialized_; }
+  static void ResetCounters() {
+    buffers_created_ = 0;
+    bytes_materialized_ = 0;
+  }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+  size_t offset_ = 0;
+  size_t len_ = 0;
+
+  static inline uint64_t buffers_created_ = 0;
+  static inline uint64_t bytes_materialized_ = 0;
+};
+
+/// One message on the simulated wire: per-hop header + shared body.
+struct Packet {
+  Payload head;
+  Payload body;
+
+  Packet() = default;
+  Packet(Payload h, Payload b) : head(std::move(h)), body(std::move(b)) {}
+  /// Head-only frame (control messages, fully re-serialized payloads).
+  explicit Packet(std::string head_bytes)
+      : head(Payload(std::move(head_bytes))) {}
+
+  size_t size() const { return head.size() + body.size(); }
+  /// Concatenated bytes, for tests and diagnostics (copies; not a hot path).
+  std::string Flatten() const {
+    std::string out;
+    out.reserve(size());
+    out.append(head.view());
+    out.append(body.view());
+    return out;
+  }
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_PAYLOAD_H_

@@ -119,6 +119,55 @@ TEST(LocalStoreTest, SweepReclaims) {
   EXPECT_EQ(store.size(), 6u);
 }
 
+TEST(LocalStoreTest, SweepSkipsIdleNamespaces) {
+  LocalStore store;
+  store.Put(MakeItem("soon", "r", 0, "v", Seconds(10)));
+  store.Put(MakeItem("later", "r", 0, "v", Seconds(1000)));
+
+  // Nothing can have expired: both namespaces skipped wholesale.
+  EXPECT_EQ(store.Sweep(Seconds(5)), 0u);
+  EXPECT_EQ(store.stats().sweep_namespaces_skipped, 2u);
+  EXPECT_EQ(store.stats().sweep_namespaces_scanned, 0u);
+
+  // "soon" crosses its watermark and is scanned; "later" is still skipped.
+  EXPECT_EQ(store.Sweep(Seconds(11)), 1u);
+  EXPECT_EQ(store.stats().sweep_namespaces_scanned, 1u);
+  EXPECT_EQ(store.stats().sweep_namespaces_skipped, 3u);
+  EXPECT_EQ(store.stats().sweep_runs, 2u);
+}
+
+TEST(LocalStoreTest, SweepWatermarkTightensAfterScan) {
+  LocalStore store;
+  store.Put(MakeItem("t", "a", 0, "v", Seconds(10)));
+  store.Put(MakeItem("t", "b", 0, "v", Seconds(1000)));
+  // First sweep reclaims "a" and re-tightens the watermark to 1000s, so the
+  // next sweep skips the namespace entirely.
+  EXPECT_EQ(store.Sweep(Seconds(20)), 1u);
+  EXPECT_EQ(store.Sweep(Seconds(30)), 0u);
+  EXPECT_EQ(store.stats().sweep_namespaces_skipped, 1u);
+}
+
+TEST(LocalStoreTest, VisitorIteratesInPlaceAndStopsEarly) {
+  LocalStore store;
+  for (int i = 0; i < 6; ++i) {
+    store.Put(MakeItem("t", "r" + std::to_string(i), 0, "v", Seconds(100)));
+  }
+  int seen = 0;
+  const std::string* first_value = nullptr;
+  store.ForEach("t", 0, [&](const StoredItem& item) {
+    if (first_value == nullptr) first_value = &item.value;
+    return ++seen < 3;  // early stop
+  });
+  EXPECT_EQ(seen, 3);
+  // The visitor saw the store's own item, not a copy.
+  int hits = 0;
+  store.ForEachAt("t", "r0", 0, [&](const StoredItem& item) {
+    hits += (&item.value == first_value) ? 1 : 0;
+    return true;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
 TEST(LocalStoreTest, DropNamespace) {
   LocalStore store;
   store.Put(MakeItem("keep", "r", 0, "v", Seconds(100)));
@@ -362,12 +411,12 @@ TEST(BroadcastTest, ReachesAllNodesExactlyOnceOneHop) {
   std::vector<int> deliveries(net.size(), 0);
   for (size_t i = 0; i < net.size(); ++i) {
     net.node(i)->broadcast()->SetHandler(
-        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const std::string& p) {
-          EXPECT_EQ(p, "announcement");
+        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const sim::Payload& p) {
+          EXPECT_EQ(p.view(), "announcement");
           ++deliveries[i];
         });
   }
-  net.node(5)->broadcast()->Broadcast("announcement");
+  net.node(5)->broadcast()->Broadcast(sim::Payload("announcement"));
   net.RunFor(Seconds(10));
   for (size_t i = 0; i < net.size(); ++i) {
     EXPECT_EQ(deliveries[i], 1) << "node " << i;
@@ -381,12 +430,12 @@ TEST(BroadcastTest, ReachesAllNodesOnChordRing) {
   int max_depth = 0;
   for (size_t i = 0; i < net.size(); ++i) {
     net.node(i)->broadcast()->SetHandler(
-        [&, i](sim::HostId, uint64_t, sim::HostId, int depth, const std::string&) {
+        [&, i](sim::HostId, uint64_t, sim::HostId, int depth, const sim::Payload&) {
           ++deliveries[i];
           max_depth = std::max(max_depth, depth);
         });
   }
-  net.node(0)->broadcast()->Broadcast("query-plan");
+  net.node(0)->broadcast()->Broadcast(sim::Payload("query-plan"));
   net.RunFor(Seconds(15));
   int reached = 0, duplicated = 0;
   for (size_t i = 0; i < net.size(); ++i) {
@@ -398,16 +447,67 @@ TEST(BroadcastTest, ReachesAllNodesOnChordRing) {
   EXPECT_LE(max_depth, 10) << "tree depth should be O(log n)";
 }
 
+TEST(BroadcastTest, PayloadBufferSharedAcrossEveryHop) {
+  // The zero-copy contract: a multi-hop dissemination serializes the payload
+  // once, and every node's delivered payload views the origin's buffer —
+  // per-hop relays rebuild only the small tree header.
+  PierNetwork net(24, ChordOpts(21));
+  net.Boot(Seconds(90));
+
+  // Control window: how many bytes does 15s of background protocol chatter
+  // (stabilize, fix-fingers, sweeps) materialize on its own?
+  sim::Payload::ResetCounters();
+  net.RunFor(Seconds(15));
+  uint64_t control_bytes = sim::Payload::bytes_materialized();
+
+  constexpr size_t kBodySize = 256 * 1024;  // dwarfs the chatter
+  sim::Payload original(std::string(kBodySize, 'B'));
+  std::vector<sim::Payload> delivered(net.size());
+  for (size_t i = 0; i < net.size(); ++i) {
+    net.node(i)->broadcast()->SetHandler(
+        [&delivered, i](sim::HostId, uint64_t, sim::HostId, int,
+                        const sim::Payload& p) { delivered[i] = p; });
+  }
+  uint64_t bytes_before = sim::Payload::bytes_materialized();
+  net.node(0)->broadcast()->Broadcast(original);
+  net.RunFor(Seconds(15));
+
+  uint64_t forwards = 0;
+  int max_depth = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    forwards += net.node(i)->broadcast()->stats().forwarded;
+    max_depth = std::max(max_depth,
+                         net.node(i)->broadcast()->stats().max_depth_seen);
+  }
+  ASSERT_GE(forwards, net.size() - 1) << "broadcast must have fanned out";
+  ASSERT_GT(max_depth, 1) << "tree must be multi-hop for the test to bite";
+  size_t reached = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (delivered[i].empty()) continue;
+    ++reached;
+    EXPECT_TRUE(delivered[i].SharesBufferWith(original))
+        << "node " << i << " received a copied payload";
+  }
+  EXPECT_EQ(reached, net.size());
+  // Byte bound: the broadcast window may materialize chatter (≈ the control
+  // window) plus per-hop headers, but never per-hop copies of the body. A
+  // copying relay would add ≥ (nodes-1) * kBodySize ≈ 5.9 MiB and blow
+  // through this bound.
+  uint64_t broadcast_bytes =
+      sim::Payload::bytes_materialized() - bytes_before;
+  EXPECT_LT(broadcast_bytes, 2 * control_bytes + 2 * kBodySize);
+}
+
 TEST(BroadcastTest, DistinctBroadcastsBothDelivered) {
   PierNetwork net(8, OneHopOpts());
   net.Boot(Seconds(5));
   std::vector<std::string> seen;
   net.node(3)->broadcast()->SetHandler(
-      [&](sim::HostId, uint64_t, sim::HostId, int, const std::string& p) {
-        seen.push_back(p);
+      [&](sim::HostId, uint64_t, sim::HostId, int, const sim::Payload& p) {
+        seen.push_back(p.ToString());
       });
-  net.node(0)->broadcast()->Broadcast("first");
-  net.node(1)->broadcast()->Broadcast("second");
+  net.node(0)->broadcast()->Broadcast(sim::Payload("first"));
+  net.node(1)->broadcast()->Broadcast(sim::Payload("second"));
   net.RunFor(Seconds(10));
   EXPECT_EQ(seen.size(), 2u);
 }
@@ -422,11 +522,11 @@ TEST(BroadcastTest, MostNodesReachedDespiteCrashes) {
   std::vector<int> deliveries(net.size(), 0);
   for (size_t i = 0; i < net.size(); ++i) {
     net.node(i)->broadcast()->SetHandler(
-        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const std::string&) {
+        [&deliveries, i](sim::HostId, uint64_t, sim::HostId, int, const sim::Payload&) {
           ++deliveries[i];
         });
   }
-  net.node(0)->broadcast()->Broadcast("resilient");
+  net.node(0)->broadcast()->Broadcast(sim::Payload("resilient"));
   net.RunFor(Seconds(15));
   int reached = 0;
   for (size_t i = 0; i < net.size(); ++i) {

@@ -26,8 +26,8 @@ class ChordRing : public ::testing::Test {
     std::unique_ptr<Transport> transport;
     std::unique_ptr<ChordNode> chord;
     std::vector<RoutedMessage> delivered;
-    void OnMessage(sim::HostId from, const std::string& bytes) override {
-      transport->Dispatch(from, bytes);
+    void OnMessage(sim::HostId from, const sim::Packet& packet) override {
+      transport->Dispatch(from, packet);
     }
   };
 
@@ -167,14 +167,14 @@ TEST_F(ChordRing, RouteDeliversToResponsibleNode) {
   Stabilize(Seconds(60));
   Id160 key = Id160::FromName("routed-key");
   int expected = ExpectedOwner(key);
-  endpoints_[3]->chord->Route(key, /*app_tag=*/7, "payload-bytes");
+  endpoints_[3]->chord->Route(key, /*app_tag=*/7, sim::Payload("payload-bytes"));
   Stabilize(Seconds(10));
   ASSERT_EQ(endpoints_[expected]->delivered.size(), 1u);
   const RoutedMessage& m = endpoints_[expected]->delivered[0];
   EXPECT_EQ(m.key, key);
   EXPECT_EQ(m.app_tag, 7);
   EXPECT_EQ(m.origin, sim::HostId(3));
-  EXPECT_EQ(m.payload, "payload-bytes");
+  EXPECT_EQ(m.payload.view(), "payload-bytes");
 }
 
 TEST_F(ChordRing, RingHealsAfterCrash) {
@@ -306,8 +306,8 @@ class OneHopTest : public ::testing::Test {
     std::unique_ptr<Transport> transport;
     std::unique_ptr<OneHopRouter> router;
     std::vector<RoutedMessage> delivered;
-    void OnMessage(sim::HostId from, const std::string& bytes) override {
-      transport->Dispatch(from, bytes);
+    void OnMessage(sim::HostId from, const sim::Packet& packet) override {
+      transport->Dispatch(from, packet);
     }
   };
 
@@ -340,7 +340,7 @@ TEST_F(OneHopTest, RoutesToOwnerInOneHop) {
   Build(10);
   Id160 key = Id160::FromName("some-key");
   NodeInfo owner = directory_.Owner(key);
-  endpoints_[0]->router->Route(key, 1, "data");
+  endpoints_[0]->router->Route(key, 1, sim::Payload("data"));
   sim_->RunAll();
   auto& delivered = endpoints_[owner.host]->delivered;
   ASSERT_EQ(delivered.size(), 1u);

@@ -87,6 +87,121 @@ TEST(SimulationTest, PastScheduleClampsToNow) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(SimulationTest, CancelInsideCallbackStopsSameTimestampEvent) {
+  // An event may cancel another event scheduled for the very same instant
+  // but later in FIFO order; the cancelled callback must not run.
+  Simulation sim;
+  int fired = 0;
+  TimerId victim = 0;
+  sim.ScheduleAt(Seconds(1), [&] { sim.Cancel(victim); });
+  victim = sim.ScheduleAt(Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(Seconds(1), [&] { ++fired; });  // after the victim: survives
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, CancelOwnIdInsideCallbackIsNoop) {
+  Simulation sim;
+  int fired = 0;
+  TimerId self_id = 0;
+  self_id = sim.ScheduleAt(Seconds(1), [&] {
+    ++fired;
+    sim.Cancel(self_id);  // already firing: must be a harmless no-op
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationTest, StaleTimerIdCannotCancelRecycledSlot) {
+  // After an event fires, its pool slot is recycled for new events; the old
+  // TimerId carries a dead generation and must not cancel the newcomer.
+  Simulation sim;
+  TimerId first = sim.ScheduleAt(Seconds(1), [] {});
+  sim.RunAll();
+  int fired = 0;
+  TimerId second = sim.ScheduleAt(Seconds(2), [&] { ++fired; });
+  EXPECT_NE(first, second);
+  sim.Cancel(first);  // stale
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, PendingTracksScheduleCancelFire) {
+  Simulation sim;
+  TimerId a = sim.ScheduleAt(Seconds(1), [] {});
+  sim.ScheduleAt(Seconds(2), [] {});
+  sim.ScheduleAt(Seconds(3), [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationTest, TiesStayFifoAroundCancellations) {
+  // Interleaved cancels must not disturb the FIFO order of the survivors.
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.ScheduleAt(Seconds(5), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 0; i < 10; i += 2) sim.Cancel(ids[i]);
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SimulationTest, OversizedCallbackFallsBackToHeap) {
+  // Captures larger than the inline buffer still work (single allocation).
+  Simulation sim;
+  struct Big {
+    char blob[256] = {0};
+  };
+  Big big;
+  big.blob[0] = 42;
+  int got = 0;
+  sim.ScheduleAfter(Seconds(1), [big, &got] { got = big.blob[0]; });
+  sim.RunAll();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SimulationTest, SecondSimulationRestoresLoggerClock) {
+  // Regression: constructing and destroying a second Simulation while the
+  // first is alive used to leave the global logger pointing at the second's
+  // (destroyed) clock.
+  const TimePoint* outermost = Logger::Instance().clock_source();
+  {
+    Simulation a;
+    const TimePoint* a_clock = Logger::Instance().clock_source();
+    ASSERT_NE(a_clock, nullptr);
+    {
+      Simulation b;
+      EXPECT_NE(Logger::Instance().clock_source(), a_clock);
+    }
+    EXPECT_EQ(Logger::Instance().clock_source(), a_clock);
+    a.RunFor(Seconds(1));  // logging with A's clock is safe again
+  }
+  EXPECT_EQ(Logger::Instance().clock_source(), outermost);
+}
+
+TEST(SimulationTest, InterleavedSimulationLifetimesNeverDangleClock) {
+  // Destruction in construction order (non-LIFO): the logger must track the
+  // surviving simulation's clock, never a destroyed one.
+  auto a = std::make_unique<Simulation>();
+  auto b = std::make_unique<Simulation>();
+  b->RunFor(Seconds(2));
+  a.reset();  // destroy the OLDER simulation first
+  ASSERT_NE(Logger::Instance().clock_source(), nullptr);
+  EXPECT_EQ(*Logger::Instance().clock_source(), b->now());
+  b.reset();
+  EXPECT_EQ(Logger::Instance().clock_source(), nullptr);
+}
+
 TEST(PeriodicTaskTest, FiresRepeatedly) {
   Simulation sim;
   int count = 0;
@@ -114,8 +229,8 @@ TEST(PeriodicTaskTest, StopHalts) {
 
 class Recorder : public MessageHandler {
  public:
-  void OnMessage(HostId from, const std::string& bytes) override {
-    received.push_back({from, bytes});
+  void OnMessage(HostId from, const Packet& packet) override {
+    received.push_back({from, packet.Flatten()});
   }
   std::vector<std::pair<HostId, std::string>> received;
 };
@@ -235,6 +350,29 @@ TEST(NetworkTest, BandwidthAddsSerializationDelay) {
   TimePoint t_slow = sim2.now();
 
   EXPECT_GT(t_slow, t_fast + Seconds(4));  // ~5s serialization at 1KB/s
+}
+
+TEST(NetworkTest, PacketBodyBufferIsSharedEndToEnd) {
+  // The data plane's zero-copy contract at the lowest layer: the body
+  // payload handed to Send is the same buffer the receiver observes.
+  Simulation sim(14);
+  Network net(&sim, NetworkOptions{});
+  struct BodyKeeper : MessageHandler {
+    Payload last_body;
+    void OnMessage(HostId, const Packet& p) override { last_body = p.body; }
+  };
+  BodyKeeper keeper;
+  HostId a = net.AddHost(nullptr);
+  HostId b = net.AddHost(&keeper);
+  Payload body(std::string(4096, 'z'));
+  uint64_t buffers_before = Payload::buffers_created();
+  ASSERT_TRUE(
+      net.Send(a, b, Packet(Payload(std::string("hdr")), body)).ok());
+  sim.RunAll();
+  EXPECT_TRUE(keeper.last_body.SharesBufferWith(body));
+  EXPECT_EQ(keeper.last_body.view(), body.view());
+  // Only the 3-byte header materialized a new buffer.
+  EXPECT_EQ(Payload::buffers_created(), buffers_before + 1);
 }
 
 TEST(NetworkTest, StatsCountBytes) {
