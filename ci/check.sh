@@ -3,7 +3,7 @@
 # examples), run the test suite. CI and local pre-push both run exactly this,
 # so the README's build instructions can never rot.
 #
-# Usage: ci/check.sh [--sanitize] [--no-perf] [build-dir]
+# Usage: ci/check.sh [--sanitize] [--no-perf] [--fuzz] [build-dir]
 #   --sanitize   Debug build with ASan+UBSan (-DPIER_SANITIZE=address;undefined)
 #                — the job that keeps the ownership-heavy dataflow runtime
 #                (query/ops/, query/exchange.*) memory-clean on every PR.
@@ -11,17 +11,28 @@
 #   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1
 #                with --json, merged into BENCH_PR3.json). The smoke fails
 #                only on a bench self-check mismatch, never on timing.
+#   --fuzz       Also run the extended fault-injection fuzz lane: configures
+#                with -DPIER_FUZZ_LANE=ON and runs `ctest -L fuzz`
+#                (PIER_FUZZ_ITERS scenarios, default 60). Failing seeds +
+#                minimized fault scripts land in <build-dir>/fuzz-failures/.
 #   build-dir    defaults to "build" ("build-asan" under --sanitize)
+#
+# Test selection is label-based (see docs/testing.md):
+#   tier1  every correctness suite (the default lane here)
+#   slow   the multi-node end-to-end suites (skip locally with -LE slow)
+#   fuzz   the long randomized-scenario lane (opt-in via --fuzz)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 PERF=1
+FUZZ=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) SANITIZE=1; PERF=0 ;;
     --no-perf)  PERF=0 ;;
+    --fuzz)     FUZZ=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -34,6 +45,9 @@ else
   BUILD_DIR="${1:-build}"
   EXTRA_CMAKE_ARGS=()
 fi
+if [[ $FUZZ -eq 1 ]]; then
+  EXTRA_CMAKE_ARGS+=(-DPIER_FUZZ_LANE=ON)
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== configure (${BUILD_DIR}) =="
@@ -42,8 +56,22 @@ cmake -B "$BUILD_DIR" -S . -DPIER_WERROR=ON ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE
 echo "== build (all targets: pier, tests, benches, examples) =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== ctest =="
-(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+echo "== ctest (tier1) =="
+# The tier-1 lane must stay the fixed fast smoke: fuzz knobs exported for
+# the fuzz lane below (CI sets them job-wide) must not leak into it.
+# --no-tests=error: a labeling regression must fail loudly, not select
+# zero tests and report green.
+(cd "$BUILD_DIR" && env -u PIER_FUZZ_ITERS -u PIER_FUZZ_SEED \
+    ctest -L tier1 --no-tests=error --output-on-failure -j "$JOBS")
+
+if [[ $FUZZ -eq 1 ]]; then
+  # The long randomized-scenario lane. PIER_FUZZ_ITERS is inherited by the
+  # test binary; failing seeds and minimized fault scripts are written to
+  # fuzz-failures/ inside the build dir for CI artifact upload.
+  echo "== ctest (fuzz lane, PIER_FUZZ_ITERS=${PIER_FUZZ_ITERS:-60}) =="
+  (cd "$BUILD_DIR" && PIER_FUZZ_ITERS="${PIER_FUZZ_ITERS:-60}" \
+      ctest -L fuzz --no-tests=error --output-on-failure)
+fi
 
 if [[ $PERF -eq 1 ]]; then
   # Perf smoke: refresh the machine-readable perf trajectory. Exit codes

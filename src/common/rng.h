@@ -45,6 +45,10 @@ class Rng {
   /// stable across runs.
   Rng Fork(uint64_t stream) const;
 
+  /// The seed this generator was constructed/last Seed()ed with. Failing
+  /// randomized tests must log this so any run can be replayed exactly.
+  uint64_t seed() const { return seed_; }
+
  private:
   uint64_t state_[4];
   uint64_t seed_ = 0;

@@ -59,6 +59,10 @@ class PierNetwork {
   /// Attaches a churn scheduler that crashes/reboots nodes per `options`.
   /// Node 0 is kept stable as the experiment's observation point.
   void EnableChurn(sim::ChurnOptions options);
+  /// Membership transitions fired so far (0 when churn was never enabled).
+  uint64_t churn_transitions() const {
+    return churn_ != nullptr ? churn_->transitions() : 0;
+  }
 
   /// Sum of a per-node traffic counter across nodes (experiment accounting).
   uint64_t TotalBytesOut(overlay::Proto proto) const;

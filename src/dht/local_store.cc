@@ -62,8 +62,11 @@ size_t LocalStore::Sweep(TimePoint now) {
     TimePoint new_min = std::numeric_limits<TimePoint>::max();
     for (auto it = shard.items.begin(); it != shard.items.end();) {
       if (it->second.expires_at <= now) {
+        stats_.max_sweep_lag =
+            std::max(stats_.max_sweep_lag, now - it->second.expires_at);
         it = shard.items.erase(it);
         ++reclaimed;
+        ++stats_.items_reclaimed;
         --size_;
       } else {
         new_min = std::min(new_min, it->second.expires_at);

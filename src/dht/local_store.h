@@ -54,6 +54,12 @@ class LocalStore {
     uint64_t sweep_runs = 0;
     uint64_t sweep_namespaces_scanned = 0;
     uint64_t sweep_namespaces_skipped = 0;
+    uint64_t items_reclaimed = 0;
+    /// Worst observed sweep lag: max over reclaimed items of
+    /// (sweep time - expiry time). The soft-state invariant bounds this by
+    /// the sweep period — an expired tuple may linger at most one sweep
+    /// cycle (plus scheduling slack) before it is reclaimed.
+    Duration max_sweep_lag = 0;
   };
 
   /// Upserts by exact key. A renewal with a later expiry extends lifetime.

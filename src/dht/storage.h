@@ -120,6 +120,23 @@ class Dht {
     store_.ForEach(ns, sim_->now(), std::forward<Fn>(fn));
   }
 
+  /// Visits this node's *readable* slice: primary copies always, replica
+  /// copies only when this node has become responsible for their key — the
+  /// scan-side replica failover matching OnRoutedGet's "after a failover,
+  /// the replicas are the surviving data". A replica whose owner is alive
+  /// is skipped (the owner reports it), so nothing double-counts on a
+  /// converged ring.
+  template <typename Fn>
+  void ForEachLocalReadable(std::string_view ns, Fn&& fn) const {
+    store_.ForEach(ns, sim_->now(), [&](const StoredItem& item) {
+      if (item.replica &&
+          !router_->IsResponsibleFor(item.key.RoutingKey())) {
+        return true;
+      }
+      return fn(item);
+    });
+  }
+
   /// Copying variant of the local scan (tests, diagnostics).
   std::vector<StoredItem> LocalScan(std::string_view ns) const {
     return store_.Scan(ns, sim_->now());

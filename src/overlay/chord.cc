@@ -390,12 +390,21 @@ void ChordNode::HandleFindSuccReq(Reader* r) {
 void ChordNode::Stabilize() {
   if (state_ != State::kActive) return;
   ++stats_.stabilize_rounds;
+  // Prune expired suspicion entries so the map stays bounded under
+  // long-running churn (IsSuspect already ignores them).
+  TimePoint now = transport_->simulation()->now();
+  for (auto it = suspects_.begin(); it != suspects_.end();) {
+    it = now >= it->second ? suspects_.erase(it) : std::next(it);
+  }
   // Drop suspect successors from the head.
   while (!successors_.empty() && IsSuspect(successors_[0].host)) {
     ++stats_.successor_failovers;
     successors_.erase(successors_.begin());
     NotifyNeighborsChanged();
   }
+  // Partition healing runs even (especially) when every successor has been
+  // evicted: an isolated node's only way back is probing its memory.
+  ProbeEvicted();
   if (successors_.empty()) return;  // singleton
 
   NodeInfo succ = successors_[0];
@@ -453,6 +462,99 @@ void ChordNode::Stabilize() {
   w.PutU8(static_cast<uint8_t>(MsgType::kGetNeighborsReq));
   w.PutVarint64(req_id);
   SendMsg(succ.host, w);
+}
+
+// ---------------------------------------------------------------------------
+// Partition healing
+// ---------------------------------------------------------------------------
+//
+// A network partition splits the ring into halves that each evict the other
+// half as suspects; once the halves stabilize into independent rings, no
+// routine exchange ever crosses the old boundary again. The heal path is
+// out-of-band memory: every eviction is remembered (bounded cache + TTL),
+// and each stabilize round re-probes one remembered peer. When a probe
+// answers after the heal, its neighborhood is fed through the usual
+// adoption rules and a notify is sent back, so both halves knit their
+// successor lists together and stabilization cascades the merge.
+
+void ChordNode::RememberEvicted(const NodeInfo& info) {
+  if (info.host == self_.host) return;
+  TimePoint until =
+      transport_->simulation()->now() + options_.rejoin_cache_ttl;
+  for (EvictedPeer& e : evicted_) {
+    if (e.info.host == info.host) {
+      e.until = until;  // refresh
+      return;
+    }
+  }
+  if (evicted_.size() >= options_.rejoin_cache_size) {
+    evicted_.erase(evicted_.begin());  // oldest remembered drops first
+  }
+  evicted_.push_back(EvictedPeer{info, until});
+}
+
+void ChordNode::ConsiderRejoinCandidate(const NodeInfo& candidate) {
+  if (candidate.host == self_.host || IsSuspect(candidate.host)) return;
+  if (successors_.empty()) {
+    ++stats_.rejoin_merges;
+    AdoptSuccessorCandidate(candidate);
+    return;
+  }
+  if (candidate.id.InIntervalOpenOpen(self_.id, successors_[0].id)) {
+    ++stats_.rejoin_merges;
+    AdoptSuccessorCandidate(candidate);
+  }
+}
+
+void ChordNode::ProbeEvicted() {
+  TimePoint now = transport_->simulation()->now();
+  evicted_.erase(std::remove_if(evicted_.begin(), evicted_.end(),
+                                [now](const EvictedPeer& e) {
+                                  return e.until <= now;
+                                }),
+                 evicted_.end());
+  if (evicted_.empty()) return;
+  evicted_probe_idx_ %= evicted_.size();
+  NodeInfo target = evicted_[evicted_probe_idx_++].info;
+  ++stats_.rejoin_probes;
+  uint64_t req_id = rpc_.Begin(
+      [this, target](Status s, Reader* r) {
+        if (state_ != State::kActive || !s.ok()) return;  // still cut off
+        // Reachable again: drop suspicion so the adoption rules accept it,
+        // and forget the eviction (normal stabilization owns it now).
+        suspects_.erase(target.host);
+        evicted_.erase(
+            std::remove_if(evicted_.begin(), evicted_.end(),
+                           [&target](const EvictedPeer& e) {
+                             return e.info.host == target.host;
+                           }),
+            evicted_.end());
+        ConsiderRejoinCandidate(target);
+        bool has_pred = false;
+        NodeInfo pred;
+        uint32_t n = 0;
+        if (!r->GetBool(&has_pred).ok()) return;
+        if (has_pred) {
+          if (!NodeInfo::Deserialize(r, &pred).ok()) return;
+          ConsiderRejoinCandidate(pred);
+        }
+        if (!r->GetVarint32(&n).ok()) return;
+        for (uint32_t i = 0; i < n; ++i) {
+          NodeInfo e;
+          if (!NodeInfo::Deserialize(r, &e).ok()) return;
+          ConsiderRejoinCandidate(e);
+        }
+        // Tell the other side about us so its half can knit symmetrically.
+        Writer w;
+        w.PutU8(static_cast<uint8_t>(MsgType::kNotify));
+        self_.Serialize(&w);
+        SendMsg(target.host, w);
+      },
+      options_.rpc_timeout);
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kGetNeighborsReq));
+  w.PutVarint64(req_id);
+  SendMsg(target.host, w);
 }
 
 void ChordNode::AdoptSuccessorCandidate(const NodeInfo& candidate) {
@@ -585,7 +687,25 @@ void ChordNode::CheckPredecessor() {
 // ---------------------------------------------------------------------------
 
 void ChordNode::Suspect(sim::HostId host) {
-  suspects_[host] = transport_->simulation()->now() + options_.suspect_ttl;
+  TimePoint now = transport_->simulation()->now();
+  // A new suspicion episode = the host was not currently suspect (absent,
+  // or present but expired — expired entries linger until pruned).
+  auto sit = suspects_.find(host);
+  if (sit == suspects_.end() || now >= sit->second) ++stats_.suspects_marked;
+  suspects_[host] = now + options_.suspect_ttl;
+  // Remember the identity we are about to forget, while we still have it:
+  // if this "failure" is really a partition, the rejoin probe needs the
+  // NodeInfo to find the other half again after the heal.
+  for (const NodeInfo& s : successors_) {
+    if (s.host == host) {
+      RememberEvicted(s);
+      break;
+    }
+  }
+  if (pred_.has_value() && pred_->host == host) RememberEvicted(*pred_);
+  for (auto& f : fingers_) {
+    if (f.has_value() && f->host == host) RememberEvicted(*f);
+  }
   RemoveSuccessor(host);
   for (auto& f : fingers_) {
     if (f.has_value() && f->host == host) f.reset();
@@ -611,7 +731,20 @@ void ChordNode::RemoveSuccessor(sim::HostId host) {
 }
 
 void ChordNode::NotifyNeighborsChanged() {
+  ++stats_.neighbor_changes;
+  last_neighbor_change_ = transport_->simulation()->now();
   if (on_neighbors_changed_) on_neighbors_changed_();
+}
+
+bool ChordNode::RingStable(Duration window) const {
+  return transport_->simulation()->now() - last_neighbor_change_ >= window;
+}
+
+size_t ChordNode::suspect_count() const {
+  TimePoint now = transport_->simulation()->now();
+  size_t n = 0;
+  for (const auto& [host, until] : suspects_) n += now < until ? 1 : 0;
+  return n;
 }
 
 // ---------------------------------------------------------------------------

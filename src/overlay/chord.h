@@ -58,6 +58,13 @@ struct ChordOptions {
   int max_join_attempts = 8;
   /// Routing loop guard.
   int max_route_hops = 64;
+  /// Partition healing: peers evicted on suspicion are remembered and
+  /// re-probed (one per stabilize round) for this long. A ring split by a
+  /// network partition has no in-band path between its halves, so these
+  /// probes are the only way the halves re-merge after the heal; the cache
+  /// TTL bounds how long a partition may last and still self-heal.
+  Duration rejoin_cache_ttl = Seconds(240);
+  size_t rejoin_cache_size = 16;
 };
 
 /// Counters exposed for experiments.
@@ -68,6 +75,15 @@ struct ChordStats {
   uint64_t messages_forwarded = 0;
   uint64_t stabilize_rounds = 0;
   uint64_t successor_failovers = 0;
+  /// Hosts newly marked suspect after an RPC timeout (churn/partition
+  /// observability: rises while links are faulted, flat once healed).
+  uint64_t suspects_marked = 0;
+  /// Ring-neighborhood changes (successor/predecessor/successor-list edits).
+  uint64_t neighbor_changes = 0;
+  /// Partition-heal probes sent to evicted peers, and the probes that came
+  /// back and knitted state from the other side of a split.
+  uint64_t rejoin_probes = 0;
+  uint64_t rejoin_merges = 0;
   sim::Histogram lookup_hops;
 };
 
@@ -107,6 +123,15 @@ class ChordNode : public Router {
   const std::vector<NodeInfo>& successor_list() const { return successors_; }
   /// Distinct live finger entries (diagnostics).
   std::vector<NodeInfo> FingerEntries() const;
+
+  // -- stabilization observability (partition-heal testing hooks) ------------
+  /// Virtual time of the last ring-neighborhood change at this node.
+  TimePoint last_neighbor_change() const { return last_neighbor_change_; }
+  /// True when the ring neighborhood has been unchanged for `window` — the
+  /// per-node convergence probe the fault testkit polls after a heal.
+  bool RingStable(Duration window) const;
+  /// Hosts currently under suspicion (unexpired entries).
+  size_t suspect_count() const;
 
   const ChordStats& stats() const { return stats_; }
   ChordStats* mutable_stats() { return &stats_; }
@@ -150,6 +175,11 @@ class ChordNode : public Router {
   void StartTasks();
   void StopTasks();
   void Stabilize();
+  /// Partition healing: re-probes one remembered evicted peer; a response
+  /// clears its suspicion and feeds its neighborhood back into ours.
+  void ProbeEvicted();
+  void RememberEvicted(const NodeInfo& info);
+  void ConsiderRejoinCandidate(const NodeInfo& candidate);
   void FixFingers();
   void CheckPredecessor();
   void AttemptJoin();
@@ -175,6 +205,13 @@ class ChordNode : public Router {
   mutable bool finger_cache_dirty_ = true;
 
   std::unordered_map<sim::HostId, TimePoint> suspects_;
+  /// Evicted-peer memory for partition healing (see ProbeEvicted).
+  struct EvictedPeer {
+    NodeInfo info;
+    TimePoint until;  ///< drop from the cache after this time
+  };
+  std::vector<EvictedPeer> evicted_;
+  size_t evicted_probe_idx_ = 0;
 
   RpcManager rpc_;
   sim::PeriodicTask stabilize_task_;
@@ -186,6 +223,7 @@ class ChordNode : public Router {
   std::function<void(Status)> join_done_;
   sim::HostId join_bootstrap_ = sim::kInvalidHost;
   int join_attempts_ = 0;
+  TimePoint last_neighbor_change_ = 0;
 
   ChordStats stats_;
 };

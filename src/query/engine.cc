@@ -688,6 +688,8 @@ void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch) {
   batch.query_id = aq->env.query_id;
   batch.epoch = epoch;
   batch.reporting_nodes = es.reporters.size();
+  batch.reporters.assign(es.reporters.begin(), es.reporters.end());
+  std::sort(batch.reporters.begin(), batch.reporters.end());
   batch.rows = OriginPostProcess(aq, epoch);
   aq->last_finalized_epoch =
       std::max(aq->last_finalized_epoch, static_cast<int64_t>(epoch));

@@ -70,8 +70,9 @@ void JoinStage::Setup() {
     flow_.Connect(shj_, sink);
     // Catch-up: tuples rehashed by fast nodes may land here before the
     // plan broadcast did; they are waiting in the exchange namespace.
-    host_->dht()->ForEachLocal(ns(), [this](const dht::StoredItem& item) {
-      if (!item.replica) OnArrival(item);
+    host_->dht()->ForEachLocalReadable(ns(),
+                                       [this](const dht::StoredItem& item) {
+      OnArrival(item);
       return true;
     });
   }

@@ -69,6 +69,14 @@ struct ResultBatch {
   uint64_t epoch = 0;
   /// Nodes heard from this epoch (aggregation queries: distinct reporters).
   size_t reporting_nodes = 0;
+  /// Result provenance (diagnostic): the distinct hosts whose results or
+  /// partials were folded into `rows`, sorted ascending. Under tree
+  /// aggregation interior nodes subsume their subtrees, so this is the set
+  /// of direct reporters, not every contributor. The fault testkit asserts
+  /// its consistency with `reporting_nodes` and surfaces it when
+  /// attributing degraded answers; answer scoring itself compares row
+  /// multisets only.
+  std::vector<uint32_t> reporters;
   std::vector<catalog::Tuple> rows;
 };
 

@@ -1,0 +1,183 @@
+#include "sim/fault_plane.h"
+
+#include <algorithm>
+
+namespace pier {
+namespace sim {
+
+namespace {
+bool InSet(const std::vector<HostId>& set, HostId h) {
+  return set.empty() || std::find(set.begin(), set.end(), h) != set.end();
+}
+}  // namespace
+
+std::string FormatHostSet(const std::vector<HostId>& set) {
+  if (set.empty()) return "*";
+  std::string out = "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(set[i]);
+  }
+  return out + "}";
+}
+
+bool FaultRule::Matches(HostId a, HostId b) const {
+  if (InSet(src, a) && InSet(dst, b)) return true;
+  return symmetric && InSet(src, b) && InSet(dst, a);
+}
+
+std::string FaultRule::ToString() const {
+  std::string out = "[" + FormatDuration(from) + "," +
+                    (until == std::numeric_limits<TimePoint>::max()
+                         ? std::string("inf")
+                         : FormatDuration(until)) +
+                    ") " + FormatHostSet(src) +
+                    (symmetric ? "<->" : "->") + FormatHostSet(dst);
+  if (drop_prob > 0) {
+    out += " drop=" + std::to_string(drop_prob);
+  }
+  if (extra_delay > 0) out += " delay+" + FormatDuration(extra_delay);
+  if (reorder_window > 0) out += " reorder<" + FormatDuration(reorder_window);
+  if (duplicate_prob > 0) out += " dup=" + std::to_string(duplicate_prob);
+  return out;
+}
+
+FaultRuleId FaultPlane::AddRule(FaultRule rule) {
+  FaultRuleId id = next_id_++;
+  rules_.push_back(Installed{id, std::move(rule)});
+  return id;
+}
+
+void FaultPlane::RemoveRule(FaultRuleId id) {
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [id](const Installed& r) { return r.id == id; }),
+               rules_.end());
+}
+
+FaultRuleId FaultPlane::Partition(std::vector<HostId> group_a,
+                                  std::vector<HostId> group_b, TimePoint from,
+                                  TimePoint until, bool bidirectional) {
+  FaultRule rule;
+  rule.from = from;
+  rule.until = until;
+  rule.src = std::move(group_a);
+  rule.dst = std::move(group_b);
+  rule.symmetric = bidirectional;
+  rule.drop_prob = 1.0;
+  return AddRule(std::move(rule));
+}
+
+FaultRuleId FaultPlane::Loss(std::vector<HostId> src, std::vector<HostId> dst,
+                             double p, TimePoint from, TimePoint until,
+                             bool symmetric) {
+  FaultRule rule;
+  rule.from = from;
+  rule.until = until;
+  rule.src = std::move(src);
+  rule.dst = std::move(dst);
+  rule.symmetric = symmetric;
+  rule.drop_prob = p;
+  return AddRule(std::move(rule));
+}
+
+FaultRuleId FaultPlane::DelaySpike(std::vector<HostId> src,
+                                   std::vector<HostId> dst, Duration extra,
+                                   TimePoint from, TimePoint until) {
+  FaultRule rule;
+  rule.from = from;
+  rule.until = until;
+  rule.src = std::move(src);
+  rule.dst = std::move(dst);
+  rule.symmetric = true;
+  rule.extra_delay = extra;
+  return AddRule(std::move(rule));
+}
+
+FaultRuleId FaultPlane::Reorder(std::vector<HostId> src,
+                                std::vector<HostId> dst, Duration window,
+                                TimePoint from, TimePoint until) {
+  FaultRule rule;
+  rule.from = from;
+  rule.until = until;
+  rule.src = std::move(src);
+  rule.dst = std::move(dst);
+  rule.symmetric = true;
+  rule.reorder_window = window;
+  return AddRule(std::move(rule));
+}
+
+FaultRuleId FaultPlane::Duplicate(std::vector<HostId> src,
+                                  std::vector<HostId> dst, double p,
+                                  TimePoint from, TimePoint until) {
+  FaultRule rule;
+  rule.from = from;
+  rule.until = until;
+  rule.src = std::move(src);
+  rule.dst = std::move(dst);
+  rule.symmetric = true;
+  rule.duplicate_prob = p;
+  return AddRule(std::move(rule));
+}
+
+FaultVerdict FaultPlane::Judge(TimePoint now, HostId from, HostId to) {
+  ++packets_judged_;
+  FaultVerdict v;
+  // Rules whose duplication draw won this packet; their budgets are charged
+  // only once the packet is known NOT to drop (a dropped packet yields no
+  // copies, so it must not exhaust a duplication budget either). At most 8
+  // duplication rules (in installation order) can win per packet — beyond
+  // that, later winners inject nothing and are charged nothing; scripts
+  // stacking 9+ overlapping duplication rules on one link are outside the
+  // model's envelope.
+  Installed* dup_winners[8];
+  size_t n_dup_winners = 0;
+  for (Installed& entry : rules_) {
+    FaultRule& rule = entry.rule;
+    if (!rule.ActiveAt(now) || !rule.Matches(from, to)) continue;
+    // Every active matching rule draws from the RNG in installation order,
+    // so the stream consumed per packet is a pure function of the rule set —
+    // required for seed replay.
+    if (rule.drop_prob > 0 && rng_.Chance(rule.drop_prob)) v.drop = true;
+    v.extra_delay += rule.extra_delay;
+    if (rule.reorder_window > 0) {
+      v.extra_delay += static_cast<Duration>(
+          rng_.NextBelow(static_cast<uint64_t>(rule.reorder_window)));
+    }
+    if (rule.duplicate_prob > 0 && rng_.Chance(rule.duplicate_prob) &&
+        n_dup_winners < 8) {
+      dup_winners[n_dup_winners++] = &entry;
+    }
+  }
+  if (v.drop) {
+    ++packets_dropped_;
+    v.extra_delay = 0;
+    return v;
+  }
+  for (size_t i = 0; i < n_dup_winners; ++i) {
+    FaultRule& rule = dup_winners[i]->rule;
+    if (rule.duplicate_budget == 0) continue;
+    --rule.duplicate_budget;
+    ++v.duplicates;
+  }
+  packets_duplicated_ += static_cast<uint64_t>(v.duplicates);
+  return v;
+}
+
+bool FaultPlane::QuietAfter(TimePoint now) const {
+  for (const Installed& entry : rules_) {
+    if (entry.rule.until > now) return false;
+  }
+  return true;
+}
+
+std::string FaultPlane::ToString() const {
+  std::string out;
+  for (const Installed& entry : rules_) {
+    if (!out.empty()) out += "\n";
+    out += entry.rule.ToString();
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace pier

@@ -1,0 +1,152 @@
+// FaultPlane: scriptable link-level fault injection for the simulated
+// network.
+//
+// The plane holds a set of timed rules; sim::Network consults it once per
+// packet (Judge). Each rule matches a direction-sensitive set of (src, dst)
+// host pairs inside an activation window and contributes faults:
+//
+//   drop_prob        per-packet loss; 1.0 blackholes the link
+//   extra_delay      fixed delay spike added to the delivery latency
+//   reorder_window   extra uniform delay in [0, window) per packet — packets
+//                    sent close together can overtake each other, which is
+//                    how real reordering is modelled without breaking the
+//                    simulator's deterministic (time, seq) total order
+//   duplicate_prob   chance the packet is delivered twice
+//
+// Partitions are just blackhole rules over host groups: a bidirectional
+// partition installs A->B and B->A, an asymmetric one installs a single
+// direction (the pathological case overlay stabilization must survive).
+//
+// Determinism: all stochastic draws come from one Rng forked off the
+// simulation's root seed, so any run replays byte-identically from its seed
+// (asserted via Network::trace_digest()).
+
+#ifndef PIER_SIM_FAULT_PLANE_H_
+#define PIER_SIM_FAULT_PLANE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+
+namespace pier {
+namespace sim {
+
+using HostId = uint32_t;  // mirrors network.h (no include cycle)
+
+/// Identifies an installed rule so scripts can retire it early. 0 invalid.
+using FaultRuleId = uint64_t;
+
+/// "{1,2,3}" or "*" for the empty (wildcard) set — shared by FaultRule and
+/// the testkit's FaultScript renderings so replay recipes and plane dumps
+/// can't drift apart.
+std::string FormatHostSet(const std::vector<HostId>& set);
+
+/// One link-fault rule. Empty src/dst sets match every host.
+struct FaultRule {
+  /// Activation window [from, until) in virtual time.
+  TimePoint from = 0;
+  TimePoint until = std::numeric_limits<TimePoint>::max();
+  /// Matching endpoints; empty = wildcard.
+  std::vector<HostId> src;
+  std::vector<HostId> dst;
+  /// Also match the reversed direction (bidirectional partition/loss).
+  bool symmetric = false;
+
+  double drop_prob = 0.0;
+  Duration extra_delay = 0;
+  Duration reorder_window = 0;
+  double duplicate_prob = 0.0;
+  /// Hard cap on the copies this rule may inject over its lifetime. On a
+  /// multi-hop overlay every forwarded hop is judged again, so unbounded
+  /// duplication is a supercritical branching process (1+p per hop) that
+  /// can melt the simulation; real retransmission storms are finite too.
+  uint64_t duplicate_budget = 5000;
+
+  bool ActiveAt(TimePoint now) const { return now >= from && now < until; }
+  bool Matches(HostId a, HostId b) const;
+  std::string ToString() const;
+};
+
+/// What the network should do with one packet.
+struct FaultVerdict {
+  bool drop = false;
+  Duration extra_delay = 0;
+  /// Extra deliveries on top of the original (0 or 1 in practice).
+  int duplicates = 0;
+};
+
+/// The per-experiment fault layer. One instance, shared by reference with
+/// the Network (Network::SetFaultPlane).
+class FaultPlane {
+ public:
+  explicit FaultPlane(Rng rng) : rng_(rng) {}
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  FaultRuleId AddRule(FaultRule rule);
+  /// Retires a rule before its window ends. No-op on unknown ids.
+  void RemoveRule(FaultRuleId id);
+  void Clear() { rules_.clear(); }
+  size_t rule_count() const { return rules_.size(); }
+
+  // -- scripted helpers -------------------------------------------------------
+  /// Blackholes all traffic group_a -> group_b (and the reverse when
+  /// `bidirectional`) during [from, until).
+  FaultRuleId Partition(std::vector<HostId> group_a, std::vector<HostId> group_b,
+                        TimePoint from, TimePoint until,
+                        bool bidirectional = true);
+  /// Per-link loss in one direction (symmetric=false) or both.
+  FaultRuleId Loss(std::vector<HostId> src, std::vector<HostId> dst, double p,
+                   TimePoint from, TimePoint until, bool symmetric = true);
+  /// Fixed latency spike on matching links.
+  FaultRuleId DelaySpike(std::vector<HostId> src, std::vector<HostId> dst,
+                         Duration extra, TimePoint from, TimePoint until);
+  /// Reordering window on matching links.
+  FaultRuleId Reorder(std::vector<HostId> src, std::vector<HostId> dst,
+                      Duration window, TimePoint from, TimePoint until);
+  /// Probabilistic duplication on matching links.
+  FaultRuleId Duplicate(std::vector<HostId> src, std::vector<HostId> dst,
+                        double p, TimePoint from, TimePoint until);
+
+  /// Called by the network once per packet (never for self-sends). Combines
+  /// every active matching rule: delays add, and a winning drop suppresses
+  /// the packet's other effects (a dropped packet yields no copies and
+  /// charges no duplication budget). Every matching rule's RNG draws happen
+  /// regardless, so the consumed stream — and therefore the replay — is a
+  /// pure function of the rule set.
+  FaultVerdict Judge(TimePoint now, HostId from, HostId to);
+
+  /// True when no rule's window extends past `now` — the script has fully
+  /// healed and the system should reconverge.
+  bool QuietAfter(TimePoint now) const;
+
+  /// Counters (diagnostics and tests).
+  uint64_t packets_judged() const { return packets_judged_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t packets_duplicated() const { return packets_duplicated_; }
+
+  std::string ToString() const;
+
+ private:
+  struct Installed {
+    FaultRuleId id;
+    FaultRule rule;
+  };
+
+  std::vector<Installed> rules_;
+  Rng rng_;
+  FaultRuleId next_id_ = 1;
+  uint64_t packets_judged_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t packets_duplicated_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pier
+
+#endif  // PIER_SIM_FAULT_PLANE_H_

@@ -65,8 +65,18 @@ Status Network::Send(HostId from, HostId to, Packet packet) {
     ++stats_.messages_lost;
     return Status::OK();
   }
+  FaultVerdict fault;
+  if (fault_plane_ != nullptr && from != to) {
+    fault = fault_plane_->Judge(sim_->now(), from, to);
+    if (fault.drop) {
+      ++stats_.messages_faulted;
+      FoldTrace(/*tag=*/2, from, to, static_cast<uint64_t>(sim_->now()),
+                packet.size());
+      return Status::OK();
+    }
+  }
 
-  Duration delay = BaseLatency(from, to);
+  Duration delay = BaseLatency(from, to) + fault.extra_delay;
   if (options_.jitter > 0 && from != to) {
     delay += static_cast<Duration>(
         latency_rng_.NextBelow(static_cast<uint64_t>(options_.jitter) + 1));
@@ -76,8 +86,22 @@ Status Network::Send(HostId from, HostId to, Packet packet) {
         (packet.size() + options_.per_message_overhead_bytes) * kSecond /
         options_.bandwidth_bytes_per_sec);
   }
+  FoldTrace(/*tag=*/1, from, to, static_cast<uint64_t>(sim_->now()),
+            static_cast<uint64_t>(delay) ^ (packet.size() << 32));
 
   uint64_t to_epoch = hosts_[to].epoch;
+  Duration dup_delay = delay;
+  for (int copy = 0; copy < fault.duplicates; ++copy) {
+    ++stats_.messages_duplicated;
+    // Duplicates arrive with their own jitter draw so the copies separate
+    // in time, as retransmission-induced duplicates do. Copying the Packet
+    // bumps refcounts, never bytes.
+    dup_delay += static_cast<Duration>(
+        latency_rng_.NextBelow(static_cast<uint64_t>(options_.jitter) + 1));
+    sim_->ScheduleAfter(dup_delay, [this, from, to, to_epoch, packet] {
+      Deliver(from, to, to_epoch, packet);
+    });
+  }
   // The delivery closure carries two Payload handles (refcounts, no byte
   // copies) and fits the event node's inline storage — the hot path of a
   // 10k-node run does no allocation here.
@@ -96,7 +120,21 @@ void Network::Deliver(HostId from, HostId to, uint64_t to_epoch,
     return;
   }
   ++stats_.messages_delivered;
+  FoldTrace(/*tag=*/3, from, to, static_cast<uint64_t>(sim_->now()),
+            packet.size());
   host.handler->OnMessage(from, packet);
+}
+
+void Network::FoldTrace(uint64_t tag, HostId from, HostId to, uint64_t a,
+                        uint64_t b) {
+  // FNV-1a over the event's identifying words; order-sensitive by design.
+  auto fold = [this](uint64_t word) {
+    trace_digest_ = (trace_digest_ ^ word) * 0x100000001b3ull;
+  };
+  fold(tag);
+  fold((static_cast<uint64_t>(from) << 32) | to);
+  fold(a);
+  fold(b);
 }
 
 }  // namespace sim

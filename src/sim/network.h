@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plane.h"
 #include "sim/payload.h"
 
 namespace pier {
@@ -58,6 +59,10 @@ struct NetworkStats {
   uint64_t messages_delivered = 0;
   uint64_t messages_lost = 0;
   uint64_t messages_to_down_host = 0;
+  /// Dropped by an active FaultPlane rule (partitions, injected loss).
+  uint64_t messages_faulted = 0;
+  /// Extra copies scheduled by duplication rules.
+  uint64_t messages_duplicated = 0;
   uint64_t bytes_sent = 0;
 
   void Reset() { *this = NetworkStats(); }
@@ -94,6 +99,18 @@ class Network {
   /// Stable base one-way latency for the pair (diagnostics, experiments).
   Duration BaseLatency(HostId a, HostId b) const;
 
+  /// Attaches a fault-injection layer consulted once per non-loopback packet
+  /// (null detaches). The plane is owned by the caller and must outlive the
+  /// network or be detached first.
+  void SetFaultPlane(FaultPlane* plane) { fault_plane_ = plane; }
+  FaultPlane* fault_plane() { return fault_plane_; }
+
+  /// Order-sensitive digest over every send decision and delivery
+  /// (time, endpoints, size, computed delay). Two runs of the same seeded
+  /// experiment produce equal digests iff their event traces are
+  /// byte-identical — the replay assertion of the fault testkit.
+  uint64_t trace_digest() const { return trace_digest_; }
+
   const NetworkStats& stats() const { return stats_; }
   NetworkStats* mutable_stats() { return &stats_; }
 
@@ -112,6 +129,7 @@ class Network {
 
   void Deliver(HostId from, HostId to, uint64_t to_epoch,
                const Packet& packet);
+  void FoldTrace(uint64_t tag, HostId from, HostId to, uint64_t a, uint64_t b);
 
   Simulation* sim_;
   NetworkOptions options_;
@@ -119,6 +137,8 @@ class Network {
   NetworkStats stats_;
   Rng latency_rng_;   // per-message jitter + loss draws
   uint64_t pair_seed_;
+  FaultPlane* fault_plane_ = nullptr;
+  uint64_t trace_digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
 };
 
 }  // namespace sim

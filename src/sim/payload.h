@@ -34,9 +34,9 @@ class Payload {
   Payload() = default;
   /// Materializes a buffer from owned bytes (counted; this is "the copy").
   explicit Payload(std::string bytes)
-      : data_(std::make_shared<const std::string>(std::move(bytes))),
+      : data_(std::make_shared<const Buffer>(std::move(bytes))),
         offset_(0),
-        len_(data_->size()) {
+        len_(data_->bytes.size()) {
     ++buffers_created_;
     bytes_materialized_ += len_;
   }
@@ -44,7 +44,7 @@ class Payload {
   std::string_view view() const {
     return data_ == nullptr
                ? std::string_view()
-               : std::string_view(data_->data() + offset_, len_);
+               : std::string_view(data_->bytes.data() + offset_, len_);
   }
   size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
@@ -72,18 +72,35 @@ class Payload {
   // -- materialization accounting -------------------------------------------
   static uint64_t buffers_created() { return buffers_created_; }
   static uint64_t bytes_materialized() { return bytes_materialized_; }
+  /// Buffers whose refcount has not yet dropped to zero. Any experiment
+  /// that drains its event queue and tears down its nodes must return this
+  /// to its starting value — the leak invariant of the fault testkit.
+  static uint64_t buffers_live() { return buffers_live_; }
   static void ResetCounters() {
     buffers_created_ = 0;
     bytes_materialized_ = 0;
+    // buffers_live_ is intentionally NOT reset: it tracks real object
+    // lifetimes, so zeroing it while payloads exist would corrupt the count.
   }
 
  private:
-  std::shared_ptr<const std::string> data_;
+  /// The shared allocation. Its lifetime bounds are observable (the leak
+  /// invariant), so construction/destruction maintain the live counter.
+  struct Buffer {
+    std::string bytes;
+    explicit Buffer(std::string b) : bytes(std::move(b)) { ++buffers_live_; }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { --buffers_live_; }
+  };
+
+  std::shared_ptr<const Buffer> data_;
   size_t offset_ = 0;
   size_t len_ = 0;
 
   static inline uint64_t buffers_created_ = 0;
   static inline uint64_t bytes_materialized_ = 0;
+  static inline uint64_t buffers_live_ = 0;
 };
 
 /// One message on the simulated wire: per-hop header + shared body.

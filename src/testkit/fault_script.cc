@@ -1,0 +1,158 @@
+#include "testkit/fault_script.h"
+
+#include <algorithm>
+
+namespace pier {
+namespace testkit {
+
+namespace {
+
+/// Draws a subset of [lo, n) of the given size, in index order.
+std::vector<sim::HostId> SampleGroup(Rng* rng, size_t n, size_t lo,
+                                     size_t want) {
+  std::vector<sim::HostId> pool;
+  for (size_t i = lo; i < n; ++i) pool.push_back(static_cast<sim::HostId>(i));
+  // Partial Fisher-Yates: deterministic in the rng stream.
+  for (size_t i = 0; i < want && i < pool.size(); ++i) {
+    size_t j = i + static_cast<size_t>(rng->NextBelow(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(std::min(want, pool.size()));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultDirective::Kind k) {
+  switch (k) {
+    case FaultDirective::Kind::kPartition: return "partition";
+    case FaultDirective::Kind::kAsymPartition: return "asym-partition";
+    case FaultDirective::Kind::kLoss: return "loss";
+    case FaultDirective::Kind::kDelaySpike: return "delay-spike";
+    case FaultDirective::Kind::kDuplicate: return "duplicate";
+    case FaultDirective::Kind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+std::string FaultDirective::ToString() const {
+  std::string out = std::string(FaultKindName(kind)) + " [" +
+                    FormatDuration(from) + "," + FormatDuration(until) +
+                    ") " + sim::FormatHostSet(group_a) +
+                    (kind == Kind::kAsymPartition ? "->" : "<->") +
+                    sim::FormatHostSet(group_b);
+  if (probability > 0) out += " p=" + std::to_string(probability);
+  if (magnitude > 0) out += " mag=" + FormatDuration(magnitude);
+  return out;
+}
+
+void FaultScript::Apply(sim::FaultPlane* plane) const {
+  for (const FaultDirective& d : directives) {
+    switch (d.kind) {
+      case FaultDirective::Kind::kPartition:
+        plane->Partition(d.group_a, d.group_b, d.from, d.until,
+                         /*bidirectional=*/true);
+        break;
+      case FaultDirective::Kind::kAsymPartition:
+        plane->Partition(d.group_a, d.group_b, d.from, d.until,
+                         /*bidirectional=*/false);
+        break;
+      case FaultDirective::Kind::kLoss:
+        plane->Loss(d.group_a, d.group_b, d.probability, d.from, d.until);
+        break;
+      case FaultDirective::Kind::kDelaySpike:
+        plane->DelaySpike(d.group_a, d.group_b, d.magnitude, d.from, d.until);
+        break;
+      case FaultDirective::Kind::kDuplicate:
+        plane->Duplicate(d.group_a, d.group_b, d.probability, d.from,
+                         d.until);
+        break;
+      case FaultDirective::Kind::kReorder:
+        plane->Reorder(d.group_a, d.group_b, d.magnitude, d.from, d.until);
+        break;
+    }
+  }
+}
+
+TimePoint FaultScript::HealTime() const {
+  TimePoint heal = 0;
+  for (const FaultDirective& d : directives) heal = std::max(heal, d.until);
+  return heal;
+}
+
+std::string FaultScript::ToString() const {
+  if (directives.empty()) return "(no faults)";
+  std::string out;
+  for (size_t i = 0; i < directives.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += "  #" + std::to_string(i) + " " + directives[i].ToString();
+  }
+  return out;
+}
+
+FaultScript FaultScript::Without(size_t i) const {
+  FaultScript out = *this;
+  if (i < out.directives.size()) {
+    out.directives.erase(out.directives.begin() + static_cast<long>(i));
+  }
+  return out;
+}
+
+FaultScript FaultScript::Sample(Rng* rng, size_t n_hosts, TimePoint start,
+                                TimePoint end) {
+  FaultScript script;
+  if (n_hosts < 3 || end <= start) return script;
+  size_t count = 1 + static_cast<size_t>(rng->NextBelow(3));  // 1..3 faults
+  for (size_t i = 0; i < count; ++i) {
+    FaultDirective d;
+    d.kind = static_cast<FaultDirective::Kind>(rng->NextBelow(6));
+    Duration span = end - start;
+    d.from = start + static_cast<Duration>(
+                         rng->NextBelow(static_cast<uint64_t>(span / 2) + 1));
+    Duration max_len = end - d.from;
+    d.until = d.from + std::max<Duration>(
+                           Seconds(5),
+                           static_cast<Duration>(rng->NextBelow(
+                               static_cast<uint64_t>(max_len))));
+    if (d.until > end) d.until = end;
+    // Minority group drawn from 1..n-1 (host 0 stays on the majority side,
+    // so the observation point is never the isolated one).
+    size_t minority =
+        1 + static_cast<size_t>(rng->NextBelow((n_hosts - 1) / 2 + 1));
+    d.group_a = SampleGroup(rng, n_hosts, /*lo=*/1, minority);
+    // The other side is the complement, so intra-group traffic stays clean
+    // (a partition separates groups; it does not take nodes offline).
+    for (size_t h = 0; h < n_hosts; ++h) {
+      if (std::find(d.group_a.begin(), d.group_a.end(),
+                    static_cast<sim::HostId>(h)) == d.group_a.end()) {
+        d.group_b.push_back(static_cast<sim::HostId>(h));
+      }
+    }
+    switch (d.kind) {
+      case FaultDirective::Kind::kLoss:
+        d.probability = 0.05 + 0.45 * rng->NextDouble();
+        break;
+      case FaultDirective::Kind::kDuplicate:
+        // Kept sub-critical-ish: every forwarded hop re-judges the packet,
+        // and the per-rule duplicate budget bounds the worst case anyway.
+        d.probability = 0.05 + 0.15 * rng->NextDouble();
+        break;
+      case FaultDirective::Kind::kDelaySpike:
+        d.magnitude = Millis(50) + static_cast<Duration>(rng->NextBelow(
+                                       static_cast<uint64_t>(Millis(400))));
+        break;
+      case FaultDirective::Kind::kReorder:
+        d.magnitude = Millis(20) + static_cast<Duration>(rng->NextBelow(
+                                       static_cast<uint64_t>(Millis(200))));
+        break;
+      default:
+        break;
+    }
+    script.directives.push_back(std::move(d));
+  }
+  return script;
+}
+
+}  // namespace testkit
+}  // namespace pier

@@ -1,0 +1,81 @@
+// FaultScript: a serializable, samplable description of the faults a
+// scenario injects — the unit the fuzzer randomizes, prints on failure, and
+// minimizes.
+//
+// A script is an ordered list of timed directives over node *indices*
+// (0..n-1, the PierNetwork numbering; host ids equal indices in that
+// harness). Applying a script installs the equivalent FaultPlane rules.
+// Scripts render to a stable one-line-per-directive text form so a failing
+// fuzz seed's reproduction recipe can be pasted into a bug report.
+
+#ifndef PIER_TESTKIT_FAULT_SCRIPT_H_
+#define PIER_TESTKIT_FAULT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+#include "sim/fault_plane.h"
+
+namespace pier {
+namespace testkit {
+
+/// One timed fault. `group_a`/`group_b` are node indices.
+struct FaultDirective {
+  enum class Kind : uint8_t {
+    kPartition,      ///< bidirectional blackhole A <-> B
+    kAsymPartition,  ///< one-way blackhole A -> B (B still reaches A)
+    kLoss,           ///< probabilistic loss on A <-> B links
+    kDelaySpike,     ///< fixed extra latency on A <-> B links
+    kDuplicate,      ///< probabilistic duplication on A <-> B links
+    kReorder,        ///< reordering window on A <-> B links
+  };
+
+  Kind kind = Kind::kPartition;
+  TimePoint from = 0;
+  TimePoint until = 0;
+  std::vector<sim::HostId> group_a;
+  std::vector<sim::HostId> group_b;
+  /// Loss / duplication probability.
+  double probability = 0.0;
+  /// Delay-spike magnitude or reorder window.
+  Duration magnitude = 0;
+
+  std::string ToString() const;
+};
+
+const char* FaultKindName(FaultDirective::Kind k);
+
+/// The whole injected-fault schedule of one scenario run.
+struct FaultScript {
+  std::vector<FaultDirective> directives;
+
+  bool empty() const { return directives.empty(); }
+  size_t size() const { return directives.size(); }
+
+  /// Installs every directive as FaultPlane rules (windows handle timing;
+  /// nothing needs the sim clock at install time).
+  void Apply(sim::FaultPlane* plane) const;
+
+  /// Latest `until` across directives (0 when empty) — the heal point.
+  TimePoint HealTime() const;
+
+  /// One directive per line; stable across runs for a given script.
+  std::string ToString() const;
+
+  /// Copy with directive `i` removed (minimization step).
+  FaultScript Without(size_t i) const;
+
+  /// Draws a random script over `n_hosts` nodes with every window inside
+  /// [start, end). Host 0 is never isolated by a partition (it is the
+  /// conventional observation point). Deterministic in `rng`.
+  static FaultScript Sample(Rng* rng, size_t n_hosts, TimePoint start,
+                            TimePoint end);
+};
+
+}  // namespace testkit
+}  // namespace pier
+
+#endif  // PIER_TESTKIT_FAULT_SCRIPT_H_

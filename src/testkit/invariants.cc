@@ -1,0 +1,139 @@
+#include "testkit/invariants.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pier {
+namespace testkit {
+
+namespace {
+std::string HostLabel(core::PierNode* node) {
+  return node->name() + " (host " + std::to_string(node->host()) + ")";
+}
+}  // namespace
+
+Status RoutingConvergenceChecker::Check(const CheckContext& ctx) {
+  core::PierNetwork& net = *ctx.net;
+  // Collect the alive Chord membership sorted by ring position — the ring
+  // stabilization must converge to exactly this ordering.
+  std::vector<core::PierNode*> alive;
+  for (size_t i = 0; i < net.size(); ++i) {
+    core::PierNode* node = net.node(i);
+    if (!node->alive()) continue;
+    if (node->chord() == nullptr) return Status::OK();  // one-hop overlay
+    alive.push_back(node);
+  }
+  if (alive.size() < 2) return Status::OK();
+  std::sort(alive.begin(), alive.end(),
+            [](core::PierNode* a, core::PierNode* b) {
+              return a->id() < b->id();
+            });
+
+  for (size_t i = 0; i < alive.size(); ++i) {
+    core::PierNode* node = alive[i];
+    core::PierNode* expect_succ = alive[(i + 1) % alive.size()];
+    core::PierNode* expect_pred = alive[(i + alive.size() - 1) % alive.size()];
+    const overlay::ChordNode& chord = *node->chord();
+    if (chord.successor().host != expect_succ->host()) {
+      return Status::Internal(
+          "ring not converged: " + HostLabel(node) + " successor is host " +
+          std::to_string(chord.successor().host) + ", expected " +
+          HostLabel(expect_succ));
+    }
+    if (!chord.predecessor().has_value() ||
+        chord.predecessor()->host != expect_pred->host()) {
+      return Status::Internal("ring not converged: " + HostLabel(node) +
+                              " predecessor is " +
+                              (chord.predecessor().has_value()
+                                   ? "host " + std::to_string(
+                                                   chord.predecessor()->host)
+                                   : std::string("unset")) +
+                              ", expected " + HostLabel(expect_pred));
+    }
+    if (!chord.RingStable(stability_window_)) {
+      return Status::Internal(
+          "ring still churning: " + HostLabel(node) +
+          " changed neighbors " +
+          FormatDuration(net.sim()->now() - chord.last_neighbor_change()) +
+          " ago (< " + FormatDuration(stability_window_) + " window)");
+    }
+  }
+  return Status::OK();
+}
+
+Status SoftStateExpiryChecker::Check(const CheckContext& ctx) {
+  core::PierNetwork& net = *ctx.net;
+  const Duration bound = ctx.sweep_interval + slack_;
+  const TimePoint now = net.sim()->now();
+  for (size_t i = 0; i < net.size(); ++i) {
+    core::PierNode* node = net.node(i);
+    if (!node->alive()) continue;
+    const dht::LocalStore& store = *node->dht()->local_store();
+    // Historical bound: the worst lag any sweep ever observed.
+    if (store.stats().max_sweep_lag > bound) {
+      return Status::Internal(
+          "soft-state expiry violated at " + HostLabel(node) +
+          ": an item outlived its TTL by " +
+          FormatDuration(store.stats().max_sweep_lag) + " (bound " +
+          FormatDuration(bound) + ")");
+    }
+    // Point-in-time bound: nothing currently held may be expired past the
+    // sweep lag (Scan with now=0 sees expired-but-unswept items too).
+    for (const std::string& ns : store.Namespaces()) {
+      for (const dht::StoredItem& item : store.Scan(ns, /*now=*/0)) {
+        if (item.expires_at + bound < now) {
+          return Status::Internal(
+              "soft-state expiry violated at " + HostLabel(node) + ": " +
+              item.key.ToString() + " expired " +
+              FormatDuration(now - item.expires_at) +
+              " ago and was never swept (bound " + FormatDuration(bound) +
+              ")");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PayloadLeakChecker::CheckTeardown(int64_t live_payload_delta) {
+  if (live_payload_delta != 0) {
+    return Status::Internal(
+        "payload leak: " + std::to_string(live_payload_delta) +
+        " body buffer(s) still live after teardown");
+  }
+  return Status::OK();
+}
+
+Status OracleFloorChecker::Check(const CheckContext& ctx) {
+  if (ctx.queries == nullptr) return Status::OK();
+  for (const QueryOutcome& q : *ctx.queries) {
+    if (q.min_recall < 0 && q.min_precision < 0) continue;
+    if (!q.completed) {
+      return Status::Internal("query never completed: " + q.sql);
+    }
+    if (q.min_recall >= 0 && q.score.recall < q.min_recall) {
+      return Status::Internal(
+          "recall floor violated for \"" + q.sql + "\": " +
+          q.score.ToString() + " < floor " + std::to_string(q.min_recall));
+    }
+    if (q.min_precision >= 0 && q.score.precision < q.min_precision) {
+      return Status::Internal(
+          "precision floor violated for \"" + q.sql + "\": " +
+          q.score.ToString() + " < floor " +
+          std::to_string(q.min_precision));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<InvariantChecker>> DefaultCheckers() {
+  std::vector<std::unique_ptr<InvariantChecker>> out;
+  out.push_back(std::make_unique<RoutingConvergenceChecker>());
+  out.push_back(std::make_unique<SoftStateExpiryChecker>());
+  out.push_back(std::make_unique<PayloadLeakChecker>());
+  out.push_back(std::make_unique<OracleFloorChecker>());
+  return out;
+}
+
+}  // namespace testkit
+}  // namespace pier

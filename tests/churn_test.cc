@@ -1,0 +1,179 @@
+// ChurnScheduler unit tests: the statistical model every churn experiment
+// and fault scenario rests on. Covers the stable-core contract, the
+// start-delay contract, and the exponential shape of session/downtime
+// draws (within tolerance over a large host population).
+//
+// All seeds are explicit; statistical assertions log the seed so a
+// tolerance failure is replayable exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/churn.h"
+#include "sim/event_queue.h"
+
+namespace pier {
+namespace sim {
+namespace {
+
+TEST(ChurnSchedulerTest, StableFractionCoreNeverDeparts) {
+  constexpr uint64_t kSeed = 2024;
+  SCOPED_TRACE("seed " + std::to_string(kSeed));
+  Simulation sim(kSeed);
+  ChurnOptions opts;
+  opts.mean_session = Seconds(30);
+  opts.mean_downtime = Seconds(10);
+  opts.start_at = Seconds(0);
+  opts.stable_fraction = 0.4;
+  std::set<HostId> departed;
+  ChurnScheduler churn(&sim, opts, [&](HostId h, bool up) {
+    if (!up) departed.insert(h);
+  });
+  constexpr int kHosts = 400;
+  for (HostId h = 0; h < kHosts; ++h) churn.Manage(h);
+  // Run long enough that every churning host departs many times: any host
+  // still clean is stable by decision, not by luck.
+  sim.RunUntil(Seconds(3000));
+
+  size_t stable = kHosts - departed.size();
+  double frac = static_cast<double>(stable) / kHosts;
+  EXPECT_NEAR(frac, opts.stable_fraction, 0.08)
+      << "stable core size should match stable_fraction";
+  // The stable decision is made at Manage time and never revisited: rerun
+  // the same seed and the same hosts must be stable.
+  Simulation sim2(kSeed);
+  std::set<HostId> departed2;
+  ChurnScheduler churn2(&sim2, opts, [&](HostId h, bool up) {
+    if (!up) departed2.insert(h);
+  });
+  for (HostId h = 0; h < kHosts; ++h) churn2.Manage(h);
+  sim2.RunUntil(Seconds(3000));
+  EXPECT_EQ(departed, departed2) << "stable core must be seed-deterministic";
+}
+
+TEST(ChurnSchedulerTest, StartDelayIsHonored) {
+  constexpr uint64_t kSeed = 2025;
+  SCOPED_TRACE("seed " + std::to_string(kSeed));
+  Simulation sim(kSeed);
+  ChurnOptions opts;
+  opts.mean_session = Seconds(5);  // aggressive: would depart early if buggy
+  opts.mean_downtime = Seconds(5);
+  opts.start_at = Seconds(120);
+  std::vector<TimePoint> departure_times;
+  ChurnScheduler churn(&sim, opts, [&](HostId, bool up) {
+    if (!up) departure_times.push_back(sim.now());
+  });
+  for (HostId h = 0; h < 100; ++h) churn.Manage(h);
+  sim.RunUntil(Seconds(600));
+  ASSERT_FALSE(departure_times.empty());
+  for (TimePoint t : departure_times) {
+    EXPECT_GE(t, opts.start_at) << "no departure may precede start_at";
+  }
+}
+
+TEST(ChurnSchedulerTest, SessionLengthsAreExponential) {
+  constexpr uint64_t kSeed = 2026;
+  SCOPED_TRACE("seed " + std::to_string(kSeed));
+  Simulation sim(kSeed);
+  ChurnOptions opts;
+  opts.mean_session = Seconds(40);
+  opts.mean_downtime = Seconds(20);
+  opts.start_at = Seconds(0);
+  // Track per-host up/down timestamps to extract full session samples.
+  std::map<HostId, TimePoint> up_since;
+  std::vector<double> sessions;
+  ChurnScheduler churn(&sim, opts, [&](HostId h, bool up) {
+    if (up) {
+      up_since[h] = sim.now();
+    } else {
+      auto it = up_since.find(h);
+      if (it != up_since.end()) {  // a full return->depart session observed
+        sessions.push_back(ToSecondsF(sim.now() - it->second));
+      }
+    }
+  });
+  constexpr int kHosts = 300;
+  for (HostId h = 0; h < kHosts; ++h) churn.Manage(h);
+  sim.RunUntil(Seconds(4000));
+  ASSERT_GT(sessions.size(), 1000u);
+
+  double mean = 0;
+  for (double s : sessions) mean += s;
+  mean /= static_cast<double>(sessions.size());
+  // Sample mean within 10% of the configured mean.
+  EXPECT_NEAR(mean, ToSecondsF(opts.mean_session), 4.0);
+
+  // Exponential shape: coefficient of variation ~= 1 and the memoryless
+  // split P(X > mean) ~= 1/e (a uniform or normal draw fails both).
+  double var = 0;
+  size_t beyond_mean = 0;
+  for (double s : sessions) {
+    var += (s - mean) * (s - mean);
+    beyond_mean += s > mean ? 1 : 0;
+  }
+  var /= static_cast<double>(sessions.size());
+  double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(cv, 1.0, 0.12) << "session CV should be ~1 (exponential)";
+  double p_beyond = static_cast<double>(beyond_mean) /
+                    static_cast<double>(sessions.size());
+  EXPECT_NEAR(p_beyond, std::exp(-1.0), 0.05);
+}
+
+TEST(ChurnSchedulerTest, DowntimesAreExponentialWithFloor) {
+  constexpr uint64_t kSeed = 2027;
+  SCOPED_TRACE("seed " + std::to_string(kSeed));
+  Simulation sim(kSeed);
+  ChurnOptions opts;
+  opts.mean_session = Seconds(30);
+  opts.mean_downtime = Seconds(25);
+  opts.start_at = Seconds(0);
+  std::map<HostId, TimePoint> down_since;
+  std::vector<double> downtimes;
+  ChurnScheduler churn(&sim, opts, [&](HostId h, bool up) {
+    if (!up) {
+      down_since[h] = sim.now();
+    } else {
+      auto it = down_since.find(h);
+      if (it != down_since.end()) {
+        downtimes.push_back(ToSecondsF(sim.now() - it->second));
+      }
+    }
+  });
+  for (HostId h = 0; h < 300; ++h) churn.Manage(h);
+  sim.RunUntil(Seconds(4000));
+  ASSERT_GT(downtimes.size(), 1000u);
+  double mean = 0, min_seen = 1e18;
+  for (double d : downtimes) {
+    mean += d;
+    min_seen = std::min(min_seen, d);
+  }
+  mean /= static_cast<double>(downtimes.size());
+  EXPECT_NEAR(mean, ToSecondsF(opts.mean_downtime), 2.5);
+  // The scheduler clamps downtime to >= 1s (a node cannot reboot in 0 time).
+  EXPECT_GE(min_seen, 1.0);
+}
+
+TEST(ChurnSchedulerTest, TransitionsCounterMatchesCallbacks) {
+  constexpr uint64_t kSeed = 2028;
+  SCOPED_TRACE("seed " + std::to_string(kSeed));
+  Simulation sim(kSeed);
+  ChurnOptions opts;
+  opts.mean_session = Seconds(20);
+  opts.mean_downtime = Seconds(10);
+  opts.start_at = Seconds(0);
+  uint64_t calls = 0;
+  ChurnScheduler churn(&sim, opts, [&](HostId, bool) { ++calls; });
+  for (HostId h = 0; h < 50; ++h) churn.Manage(h);
+  sim.RunUntil(Seconds(500));
+  EXPECT_GT(calls, 0u);
+  EXPECT_EQ(churn.transitions(), calls);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pier

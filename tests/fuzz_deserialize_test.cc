@@ -54,6 +54,8 @@ std::string ValidPlanBytes() {
 template <typename Fn>
 void NoCrashOnGarbage(Fn parse, int iterations, size_t max_len,
                       uint64_t seed) {
+  // Any crash/sanitizer report in here names the replay seed via the trace.
+  SCOPED_TRACE("NoCrashOnGarbage seed " + std::to_string(seed));
   Rng rng(seed);
   for (int i = 0; i < iterations; ++i) {
     std::string bytes = RandomBytes(&rng, max_len);
@@ -63,6 +65,7 @@ void NoCrashOnGarbage(Fn parse, int iterations, size_t max_len,
 
 template <typename Fn>
 void NoCrashOnMutation(Fn parse, const std::string& valid, uint64_t seed) {
+  SCOPED_TRACE("NoCrashOnMutation seed " + std::to_string(seed));
   Rng rng(seed);
   // Every truncation point.
   for (size_t cut = 0; cut < valid.size(); ++cut) {

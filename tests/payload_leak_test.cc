@@ -1,0 +1,141 @@
+// Payload lifetime property test: random forward/rebroadcast trees under
+// loss, duplication, and host crashes must end with zero live body buffers
+// once the simulation drains and the network is destroyed.
+//
+// This extends PR 3's SharesBufferWith zero-copy assertions from "the bytes
+// are shared" to "the sharing never leaks": every refcounted buffer created
+// while packets fan out across hosts must be released no matter where the
+// packet died (delivered, lost, faulted, or destroyed in a crashed host's
+// in-flight queue).
+//
+// Seeds are explicit and logged, so any tolerance/leak failure replays.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/fault_plane.h"
+#include "sim/network.h"
+
+namespace pier {
+namespace sim {
+namespace {
+
+// A host that re-forwards every received body to k random peers while the
+// hop budget in the header allows — a randomized gossip/broadcast tree. The
+// body Payload is sliced and shared, never copied.
+class Forwarder : public MessageHandler {
+ public:
+  Forwarder(Network* net, Rng* rng, int fanout)
+      : net_(net), rng_(rng), fanout_(fanout) {}
+
+  void Wire(HostId self) { self_ = self; }
+
+  void OnMessage(HostId, const Packet& packet) override {
+    ++received_;
+    if (packet.head.size() < 1) return;
+    uint8_t hops = static_cast<uint8_t>(packet.head.view()[0]);
+    if (hops == 0) return;
+    for (int i = 0; i < fanout_; ++i) {
+      HostId to = static_cast<HostId>(
+          rng_->NextBelow(static_cast<uint64_t>(net_->host_count())));
+      // Fresh 1-byte head per hop (per-hop state), shared body buffer.
+      Packet out(Payload(std::string(1, static_cast<char>(hops - 1))),
+                 packet.body);
+      (void)net_->Send(self_, to, std::move(out));
+    }
+  }
+
+  uint64_t received() const { return received_; }
+
+ private:
+  Network* net_;
+  Rng* rng_;
+  int fanout_;
+  HostId self_ = kInvalidHost;
+  uint64_t received_ = 0;
+};
+
+TEST(PayloadLeakTest, RandomForwardTreesUnderLossEndWithZeroLiveBodies) {
+  for (uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const uint64_t live_before = Payload::buffers_live();
+    uint64_t delivered = 0;
+    {
+      NetworkOptions nopts;
+      nopts.loss_rate = 0.2;  // ambient loss on top of injected faults
+      Simulation sim(seed);
+      Network net(&sim, nopts);
+      FaultPlane plane(sim.rng().Fork(0x6c65616bull));  // "leak"
+      net.SetFaultPlane(&plane);
+      Rng rng = sim.rng().Fork(0x7472656533ull);  // "tree3"
+
+      constexpr int kHosts = 24;
+      std::vector<std::unique_ptr<Forwarder>> handlers;
+      for (int i = 0; i < kHosts; ++i) {
+        handlers.push_back(
+            std::make_unique<Forwarder>(&net, &rng, /*fanout=*/2));
+        HostId h = net.AddHost(handlers.back().get());
+        handlers.back()->Wire(h);
+      }
+      // Injected adversity: a partition, some duplication, a delay spike.
+      plane.Partition({1, 2, 3}, {}, Seconds(2), Seconds(20));
+      plane.Duplicate({}, {}, 0.15, Seconds(1), Seconds(30));
+      plane.DelaySpike({4, 5}, {}, Millis(400), Seconds(5), Seconds(25));
+
+      // Seed 40 broadcast roots with shared bodies and random hop budgets,
+      // then crash/reboot a few hosts mid-flight.
+      for (int i = 0; i < 40; ++i) {
+        HostId from = static_cast<HostId>(rng.NextBelow(kHosts));
+        HostId to = static_cast<HostId>(rng.NextBelow(kHosts));
+        int hops = 1 + static_cast<int>(rng.NextBelow(5));
+        Payload body(std::string(64 + rng.NextBelow(512), 'b'));
+        sim.ScheduleAt(Seconds(static_cast<int64_t>(rng.NextBelow(10))),
+                       [&net, from, to, hops, body] {
+                         Packet p(Payload(std::string(
+                                      1, static_cast<char>(hops))),
+                                  body);
+                         (void)net.Send(from, to, std::move(p));
+                       });
+      }
+      for (int i = 0; i < 5; ++i) {
+        HostId victim = static_cast<HostId>(1 + rng.NextBelow(kHosts - 1));
+        TimePoint at = Seconds(static_cast<int64_t>(3 + rng.NextBelow(15)));
+        sim.ScheduleAt(at, [&net, victim] { net.SetHostUp(victim, false); });
+        sim.ScheduleAt(at + Seconds(4),
+                       [&net, victim] { net.SetHostUp(victim, true); });
+      }
+
+      sim.RunAll();
+      delivered = net.stats().messages_delivered;
+      EXPECT_GT(delivered, 0u);
+      EXPECT_GT(net.stats().messages_faulted + net.stats().messages_lost, 0u);
+      net.SetFaultPlane(nullptr);
+    }
+    // Network, handlers, and every pending event are gone: all body buffers
+    // created by the run must have been released.
+    EXPECT_EQ(Payload::buffers_live(), live_before)
+        << "leaked payload buffers after " << delivered << " deliveries";
+  }
+}
+
+TEST(PayloadLeakTest, LiveCounterTracksSharingNotCopies) {
+  const uint64_t live_before = Payload::buffers_live();
+  {
+    Payload a(std::string(128, 'x'));
+    EXPECT_EQ(Payload::buffers_live(), live_before + 1);
+    Payload b = a;               // refcount bump, no new buffer
+    Payload c = a.Slice(10, 50);  // shares too
+    EXPECT_EQ(Payload::buffers_live(), live_before + 1);
+    EXPECT_TRUE(c.SharesBufferWith(a));
+    (void)b;
+  }
+  EXPECT_EQ(Payload::buffers_live(), live_before);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pier

@@ -391,6 +391,7 @@ TEST(NetworkTest, StatsCountBytes) {
 // ---------------------------------------------------------------------------
 
 TEST(ChurnTest, GeneratesTransitionsAndAlternates) {
+  SCOPED_TRACE("sim seed 10");  // replay: Simulation sim(10)
   Simulation sim(10);
   ChurnOptions opts;
   opts.mean_session = Seconds(50);
@@ -414,6 +415,7 @@ TEST(ChurnTest, GeneratesTransitionsAndAlternates) {
 }
 
 TEST(ChurnTest, StableFractionNeverChurns) {
+  SCOPED_TRACE("sim seed 11");
   Simulation sim(11);
   ChurnOptions opts;
   opts.mean_session = Seconds(10);
@@ -428,6 +430,7 @@ TEST(ChurnTest, StableFractionNeverChurns) {
 }
 
 TEST(ChurnTest, StopAtHaltsDepartures) {
+  SCOPED_TRACE("sim seed 12");
   Simulation sim(12);
   ChurnOptions opts;
   opts.mean_session = Seconds(20);

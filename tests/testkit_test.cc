@@ -1,0 +1,504 @@
+// Tests for the fault-injection testkit: the FaultPlane fault model, the
+// answer oracle, and the scripted Scenario suite — including the
+// heal-after-partition and asymmetric-link acceptance scenarios, each
+// asserting the four core invariants (routing convergence, soft-state
+// expiry, payload-leak freedom, oracle answer floors).
+//
+// Every scenario is seeded and prints its seed + fault script on failure,
+// so any red run is replayable bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/fault_plane.h"
+#include "sim/network.h"
+#include "testkit/scenario.h"
+
+namespace pier {
+namespace testkit {
+namespace {
+
+using catalog::Schema;
+using catalog::TableDef;
+using catalog::Tuple;
+using core::RouterKind;
+
+// ---------------------------------------------------------------------------
+// FaultPlane unit tests (raw sim::Network, no PIER stack)
+// ---------------------------------------------------------------------------
+
+class CountingHandler : public sim::MessageHandler {
+ public:
+  void OnMessage(sim::HostId, const sim::Packet&) override { ++received; }
+  int received = 0;
+};
+
+TEST(FaultPlaneTest, PartitionDropsInsideWindowOnly) {
+  sim::Simulation sim(7);
+  sim::Network net(&sim, sim::NetworkOptions{});
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  net.SetFaultPlane(&plane);
+  CountingHandler a, b;
+  sim::HostId ha = net.AddHost(&a);
+  sim::HostId hb = net.AddHost(&b);
+  plane.Partition({ha}, {hb}, Seconds(10), Seconds(20));
+
+  ASSERT_TRUE(net.Send(ha, hb, "before").ok());  // t=0: clean
+  sim.RunUntil(Seconds(15));
+  ASSERT_TRUE(net.Send(ha, hb, "during").ok());  // t=15: partitioned
+  ASSERT_TRUE(net.Send(hb, ha, "reverse").ok());  // bidirectional: dropped
+  sim.RunUntil(Seconds(25));
+  ASSERT_TRUE(net.Send(ha, hb, "after").ok());  // t=25: healed
+  sim.RunAll();
+
+  EXPECT_EQ(b.received, 2);  // "before" and "after"
+  EXPECT_EQ(a.received, 0);
+  EXPECT_EQ(net.stats().messages_faulted, 2u);
+  EXPECT_EQ(plane.packets_dropped(), 2u);
+}
+
+TEST(FaultPlaneTest, AsymmetricPartitionIsOneWay) {
+  sim::Simulation sim(8);
+  sim::Network net(&sim, sim::NetworkOptions{});
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  net.SetFaultPlane(&plane);
+  CountingHandler a, b;
+  sim::HostId ha = net.AddHost(&a);
+  sim::HostId hb = net.AddHost(&b);
+  plane.Partition({ha}, {hb}, 0, Seconds(100), /*bidirectional=*/false);
+
+  ASSERT_TRUE(net.Send(ha, hb, "a-to-b").ok());  // blackholed
+  ASSERT_TRUE(net.Send(hb, ha, "b-to-a").ok());  // flows
+  sim.RunAll();
+  EXPECT_EQ(b.received, 0);
+  EXPECT_EQ(a.received, 1);
+}
+
+TEST(FaultPlaneTest, DuplicationDeliversExtraCopy) {
+  sim::Simulation sim(9);
+  sim::Network net(&sim, sim::NetworkOptions{});
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  net.SetFaultPlane(&plane);
+  CountingHandler a, b;
+  sim::HostId ha = net.AddHost(&a);
+  sim::HostId hb = net.AddHost(&b);
+  plane.Duplicate({ha}, {hb}, /*p=*/1.0, 0, Seconds(100));
+  ASSERT_TRUE(net.Send(ha, hb, "dup").ok());
+  sim.RunAll();
+  EXPECT_EQ(b.received, 2);
+  EXPECT_EQ(net.stats().messages_duplicated, 1u);
+}
+
+TEST(FaultPlaneTest, DelaySpikeDefersDelivery) {
+  sim::NetworkOptions nopts;
+  nopts.jitter = 0;
+  sim::Simulation sim(10);
+  sim::Network net(&sim, nopts);
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  net.SetFaultPlane(&plane);
+  CountingHandler b;
+  sim::HostId ha = net.AddHost(nullptr);
+  sim::HostId hb = net.AddHost(&b);
+  plane.DelaySpike({ha}, {hb}, Seconds(3), 0, Seconds(100));
+  ASSERT_TRUE(net.Send(ha, hb, "slow").ok());
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(b.received, 0);  // base latency is <100ms; the spike holds it
+  sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+  EXPECT_GE(sim.now(), Seconds(3));
+}
+
+TEST(FaultPlaneTest, ReorderWindowCanInvertCloseSends) {
+  // With a 500ms reorder window two back-to-back sends on one link can
+  // arrive inverted; over many pairs, at least one inversion must occur
+  // (and with the window off, none may).
+  for (bool reorder : {false, true}) {
+    sim::NetworkOptions nopts;
+    nopts.jitter = 0;
+    sim::Simulation sim(11);
+    sim::Network net(&sim, nopts);
+    sim::FaultPlane plane(sim.rng().Fork(1));
+    net.SetFaultPlane(&plane);
+    struct SeqHandler : sim::MessageHandler {
+      std::vector<std::string> got;
+      void OnMessage(sim::HostId, const sim::Packet& p) override {
+        got.push_back(p.Flatten());
+      }
+    } b;
+    sim::HostId ha = net.AddHost(nullptr);
+    sim::HostId hb = net.AddHost(&b);
+    if (reorder) plane.Reorder({ha}, {hb}, Millis(500), 0, Seconds(1000));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(net.Send(ha, hb, "m" + std::to_string(2 * i)).ok());
+      ASSERT_TRUE(net.Send(ha, hb, "m" + std::to_string(2 * i + 1)).ok());
+      sim.RunFor(Seconds(2));  // separate the pairs
+    }
+    sim.RunAll();
+    ASSERT_EQ(b.got.size(), 100u);
+    int inversions = 0;
+    for (int i = 0; i < 50; ++i) {
+      if (b.got[2 * i] != "m" + std::to_string(2 * i)) ++inversions;
+    }
+    if (reorder) {
+      EXPECT_GT(inversions, 0) << "reorder window never inverted a pair";
+    } else {
+      EXPECT_EQ(inversions, 0) << "same-link FIFO must hold without faults";
+    }
+  }
+}
+
+TEST(FaultPlaneTest, DroppedPacketsDoNotChargeDuplicateBudget) {
+  // A loss rule and a duplication rule on the same link: packets eaten by
+  // the loss draw yield no copies and must not drain the duplication
+  // budget either, or scripted duplication silently dies mid-window.
+  sim::Simulation sim(13);
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  plane.Loss({1}, {2}, /*p=*/1.0, 0, Seconds(50));
+  sim::FaultRule dup;
+  dup.until = Seconds(100);
+  dup.duplicate_prob = 1.0;
+  dup.duplicate_budget = 3;
+  plane.AddRule(dup);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(plane.Judge(Seconds(1), 1, 2).drop);
+  }
+  EXPECT_EQ(plane.packets_duplicated(), 0u);
+  // After the loss window the full budget is still available: exactly 3
+  // more duplicates, then the rule runs dry.
+  int dups = 0;
+  for (int i = 0; i < 10; ++i) {
+    dups += plane.Judge(Seconds(60), 1, 2).duplicates;
+  }
+  EXPECT_EQ(dups, 3);
+  EXPECT_EQ(plane.packets_duplicated(), 3u);
+}
+
+TEST(FaultPlaneTest, RulesCombineAndRemove) {
+  sim::Simulation sim(12);
+  sim::FaultPlane plane(sim.rng().Fork(1));
+  sim::FaultRuleId loss = plane.Loss({1}, {2}, 1.0, 0, Seconds(10));
+  plane.DelaySpike({1}, {2}, Seconds(1), 0, Seconds(10));
+  EXPECT_EQ(plane.rule_count(), 2u);
+  EXPECT_TRUE(plane.Judge(Seconds(1), 1, 2).drop);
+  plane.RemoveRule(loss);
+  sim::FaultVerdict v = plane.Judge(Seconds(1), 1, 2);
+  EXPECT_FALSE(v.drop);
+  EXPECT_EQ(v.extra_delay, Seconds(1));
+  EXPECT_FALSE(plane.QuietAfter(Seconds(5)));
+  EXPECT_TRUE(plane.QuietAfter(Seconds(10)));
+}
+
+// ---------------------------------------------------------------------------
+// Fault scripts
+// ---------------------------------------------------------------------------
+
+TEST(FaultScriptTest, SampleIsDeterministicAndPrintable) {
+  Rng rng1(99), rng2(99);
+  FaultScript a = FaultScript::Sample(&rng1, 10, Seconds(60), Seconds(200));
+  FaultScript b = FaultScript::Sample(&rng2, 10, Seconds(60), Seconds(200));
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_FALSE(a.empty());
+  EXPECT_LE(a.HealTime(), Seconds(200));
+  // Host 0 is never inside the isolated minority group.
+  for (const FaultDirective& d : a.directives) {
+    for (sim::HostId h : d.group_a) EXPECT_NE(h, 0u);
+  }
+  // Minimization drops exactly one directive.
+  if (a.size() > 1) {
+    EXPECT_EQ(a.Without(0).size(), a.size() - 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle scoring
+// ---------------------------------------------------------------------------
+
+TEST(OracleScoreTest, MultisetRecallPrecision) {
+  auto row = [](int64_t v) { return Tuple{Value::Int64(v)}; };
+  std::vector<Tuple> oracle = {row(1), row(2), row(2), row(3)};
+  std::vector<Tuple> answer = {row(1), row(2), row(7)};
+  OracleScore s = ScoreAnswer(oracle, answer);
+  EXPECT_EQ(s.matched, 2u);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.precision, 2.0 / 3.0);
+
+  EXPECT_DOUBLE_EQ(ScoreAnswer({}, {}).recall, 1.0);
+  EXPECT_DOUBLE_EQ(ScoreAnswer({}, answer).precision, 0.0);
+  EXPECT_DOUBLE_EQ(ScoreAnswer(oracle, {}).recall, 0.0);
+  EXPECT_DOUBLE_EQ(ScoreAnswer(oracle, {}).precision, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Scripted scenarios
+// ---------------------------------------------------------------------------
+
+TableDef AlertsTable(Duration ttl = Seconds(600)) {
+  TableDef def;
+  def.name = "alerts";
+  def.schema = Schema("alerts", {{"rule_id", ValueType::kInt64},
+                                 {"hits", ValueType::kInt64}});
+  def.partition_cols = {0};
+  def.ttl = ttl;
+  return def;
+}
+
+std::vector<Tuple> AlertRows(int n) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Tuple{Value::Int64(1 + (i % 4)), Value::Int64(10 + i)});
+  }
+  return rows;
+}
+
+constexpr char kSumSql[] =
+    "SELECT rule_id, SUM(hits) AS total, COUNT(*) AS n FROM alerts "
+    "GROUP BY rule_id";
+constexpr char kScanSql[] = "SELECT rule_id, hits FROM alerts";
+
+// The headline acceptance scenario: a Chord ring suffers a full
+// bidirectional partition, heals, and must (1) re-merge into one converged
+// ring, (2) answer a post-heal query at high recall, (3) hold the
+// soft-state and payload invariants throughout.
+TEST(ScenarioTest, HealAfterPartitionConverges) {
+  Scenario s(/*seed=*/4201);
+  FaultScript script;
+  FaultDirective part;
+  part.kind = FaultDirective::Kind::kPartition;
+  part.from = Seconds(75);
+  part.until = Seconds(135);
+  part.group_a = {1, 2, 3};
+  part.group_b = {0, 4, 5, 6, 7, 8, 9};
+  script.directives.push_back(part);
+
+  s.WithNodes(10)
+      .WithRouter(RouterKind::kChord)
+      .WithTable(AlertsTable())
+      .PublishRows("alerts", AlertRows(40))
+      .WithFaults(script)
+      .AddQuery({.sql = kSumSql,
+                 .issue_at = Seconds(190),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 0.9,
+                 .min_precision = 0.9})
+      .WithHealSettle(Seconds(45))
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_EQ(report.queries.size(), 1u);
+  EXPECT_TRUE(report.queries[0].completed) << report.ToString();
+  // The partition must have really cut traffic, and the heal must have gone
+  // through the rejoin path (not "nothing ever happened").
+  EXPECT_GT(report.messages_faulted, 0u);
+  EXPECT_GT(report.rejoin_merges, 0u);
+  // Result provenance: the batch names its reporters (sorted, deduped) —
+  // what the oracle scoring keys off when attributing degraded answers.
+  const query::ResultBatch& batch = report.queries[0].batch;
+  EXPECT_EQ(batch.reporters.size(), batch.reporting_nodes);
+  EXPECT_TRUE(std::is_sorted(batch.reporters.begin(), batch.reporters.end()));
+  for (uint32_t host : batch.reporters) {
+    EXPECT_LT(host, 10u) << "reporter outside the deployment";
+  }
+}
+
+// Asymmetric-link acceptance scenario: one node can receive but not send
+// through the cut (requests reach it, replies vanish) — the pathological
+// case for failure detectors. The ring must still converge after the heal.
+TEST(ScenarioTest, AsymmetricLinkHealsAndConverges) {
+  Scenario s(/*seed=*/4203);
+  FaultScript script;
+  FaultDirective cut;
+  cut.kind = FaultDirective::Kind::kAsymPartition;
+  cut.from = Seconds(75);
+  cut.until = Seconds(120);
+  cut.group_a = {2};
+  cut.group_b = {0, 1, 3, 4, 5, 6, 7};
+  script.directives.push_back(cut);
+
+  s.WithNodes(8)
+      .WithRouter(RouterKind::kChord)
+      .WithTable(AlertsTable())
+      .PublishRows("alerts", AlertRows(32))
+      .WithFaults(script)
+      .AddQuery({.sql = kSumSql,
+                 .issue_at = Seconds(170),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 0.9,
+                 .min_precision = 0.9})
+      .WithHealSettle(Seconds(45))
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.messages_faulted, 0u);
+}
+
+// Sustained random loss on every link: the relaxed-consistency contract is
+// a *floor*, not perfection — the scan answer must retain most rows and
+// never invent any.
+TEST(ScenarioTest, LossyLinksStillMeetRecallFloor) {
+  Scenario s(/*seed=*/4205);
+  FaultScript script;
+  FaultDirective loss;
+  loss.kind = FaultDirective::Kind::kLoss;
+  loss.from = 0;
+  loss.until = Seconds(200);
+  loss.probability = 0.2;
+  script.directives.push_back(loss);  // empty groups = every link
+
+  s.WithNodes(8)
+      .WithRouter(RouterKind::kOneHop)
+      .WithTable(AlertsTable())
+      .PublishRows("alerts", AlertRows(48))
+      .WithFaults(script)
+      .AddQuery({.sql = kScanSql,
+                 .issue_at = Seconds(60),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 0.5,
+                 .min_precision = 0.99})
+      .WithHealSettle(Seconds(20))
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Loss must actually have been injected, or the floor proves nothing.
+  EXPECT_GT(report.messages_faulted, 0u);
+  ASSERT_EQ(report.queries.size(), 1u);
+}
+
+// Message duplication during the publish phase must not inflate the store:
+// puts are idempotent by (namespace, resource, instance), so the post-dup
+// answer must match the oracle exactly.
+TEST(ScenarioTest, DuplicatedPutsDoNotInflateAnswers) {
+  Scenario s(/*seed=*/4207);
+  FaultScript script;
+  FaultDirective dup;
+  dup.kind = FaultDirective::Kind::kDuplicate;
+  dup.from = 0;
+  dup.until = Seconds(55);
+  dup.probability = 0.6;
+  script.directives.push_back(dup);
+
+  s.WithNodes(6)
+      .WithRouter(RouterKind::kOneHop)
+      .WithTable(AlertsTable())
+      .PublishRows("alerts", AlertRows(30))
+      .WithFaults(script)
+      .AddQuery({.sql = kSumSql,
+                 .issue_at = Seconds(70),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 1.0,
+                 .min_precision = 1.0})
+      .WithHealSettle(Seconds(15))
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.messages_duplicated, 0u);
+}
+
+// Delay spikes + reordering windows inside the fault window, query after
+// the heal: answers must be unaffected once latencies normalize, and the
+// Chord ring must never have destabilized (spikes stay under the RPC
+// timeout).
+TEST(ScenarioTest, DelaySpikesAndReorderHealClean) {
+  Scenario s(/*seed=*/4209);
+  FaultScript script;
+  FaultDirective spike;
+  spike.kind = FaultDirective::Kind::kDelaySpike;
+  spike.from = Seconds(70);
+  spike.until = Seconds(110);
+  spike.magnitude = Millis(300);
+  script.directives.push_back(spike);
+  FaultDirective reorder;
+  reorder.kind = FaultDirective::Kind::kReorder;
+  reorder.from = Seconds(70);
+  reorder.until = Seconds(110);
+  reorder.magnitude = Millis(150);
+  script.directives.push_back(reorder);
+
+  s.WithNodes(8)
+      .WithRouter(RouterKind::kChord)
+      .WithTable(AlertsTable())
+      .PublishRows("alerts", AlertRows(32))
+      .WithFaults(script)
+      .AddQuery({.sql = kSumSql,
+                 .issue_at = Seconds(120),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 0.95,
+                 .min_precision = 0.95})
+      .WithHealSettle(Seconds(30))
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Churn profile on a short-TTL table: crashed publishers stop renewing, so
+// tuples must age out within TTL + sweep lag everywhere (the soft-state
+// expiry invariant), and the run must stay leak-free.
+TEST(ScenarioTest, ChurnHonorsSoftStateExpiry) {
+  Scenario s(/*seed=*/4211);
+  sim::ChurnOptions churn;
+  churn.mean_session = Seconds(45);
+  churn.mean_downtime = Seconds(15);
+  churn.start_at = Seconds(40);
+  churn.stop_at = Seconds(150);
+  churn.stable_fraction = 0.3;
+
+  s.WithNodes(10)
+      .WithRouter(RouterKind::kOneHop)
+      .WithTable(AlertsTable(/*ttl=*/Seconds(60)))
+      .PublishRows("alerts", AlertRows(40))
+      .WithChurn(churn)
+      .AddQuery({.sql = kScanSql,
+                 .issue_at = Seconds(50),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = 0.5,
+                 .min_precision = 0.99})
+      .WithHealSettle(Seconds(120))  // run well past every TTL
+      .WithDefaultCheckers();
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.churn_transitions, 0u);
+}
+
+// The replay guarantee the whole testkit rests on: the same seed and script
+// reproduce the exact same event trace and scores.
+TEST(ScenarioTest, ReplayIsByteIdentical) {
+  auto build = [] {
+    Scenario s(/*seed=*/4213);
+    FaultScript script;
+    FaultDirective loss;
+    loss.kind = FaultDirective::Kind::kLoss;
+    loss.from = Seconds(10);
+    loss.until = Seconds(60);
+    loss.probability = 0.3;
+    script.directives.push_back(loss);
+    s.WithNodes(6)
+        .WithRouter(RouterKind::kOneHop)
+        .WithTable(AlertsTable())
+        .PublishRows("alerts", AlertRows(24))
+        .WithFaults(script)
+        .AddQuery({.sql = kScanSql, .issue_at = Seconds(30), .origin = 0})
+        .WithHealSettle(Seconds(10))
+        .WithDefaultCheckers();
+    return s.Run();
+  };
+  ScenarioReport first = build();
+  ScenarioReport second = build();
+  EXPECT_EQ(first.trace_digest, second.trace_digest)
+      << "replay diverged:\n" << first.ToString() << second.ToString();
+  ASSERT_EQ(first.queries.size(), second.queries.size());
+  EXPECT_EQ(first.queries[0].score.matched, second.queries[0].score.matched);
+  EXPECT_EQ(first.violations, second.violations);
+}
+
+}  // namespace
+}  // namespace testkit
+}  // namespace pier
