@@ -8,9 +8,10 @@
 #                — the job that keeps the ownership-heavy dataflow runtime
 #                (query/ops/, query/exchange.*) memory-clean on every PR.
 #                Skips the perf smoke (sanitized timings are meaningless).
-#   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1
-#                with --json, merged into BENCH_PR3.json). The smoke fails
-#                only on a bench self-check mismatch, never on timing.
+#   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1 +
+#                bench_range_scan with --json, merged into BENCH_PR3.json).
+#                The smoke fails only on a bench self-check mismatch (all
+#                deterministic), never on timing.
 #   --fuzz       Also run the extended fault-injection fuzz lane: configures
 #                with -DPIER_FUZZ_LANE=ON and runs `ctest -L fuzz`
 #                (PIER_FUZZ_ITERS scenarios, default 60). Failing seeds +
@@ -75,11 +76,15 @@ fi
 
 if [[ $PERF -eq 1 ]]; then
   # Perf smoke: refresh the machine-readable perf trajectory. Exit codes
-  # carry only the benches' answer self-checks (10/10 Table 1 rows, exact
-  # event counts); wall-clock numbers are recorded, never gated on.
+  # carry only the benches' self-checks (10/10 Table 1 rows, exact event
+  # counts, and bench_range_scan's deterministic virtual-time contract:
+  # exact rows on both access paths, >= 5x index speedup at 1%
+  # selectivity, < 25% of nodes touched); wall-clock numbers are
+  # recorded, never gated on.
   echo "== perf smoke (BENCH_PR3.json) =="
   "$BUILD_DIR/bench_sim_core" --json=BENCH_PR3.json
   "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR3.json | tail -4
+  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR3.json | tail -3
 fi
 
 echo "== OK =="

@@ -9,6 +9,11 @@ void TableDef::Serialize(Writer* w) const {
   w->PutVarint32(static_cast<uint32_t>(partition_cols.size()));
   for (int c : partition_cols) w->PutVarint32(static_cast<uint32_t>(c));
   w->PutVarint64(static_cast<uint64_t>(ttl));
+  w->PutVarint32(static_cast<uint32_t>(indexes.size()));
+  for (const IndexDef& idx : indexes) {
+    w->PutVarint32(static_cast<uint32_t>(idx.col));
+    w->PutVarint32(static_cast<uint32_t>(idx.bucket_size));
+  }
 }
 
 Status TableDef::Deserialize(Reader* r, TableDef* out) {
@@ -26,6 +31,19 @@ Status TableDef::Deserialize(Reader* r, TableDef* out) {
   uint64_t ttl = 0;
   PIER_RETURN_IF_ERROR(r->GetVarint64(&ttl));
   out->ttl = static_cast<Duration>(ttl);
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 1000) return Status::Corruption("too many indexes");
+  out->indexes.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t col = 0, bucket = 0;
+    PIER_RETURN_IF_ERROR(r->GetVarint32(&col));
+    PIER_RETURN_IF_ERROR(r->GetVarint32(&bucket));
+    if (bucket == 0 || bucket > 100000) {
+      return Status::Corruption("bad index bucket size");
+    }
+    out->indexes.push_back(
+        IndexDef{static_cast<int>(col), static_cast<int>(bucket)});
+  }
   return Status::OK();
 }
 
@@ -38,7 +56,30 @@ Status Catalog::Register(TableDef def) {
       return Status::InvalidArgument("partition column out of range");
     }
   }
-  tables_[def.name] = std::move(def);
+  for (size_t i = 0; i < def.indexes.size(); ++i) {
+    const IndexDef& idx = def.indexes[i];
+    if (idx.col < 0 ||
+        static_cast<size_t>(idx.col) >= def.schema.num_columns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (def.indexes[j].col == idx.col) {
+        return Status::InvalidArgument(
+            "duplicate index over one column");
+      }
+    }
+    ValueType t = def.schema.column(static_cast<size_t>(idx.col)).type;
+    if (t != ValueType::kInt64 && t != ValueType::kString) {
+      return Status::InvalidArgument(
+          "only INT64 and STRING columns are indexable");
+    }
+    if (idx.bucket_size <= 0) {
+      return Status::InvalidArgument("index bucket size must be positive");
+    }
+  }
+  auto [it, inserted] = tables_.insert_or_assign(def.name, std::move(def));
+  (void)inserted;
+  if (hook_) hook_(it->second);
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #ifndef PIER_CATALOG_TABLE_DEF_H_
 #define PIER_CATALOG_TABLE_DEF_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,19 @@
 namespace pier {
 namespace catalog {
 
+/// One secondary-index declaration: a Prefix Hash Tree over `col` (see
+/// src/index/). Only INT64 and STRING columns are indexable — the PHT key
+/// codec is order-preserving for exactly those lattices.
+struct IndexDef {
+  int col = 0;
+  /// PHT leaf-bucket split threshold.
+  int bucket_size = 8;
+
+  bool operator==(const IndexDef& o) const {
+    return col == o.col && bucket_size == o.bucket_size;
+  }
+};
+
 /// Binding of a relation to its DHT storage layout.
 struct TableDef {
   /// Relation name == DHT namespace.
@@ -30,6 +44,16 @@ struct TableDef {
   std::vector<int> partition_cols;
   /// Soft-state lifetime applied to published tuples.
   Duration ttl = Seconds(120);
+  /// Secondary indexes maintained piggyback on every publish.
+  std::vector<IndexDef> indexes;
+
+  /// The index over `col`, or nullptr.
+  const IndexDef* IndexOn(int col) const {
+    for (const IndexDef& idx : indexes) {
+      if (idx.col == col) return &idx;
+    }
+    return nullptr;
+  }
 
   /// DHT resource string for a tuple of this table.
   std::string ResourceFor(const Tuple& t) const {
@@ -48,16 +72,24 @@ struct TableDef {
 /// Node-local registry of table definitions.
 class Catalog {
  public:
-  /// Registers or replaces a definition. Fails on empty name or partition
-  /// column indices out of range.
+  /// Registers or replaces a definition. Fails on empty name, partition
+  /// column indices out of range, or indexes over non-indexable columns.
   Status Register(TableDef def);
   /// Looks up by name; nullptr if absent.
   const TableDef* Find(const std::string& name) const;
   std::vector<std::string> TableNames() const;
   size_t size() const { return tables_.size(); }
 
+  /// Observer invoked after every successful Register — how the node wires
+  /// index maintenance (src/index/IndexManager) to definitions arriving at
+  /// arbitrary times. Replaces any previous hook; does NOT replay existing
+  /// registrations (callers replay via TableNames()/Find()).
+  using RegisterHook = std::function<void(const TableDef&)>;
+  void SetRegisterHook(RegisterHook hook) { hook_ = std::move(hook); }
+
  private:
   std::unordered_map<std::string, TableDef> tables_;
+  RegisterHook hook_;
 };
 
 }  // namespace catalog

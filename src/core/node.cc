@@ -42,9 +42,21 @@ void PierNode::BuildComponents() {
                                     options_.dht);
   broadcast_ =
       std::make_unique<dht::BroadcastService>(transport_.get(), router_);
+  index_manager_ = std::make_unique<index::IndexManager>(
+      dht_.get(), network_->simulation());
+  // Index maintenance tracks the catalog: definitions registered at any
+  // time wire up their PHT handles, and a reboot (which rebuilds the
+  // manager but keeps the catalog) replays the existing registrations.
+  catalog_.SetRegisterHook([this](const catalog::TableDef& def) {
+    index_manager_->RegisterTable(def);
+  });
+  for (const std::string& name : catalog_.TableNames()) {
+    index_manager_->RegisterTable(*catalog_.Find(name));
+  }
   query_engine_ = std::make_unique<query::QueryEngine>(
       transport_.get(), router_, dht_.get(), broadcast_.get(), &catalog_,
       options_.engine);
+  query_engine_->SetIndexManager(index_manager_.get());
 }
 
 void PierNode::StartServices() {
@@ -112,6 +124,7 @@ void PierNode::Reboot(sim::HostId bootstrap,
   PIER_CHECK(!alive_);
   // A reboot is a fresh process: all protocol and storage state is rebuilt.
   query_engine_.reset();
+  index_manager_.reset();
   broadcast_.reset();
   dht_.reset();
   mux_.reset();

@@ -18,6 +18,7 @@
 #include "catalog/table_def.h"
 #include "dht/broadcast.h"
 #include "dht/storage.h"
+#include "index/index_manager.h"
 #include "overlay/chord.h"
 #include "overlay/one_hop.h"
 #include "overlay/transport.h"
@@ -80,6 +81,7 @@ class PierNode : public sim::MessageHandler {
   dht::Dht* dht() { return dht_.get(); }
   dht::BroadcastService* broadcast() { return broadcast_.get(); }
   query::QueryEngine* query_engine() { return query_engine_.get(); }
+  index::IndexManager* index_manager() { return index_manager_.get(); }
   catalog::Catalog* catalog() { return &catalog_; }
   sim::Simulation* simulation() { return network_->simulation(); }
 
@@ -106,6 +108,7 @@ class PierNode : public sim::MessageHandler {
   std::unique_ptr<overlay::RouteMux> mux_;
   std::unique_ptr<dht::Dht> dht_;
   std::unique_ptr<dht::BroadcastService> broadcast_;
+  std::unique_ptr<index::IndexManager> index_manager_;
   std::unique_ptr<query::QueryEngine> query_engine_;
 };
 

@@ -93,6 +93,19 @@ size_t LocalStore::DropNamespace(std::string_view ns) {
   return n;
 }
 
+bool LocalStore::Erase(std::string_view ns, std::string_view resource,
+                       uint64_t instance) {
+  auto nit = by_namespace_.find(ns);
+  if (nit == by_namespace_.end()) return false;
+  ResourceMap& rm = nit->second.items;
+  auto it = rm.find(ResourceRef{resource, instance});
+  if (it == rm.end()) return false;
+  rm.erase(it);
+  --size_;
+  if (rm.empty()) by_namespace_.erase(nit);
+  return true;
+}
+
 std::vector<std::string> LocalStore::Namespaces() const {
   std::vector<std::string> out;
   out.reserve(by_namespace_.size());

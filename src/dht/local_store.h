@@ -106,6 +106,13 @@ class LocalStore {
   /// Drops an entire namespace (end-of-query cleanup for temp namespaces).
   size_t DropNamespace(std::string_view ns);
 
+  /// Removes one exact item; returns whether it existed. The PHT split
+  /// retires a moved entry's parent copy only once the child's owner has
+  /// ACKED the re-put — an unacknowledged move keeps both copies (readers
+  /// dedup by instance), so a partition mid-split can never lose keys.
+  bool Erase(std::string_view ns, std::string_view resource,
+             uint64_t instance);
+
   /// Live + not-yet-swept expired items currently held.
   size_t size() const { return size_; }
   /// Namespaces currently present (diagnostics).

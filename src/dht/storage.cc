@@ -175,10 +175,16 @@ void Dht::OnRoutedPut(const overlay::RoutedMessage& m) {
   item.stored_at = sim_->now();
   item.publisher = origin;
   item.replica = false;
-  if (replicate) ReplicateOut(item);
+  // The subscriber rules first: an item it consumes (forwards down a PHT
+  // trie, say) must not be stored OR replicated here — replicas of data
+  // that lives elsewhere would resurface as ghosts after a failover.
+  bool keep = true;
   auto sub = arrival_subscribers_.find(item.key.ns);
-  if (sub != arrival_subscribers_.end()) sub->second(item);
-  store_.Put(std::move(item));
+  if (sub != arrival_subscribers_.end()) keep = sub->second(item);
+  if (keep) {
+    if (replicate) ReplicateOut(item);
+    store_.Put(std::move(item));
+  }
   if (req_id != 0) {
     Writer w;
     w.PutU8(static_cast<uint8_t>(MsgType::kPutAck));

@@ -93,11 +93,16 @@ class Dht {
   void PutEx(const DhtKey& key, std::string value, Duration ttl,
              bool replicate, PutCallback done);
 
-  /// Registers `fn` to observe every item stored at THIS node under `ns`
-  /// (owner-routed puts only, not replica pushes). This is how dataflow
-  /// operators at a rendezvous node consume rehashed tuples as they arrive.
-  /// One subscriber per namespace; re-subscribing replaces.
-  using ArrivalFn = std::function<void(const StoredItem&)>;
+  /// Registers `fn` to observe every item arriving at THIS node as owner
+  /// under `ns` (owner-routed puts only, not replica pushes). This is how
+  /// dataflow operators at a rendezvous node consume rehashed tuples as
+  /// they arrive, and how the PHT index runs its owner-side split/forward
+  /// protocol. The subscriber returns true to store the item normally;
+  /// returning false CONSUMES it — the item is neither stored nor
+  /// replicated here (it was relayed elsewhere or dropped), though the
+  /// publisher's ack still fires: consumption is an ownership decision,
+  /// not a failure. One subscriber per namespace; re-subscribing replaces.
+  using ArrivalFn = std::function<bool(const StoredItem&)>;
   void SubscribeArrivals(const std::string& ns, ArrivalFn fn);
   void UnsubscribeArrivals(const std::string& ns);
 

@@ -1,0 +1,130 @@
+// PhtCursor: the client-side range reader of the Prefix Hash Tree.
+//
+// For a closed encoded-key range [lo, hi] the cursor locates the leaf
+// covering `lo` by the PHT "doubly binary" search — a binary search over
+// prefix DEPTH, where each probe is one DHT get at prefix(key, depth) and
+// classifies the trie node from the items that come back (internal marker /
+// leaf marker or entries / nothing) — then walks rightward leaf by leaf:
+// the successor of a leaf's prefix (incremented as a binary number) is the
+// next key to locate. Total cost is O(log kKeyBits) gets per leaf touched
+// plus the leaves themselves: the set of nodes contacted scales with the
+// answer, not the overlay.
+//
+// The cursor is deliberately transport-agnostic: it speaks through a GetFn
+// so the query runtime can interpose its query-lifetime re-entry guard
+// (StageHost::PostToStage) and tests can drive a bare Dht. Every terminal
+// outcome is reported exactly once through DoneFn:
+//
+//   kOk         range exhausted (or the row callback stopped early);
+//   kColdIndex  the trie root is empty — nothing was ever inserted or the
+//               index decayed; the caller should fall back to scanning;
+//   kError      a probe failed (owner unreachable after DHT retries) or the
+//               walk exceeded its safety budget mid-churn.
+
+#ifndef PIER_INDEX_PHT_CURSOR_H_
+#define PIER_INDEX_PHT_CURSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dht/storage.h"
+#include "index/key_codec.h"
+#include "index/pht.h"
+
+namespace pier {
+namespace index {
+
+class PhtCursor {
+ public:
+  enum class Outcome {
+    kOk,         ///< range exhausted (or the row callback stopped early)
+    kMore,       ///< leaf budget hit; resume from next_key()
+    kColdIndex,  ///< trie root empty: fall back to scanning
+    kError,      ///< probe failed / walk over budget / missing leaf
+  };
+
+  struct Stats {
+    uint64_t probes = 0;          ///< DHT gets issued
+    uint64_t leaves = 0;          ///< leaves (incl. empty regions) visited
+    uint64_t entries_seen = 0;    ///< entries decoded at visited leaves
+    uint64_t entries_emitted = 0; ///< entries inside [lo, hi]
+  };
+
+  using GetCb = std::function<void(Status, std::vector<dht::DhtItem>)>;
+  /// Issues one DHT get for `resource` in the index namespace.
+  using GetFn = std::function<void(const std::string& resource, GetCb cb)>;
+  /// Receives one in-range entry plus its (globally unique) instance id —
+  /// callers running several cursors over one range dedup on it. Return
+  /// false to stop the walk early.
+  using RowFn = std::function<bool(const PhtEntry& entry, uint64_t instance)>;
+  using DoneFn = std::function<void(Outcome, Status)>;
+
+  /// Closed encoded range; `lo` > `hi` completes immediately with kOk.
+  /// `max_leaves` > 0 bounds the walk: after that many leaves the cursor
+  /// reports kMore with next_key() set — the hook the index-scan stage
+  /// uses to probe a range's density before fanning out parallel
+  /// sub-range walks.
+  PhtCursor(GetFn get, uint64_t lo, uint64_t hi, uint64_t max_leaves = 0);
+
+  /// Starts the walk. Callbacks fire from GetFn continuations; the cursor
+  /// must stay alive until DoneFn runs (drop the continuations to abort).
+  void Run(RowFn row, DoneFn done);
+
+  const Stats& stats() const { return stats_; }
+  /// After kMore: the first key of the unvisited remainder of the range.
+  uint64_t next_key() const { return cur_key_; }
+
+ private:
+  enum class NodeClass { kInternal, kLeaf, kEmpty };
+
+  void Locate();
+  void Probe();
+  int ProbeDepth() const;
+  void OnProbe(Status s, std::vector<dht::DhtItem> items);
+  void EmitLeaf(const std::string& prefix,
+                const std::vector<dht::DhtItem>& items);
+  void Advance(const std::string& leaf_prefix);
+  void Finish(Outcome outcome, Status s);
+
+  static NodeClass Classify(const std::vector<dht::DhtItem>& items);
+
+  GetFn get_;
+  uint64_t lo_;
+  uint64_t hi_;
+  uint64_t max_leaves_;
+  RowFn row_;
+  DoneFn done_;
+  Stats stats_;
+
+  // Depth binary-search state for the current locate.
+  uint64_t cur_key_ = 0;
+  int lo_depth_ = 0;
+  int hi_depth_ = kKeyBits;
+  bool saw_trie_state_ = false;  ///< any probe ever classified non-empty
+  bool finished_ = false;
+  /// First probe of a locate lands at the previous leaf's depth: sibling
+  /// leaves cluster at similar depths, so the common walk step costs one
+  /// probe instead of a fresh O(log kKeyBits) search.
+  int depth_hint_ = -1;
+  bool use_hint_ = false;
+  /// Prefixes already classified internal — internal nodes stay internal,
+  /// and sibling locates share their upper path, so these probes are free.
+  std::unordered_set<std::string> known_internal_;
+  /// Entry instances already emitted. Split moves are acked, so an entry
+  /// can transiently exist at BOTH the parent (residual awaiting ack) and
+  /// the child, and replica failovers can resurface parent-level ghosts;
+  /// instance ids are globally unique per base tuple, so deduping here
+  /// keeps the answer an exact multiset.
+  std::unordered_set<uint64_t> emitted_instances_;
+  /// Hard cap on probes per cursor: a walk that exceeds it is churn debris
+  /// (or hostile trie state) and reports kError instead of spinning.
+  static constexpr uint64_t kMaxProbes = 4096;
+};
+
+}  // namespace index
+}  // namespace pier
+
+#endif  // PIER_INDEX_PHT_CURSOR_H_

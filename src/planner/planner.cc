@@ -569,6 +569,159 @@ Result<QueryPlan> PlanMultiwayJoin(const SelectStmt& stmt,
   return plan;
 }
 
+// ---------------------------------------------------------------------------
+// Index-scan access-path selection
+// ---------------------------------------------------------------------------
+
+/// The range a WHERE clause pins onto one indexed attribute. Bounds are the
+/// CLOSED superset the cursor walks (strict bounds keep the literal; the
+/// trailing exact filter re-checks), Null = open side.
+struct IndexChoice {
+  int col = -1;
+  Value lo;
+  Value hi;
+  int bound_count = 0;
+};
+
+bool LiteralFitsColumn(const Value& lit, ValueType col_type) {
+  switch (col_type) {
+    case ValueType::kInt64:
+      return lit.type() == ValueType::kInt64 ||
+             lit.type() == ValueType::kDouble;
+    case ValueType::kString:
+      return lit.type() == ValueType::kString;
+    default:
+      return false;
+  }
+}
+
+/// Picks the indexed attribute the WHERE conjuncts constrain best (two-sided
+/// ranges beat one-sided ones). Only `col op literal` / `literal op col`
+/// conjuncts count; everything else stays in the filter.
+IndexChoice ChooseIndex(const sql::SelectStmt& stmt,
+                        const catalog::TableDef& def, const Schema& schema) {
+  std::vector<AstExprPtr> conjuncts;
+  Conjuncts(stmt.where, &conjuncts);
+
+  IndexChoice best;
+  for (const catalog::IndexDef& idx : def.indexes) {
+    IndexChoice choice;
+    choice.col = idx.col;
+    ValueType col_type =
+        def.schema.column(static_cast<size_t>(idx.col)).type;
+    bool has_lo = false, has_hi = false;
+    for (const AstExprPtr& c : conjuncts) {
+      if (c == nullptr || c->kind != AstExpr::Kind::kCompare) continue;
+      // Normalize to column-on-the-left.
+      AstExprPtr col_side = c->left, lit_side = c->right;
+      exec::CompareOp op = c->cmp;
+      if (col_side != nullptr && col_side->kind == AstExpr::Kind::kLiteral) {
+        std::swap(col_side, lit_side);
+        switch (op) {  // 5 < x  ==  x > 5
+          case exec::CompareOp::kLt: op = exec::CompareOp::kGt; break;
+          case exec::CompareOp::kLe: op = exec::CompareOp::kGe; break;
+          case exec::CompareOp::kGt: op = exec::CompareOp::kLt; break;
+          case exec::CompareOp::kGe: op = exec::CompareOp::kLe; break;
+          default: break;
+        }
+      }
+      if (lit_side == nullptr || lit_side->kind != AstExpr::Kind::kLiteral) {
+        continue;
+      }
+      if (ColumnIndexIn(col_side, schema) != idx.col) continue;
+      const Value& lit = lit_side->literal;
+      if (lit.is_null() || !LiteralFitsColumn(lit, col_type)) continue;
+      switch (op) {
+        case exec::CompareOp::kGt:
+        case exec::CompareOp::kGe:
+          if (!has_lo || choice.lo.Compare(lit) < 0) choice.lo = lit;
+          has_lo = true;
+          break;
+        case exec::CompareOp::kLt:
+        case exec::CompareOp::kLe:
+          if (!has_hi || lit.Compare(choice.hi) < 0) choice.hi = lit;
+          has_hi = true;
+          break;
+        case exec::CompareOp::kEq:
+          if (!has_lo || choice.lo.Compare(lit) < 0) choice.lo = lit;
+          if (!has_hi || lit.Compare(choice.hi) < 0) choice.hi = lit;
+          has_lo = has_hi = true;
+          break;
+        default:
+          break;
+      }
+    }
+    choice.bound_count = (has_lo ? 1 : 0) + (has_hi ? 1 : 0);
+    if (choice.bound_count > best.bound_count) best = choice;
+  }
+  return best;
+}
+
+/// Rewrites a planned single-table query into its index-scan opgraph:
+///   index-scan -> filter(full WHERE) [-> project] -> origin tail.
+/// The graph executes entirely at the origin (plus the trie owners the
+/// cursor contacts) — EXPLAIN shows the chosen access path.
+void EmitIndexGraph(const catalog::TableDef& def, const Schema& schema,
+                    const IndexChoice& choice, bool has_agg,
+                    QueryPlan* plan) {
+  query::OpGraph g;
+  query::OpNode scan;
+  scan.type = query::OpType::kIndexScan;
+  scan.table = def.name;
+  scan.schema = schema;
+  scan.index_col = choice.col;
+  scan.index_lo = choice.lo;
+  scan.index_hi = choice.hi;
+  g.nodes.push_back(std::move(scan));
+  auto chain = [&](query::OpNode node) {
+    node.inputs = {static_cast<uint32_t>(g.nodes.size()) - 1};
+    g.nodes.push_back(std::move(node));
+  };
+  // The full predicate re-applies after the cursor: the encoded range is a
+  // superset (string truncation, double bounds), and WHERE may carry
+  // conjuncts the index never saw.
+  query::OpNode f;
+  f.type = query::OpType::kFilter;
+  f.predicate = plan->where;
+  chain(std::move(f));
+
+  query::OpNode collect;
+  collect.type = query::OpType::kCollect;
+  collect.order_col = plan->order_col;
+  collect.order_desc = plan->order_desc;
+  collect.limit = plan->limit;
+  if (has_agg) {
+    // Raw in-range rows aggregate completely at the origin (the cursor
+    // already gathered them; a partial-agg layer would add nothing).
+    g.nodes.back().out = query::ExchangeKind::kToOrigin;
+    query::OpNode fa;
+    fa.type = query::OpType::kFinalAgg;
+    fa.group_cols = plan->group_cols;
+    fa.aggs = plan->aggs;
+    fa.having = plan->having;
+    chain(std::move(fa));
+    collect.final_projection = plan->final_projection;
+  } else {
+    if (!plan->projections.empty()) {
+      query::OpNode pr;
+      pr.type = query::OpType::kProject;
+      pr.exprs = plan->projections;
+      chain(std::move(pr));
+    }
+    g.nodes.back().out = query::ExchangeKind::kToOrigin;
+    collect.distinct = plan->distinct;
+  }
+  chain(std::move(collect));
+  plan->graph = std::move(g);
+  // Composed plans ship (and execute) the graph only; see PlanMultiwayJoin.
+  plan->where.reset();
+  plan->projections.clear();
+  plan->group_cols.clear();
+  plan->aggs.clear();
+  plan->having.reset();
+  plan->final_projection.clear();
+}
+
 Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
                              const catalog::Catalog& catalog,
                              const PlannerOptions& options) {
@@ -608,6 +761,16 @@ Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
     } else {
       plan.kind = PlanKind::kSelectProject;
       PIER_RETURN_IF_ERROR(PlanSelectItems(stmt, left_schema, &plan));
+    }
+    // Access-path selection: a WHERE that pins an indexed attribute to a
+    // range turns the broadcast scan into a PHT index scan. Windowed
+    // continuous queries keep scanning — index entries carry their own
+    // arrival times, not the base copies', so window semantics differ.
+    if (options.use_index && plan.where != nullptr && plan.window == 0) {
+      IndexChoice choice = ChooseIndex(stmt, *left_def, left_schema);
+      if (choice.bound_count > 0) {
+        EmitIndexGraph(*left_def, left_schema, choice, has_agg, &plan);
+      }
     }
     return plan;
   }

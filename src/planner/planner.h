@@ -29,6 +29,11 @@ struct PlannerOptions {
   /// When true, a join whose inner relation is already partitioned on the
   /// join key is downgraded from rehashing to fetch-matches automatically.
   bool prefer_fetch_matches = true;
+  /// When true, a single-table query whose WHERE bounds an indexed
+  /// attribute (<, <=, >, >=, =, BETWEEN against a literal) plans as a PHT
+  /// IndexScan instead of a broadcast scan. The engine still degrades to
+  /// the broadcast plan at runtime if the index proves cold or unreachable.
+  bool use_index = true;
 };
 
 /// Binds `stmt` against `catalog`. Fails with InvalidArgument (bad names,

@@ -3,11 +3,41 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "index/index_manager.h"
 
 namespace pier {
 namespace query {
 
 using catalog::Tuple;
+
+namespace {
+
+/// True when every source of `g` is an index scan and nothing in the graph
+/// needs other members: such a query executes entirely at the origin (plus
+/// the DHT owners the cursor contacts) and is never broadcast.
+bool IsOriginLocalGraph(const OpGraph& g) {
+  bool has_index_scan = false;
+  for (const OpNode& n : g.nodes) {
+    switch (n.type) {
+      case OpType::kIndexScan:
+        has_index_scan = true;
+        break;
+      case OpType::kFilter:
+      case OpType::kProject:
+      case OpType::kFinalAgg:
+      case OpType::kCollect:
+        break;
+      default:
+        return false;  // scans, joins, recursion, partial agg: distributed
+    }
+    if (n.out == ExchangeKind::kRehash || n.out == ExchangeKind::kTree) {
+      return false;
+    }
+  }
+  return has_index_scan;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Per-query state
@@ -20,6 +50,11 @@ struct QueryEngine::ActiveQuery {
   sim::HostId parent = sim::kInvalidHost;  ///< aggregation-tree parent
   int depth = 0;
   bool ended = false;
+  /// Index-only plan executing without dissemination; cleared when a
+  /// fallback rewrites it into a broadcast scan.
+  bool origin_local = false;
+  /// One rewrite per query: a fallback graph has no index scans left.
+  bool fallback_done = false;
 
   /// The instantiated opgraph: this node's stages and local pipelines.
   std::unique_ptr<ops::QueryRuntime> runtime;
@@ -109,11 +144,18 @@ Status QueryEngine::PublishVersioned(const std::string& table, const Tuple& t,
   if (t.size() != def->schema.num_columns()) {
     return Status::InvalidArgument("tuple width mismatch for " + table);
   }
+  // host+1 keeps every publisher-scoped id nonzero: the PHT index reuses
+  // these ids for its entries, and instance 0 is its trie-marker slot.
   uint64_t scoped =
-      (static_cast<uint64_t>(transport_->self()) << 32) |
+      (static_cast<uint64_t>(transport_->self() + 1) << 32) |
       (instance & 0xffffffffull);
   dht_->Put(def->KeyFor(t, scoped), catalog::TupleToBytes(t), def->ttl,
             nullptr);
+  // Piggybacked index maintenance: the same publisher-scoped instance keys
+  // the index entries, so renewals renew instead of duplicating.
+  if (index_manager_ != nullptr && !def->indexes.empty()) {
+    index_manager_->OnPublish(*def, t, scoped, def->ttl);
+  }
   return Status::OK();
 }
 
@@ -207,6 +249,85 @@ void QueryEngine::PostToStage(uint64_t qid, uint32_t node_id,
   if (stage != nullptr) fn(stage);
 }
 
+void QueryEngine::OnIndexScanDone(uint64_t qid, bool ok) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended || !it->second->is_origin) {
+    return;
+  }
+  ActiveQuery* aq = it->second.get();
+  if (!ok) {
+    // Deferred: this call is on the failing cursor's own stack, and the
+    // fallback replaces the runtime that owns it.
+    uint64_t query_id = aq->env.query_id;
+    ScheduleEngineTimer(0, [this, query_id] {
+      auto qit = queries_.find(query_id);
+      if (qit == queries_.end() || qit->second->ended) return;
+      FallbackToScan(qit->second.get());
+    });
+    return;
+  }
+  // The cursor read the whole range: for a one-shot origin-local query the
+  // answer is already complete, so close it now instead of sitting out the
+  // rest of the result window — the latency half of the index win. The
+  // finalize is deferred a tick because degenerate walks (an empty range)
+  // complete synchronously inside Execute(), and the client must never see
+  // its result callback fire before Execute has returned the query id.
+  if (aq->origin_local && aq->env.plan.every == 0) {
+    ++stats_.index_early_finalizes;
+    uint64_t query_id = aq->env.query_id;
+    ScheduleEngineTimer(0, [this, query_id] {
+      auto qit = queries_.find(query_id);
+      if (qit == queries_.end() || qit->second->ended) return;
+      FinalizeEpoch(qit->second.get(), 0);
+    });
+  }
+}
+
+void QueryEngine::FallbackToScan(ActiveQuery* aq) {
+  if (aq->fallback_done) return;  // fallback graphs carry no index scans
+  aq->fallback_done = true;
+  ++stats_.index_fallbacks;
+  PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
+      << "query " << aq->env.query_id
+      << " index scan failed/cold; falling back to broadcast scan";
+
+  // Rewrite in place: every index scan becomes the plain scan of the same
+  // relation. The planner always keeps the full WHERE in the trailing
+  // filter node, so the rewritten graph computes the identical answer.
+  aq->runtime.reset();
+  for (OpNode& n : aq->env.plan.graph.nodes) {
+    if (n.type == OpType::kIndexScan) {
+      n.type = OpType::kScan;
+      n.index_col = 0;
+      n.index_lo = Value::Null();
+      n.index_hi = Value::Null();
+    }
+  }
+  aq->env.plan.graph_is_derived = false;  // must travel as-is
+  aq->origin_local = false;
+  // Rows the failed cursor already delivered would double-count against
+  // the broadcast re-execution: reset this epoch's collection (its
+  // finalize deadline stays armed).
+  uint64_t epoch = CurrentEpoch(*aq);
+  auto eit = aq->epochs.find(epoch);
+  if (eit != aq->epochs.end()) {
+    eit->second.rows.clear();
+    eit->second.final_gb.reset();
+    eit->second.reporters.clear();
+  }
+  aq->runtime = std::make_unique<ops::QueryRuntime>(this, &aq->env,
+                                                    /*is_origin=*/true);
+  if (!aq->runtime->Init().ok()) {
+    aq->runtime.reset();
+    return;  // defensive: leaves the query to time out best-effort
+  }
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
+  aq->env.Serialize(&w);
+  broadcast_->Broadcast(sim::Payload(w.Release()));  // includes local delivery
+  aq->runtime->StartEpoch(CurrentEpoch(*aq));
+}
+
 void QueryEngine::RouteArrival(uint64_t qid, const std::string& ns,
                                const dht::StoredItem& item) {
   auto it = queries_.find(qid);
@@ -243,6 +364,13 @@ Status QueryEngine::ValidateGraphAgainstCatalog(const OpGraph& graph) const {
             "source column");
       }
     }
+    if (n.type == OpType::kIndexScan) {
+      const catalog::TableDef* def = catalog_->Find(n.table);
+      if (def == nullptr || def->IndexOn(n.index_col) == nullptr) {
+        return Status::InvalidArgument(
+            "index scan requires a declared index on the attribute");
+      }
+    }
   }
   return Status::OK();
 }
@@ -262,6 +390,7 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
   aq->env.issued_at = sim_->now();
   aq->env.plan = std::move(plan);
   aq->is_origin = true;
+  aq->origin_local = IsOriginLocalGraph(aq->env.plan.graph);
   aq->parent = transport_->self();
   aq->cb = std::move(cb);
   aq->runtime =
@@ -301,10 +430,18 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
         });
   }
 
-  Writer w;
-  w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
-  raw->env.Serialize(&w);
-  broadcast_->Broadcast(sim::Payload(w.Release()));
+  if (raw->origin_local) {
+    // Index-only plan: nothing for other members to do — install locally
+    // and let the cursor touch exactly the DHT owners it needs. The
+    // dissemination broadcast (and its network-wide scan work) is the
+    // first thing the index saves.
+    InstallQuery(raw->env, transport_->self(), 0);
+  } else {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
+    raw->env.Serialize(&w);
+    broadcast_->Broadcast(sim::Payload(w.Release()));
+  }
   PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
       << "issued query " << query_id << " " << raw->env.plan.ToString();
   return query_id;
@@ -348,23 +485,26 @@ void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
     case BcastKind::kQueryEnd: {
       uint64_t qid = 0;
       if (!r.GetVarint64(&qid).ok()) return;
-      auto it = queries_.find(qid);
-      if (it == queries_.end() || it->second->ended) return;
-      ActiveQuery* aq = it->second.get();
-      aq->ended = true;
-      aq->epoch_task.Stop();
-      aq->quiesce_task.Stop();
-      if (aq->runtime != nullptr) {
-        for (const std::string& ns : aq->runtime->Namespaces()) {
-          dht_->UnsubscribeArrivals(ns);
-          dht_->local_store()->DropNamespace(ns);
-        }
-      }
-      ScheduleEngineTimer(options_.cleanup_delay,
-                          [this, qid] { GcQuery(qid); });
+      HandleQueryEnd(qid);
       break;
     }
   }
+}
+
+void QueryEngine::HandleQueryEnd(uint64_t qid) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended) return;
+  ActiveQuery* aq = it->second.get();
+  aq->ended = true;
+  aq->epoch_task.Stop();
+  aq->quiesce_task.Stop();
+  if (aq->runtime != nullptr) {
+    for (const std::string& ns : aq->runtime->Namespaces()) {
+      dht_->UnsubscribeArrivals(ns);
+      dht_->local_store()->DropNamespace(ns);
+    }
+  }
+  ScheduleEngineTimer(options_.cleanup_delay, [this, qid] { GcQuery(qid); });
 }
 
 void QueryEngine::InstallQuery(const PlanEnvelope& env, sim::HostId parent,
@@ -431,6 +571,7 @@ void QueryEngine::InstallQuery(const PlanEnvelope& env, sim::HostId parent,
       dht_->SubscribeArrivals(ns,
                               [this, qid, ns](const dht::StoredItem& item) {
                                 RouteArrival(qid, ns, item);
+                                return true;  // exchange tuples always store
                               });
     }
     aq->runtime->Start();
@@ -458,10 +599,12 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
           auto it = queries_.find(qid);
           if (it != queries_.end()) FinalizeEpoch(it->second.get(), epoch);
         });
-    Writer w;
-    w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
-    aq->env.Serialize(&w);
-    broadcast_->Broadcast(sim::Payload(w.Release()));
+    if (!aq->origin_local) {
+      Writer w;
+      w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
+      aq->env.Serialize(&w);
+      broadcast_->Broadcast(sim::Payload(w.Release()));
+    }
   }
   aq->runtime->StartEpoch(epoch);
 }
@@ -708,6 +851,11 @@ void QueryEngine::EndQuery(uint64_t query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end() || !it->second->is_origin) return;
   it->second->quiesce_task.Stop();
+  if (it->second->origin_local) {
+    // Never disseminated, so nothing remote to tear down.
+    HandleQueryEnd(query_id);
+    return;
+  }
   Writer w;
   w.PutU8(static_cast<uint8_t>(BcastKind::kQueryEnd));
   w.PutVarint64(query_id);

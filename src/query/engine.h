@@ -42,6 +42,10 @@
 #include "sim/event_queue.h"
 
 namespace pier {
+namespace index {
+class IndexManager;
+}  // namespace index
+
 namespace query {
 
 /// Per-node query processor. Registers for Proto::kQuery and owns the
@@ -60,6 +64,13 @@ class QueryEngine : public ops::StageHost {
 
   /// The node-local catalog (register table definitions here).
   catalog::Catalog* catalog() { return catalog_; }
+
+  /// Attaches the node's PHT index manager: publishes then piggyback index
+  /// maintenance for every indexed attribute of the table. Optional (tests
+  /// may run engines without indexing); must outlive the engine.
+  void SetIndexManager(index::IndexManager* manager) {
+    index_manager_ = manager;
+  }
 
   /// Publishes one tuple of `table` into the DHT under a fresh instance id.
   Status Publish(const std::string& table, const catalog::Tuple& t);
@@ -102,6 +113,7 @@ class QueryEngine : public ops::StageHost {
   void CancelTimer(sim::TimerId id) override;
   void PostToStage(uint64_t qid, uint32_t node_id,
                    const std::function<void(ops::Stage*)>& fn) override;
+  void OnIndexScanDone(uint64_t qid, bool ok) override;
 
  private:
   struct ActiveQuery;
@@ -124,7 +136,13 @@ class QueryEngine : public ops::StageHost {
   void StartEpoch(ActiveQuery* aq, uint64_t epoch);
   void FinalizeEpoch(ActiveQuery* aq, uint64_t epoch);
   void EndQuery(uint64_t query_id);
+  /// Member-side end-of-query teardown (also the local path for
+  /// origin-local queries that never broadcast).
+  void HandleQueryEnd(uint64_t query_id);
   void GcQuery(uint64_t query_id);
+  /// Rewrites an index-scan query into the equivalent broadcast scan and
+  /// disseminates it — the mid-churn / cold-index degradation path.
+  void FallbackToScan(ActiveQuery* aq);
 
   // -- origin-side post-processing --------------------------------------------
   void OriginAccept(ActiveQuery* aq, uint64_t epoch, sim::HostId from,
@@ -137,6 +155,7 @@ class QueryEngine : public ops::StageHost {
   dht::Dht* dht_;
   dht::BroadcastService* broadcast_;
   catalog::Catalog* catalog_;
+  index::IndexManager* index_manager_ = nullptr;
   sim::Simulation* sim_;
   EngineOptions options_;
   EngineStats stats_;

@@ -45,6 +45,8 @@ const char* OpTypeName(OpType t) {
       return "recurse";
     case OpType::kCollect:
       return "collect";
+    case OpType::kIndexScan:
+      return "index-scan";
   }
   return "?";
 }
@@ -139,12 +141,15 @@ void OpNode::Serialize(Writer* w) const {
   w->PutVarint64Signed(order_col);
   w->PutBool(order_desc);
   w->PutVarint64Signed(limit);
+  w->PutVarint64Signed(index_col);
+  index_lo.Serialize(w);
+  index_hi.Serialize(w);
 }
 
 Status OpNode::Deserialize(Reader* r, OpNode* out) {
   uint8_t type = 0;
   PIER_RETURN_IF_ERROR(r->GetU8(&type));
-  if (type > static_cast<uint8_t>(OpType::kCollect)) {
+  if (type > static_cast<uint8_t>(OpType::kIndexScan)) {
     return Status::Corruption("bad op type");
   }
   out->type = static_cast<OpType>(type);
@@ -206,7 +211,11 @@ Status OpNode::Deserialize(Reader* r, OpNode* out) {
   PIER_RETURN_IF_ERROR(r->GetBool(&out->order_desc));
   PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&limit));
   out->limit = limit;
-  return Status::OK();
+  int64_t index_col = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64Signed(&index_col));
+  out->index_col = static_cast<int>(index_col);
+  PIER_RETURN_IF_ERROR(Value::Deserialize(r, &out->index_lo));
+  return Value::Deserialize(r, &out->index_hi);
 }
 
 std::string OpNode::ToString() const {
@@ -223,6 +232,19 @@ std::string OpNode::ToString() const {
     case OpType::kScan:
       s += "(" + table + ")";
       break;
+    case OpType::kIndexScan: {
+      // The EXPLAIN-visible access path: which index, and what range the
+      // PHT cursor will walk ("[" / "]" = closed side, "(" / ")" = open).
+      std::string col = static_cast<size_t>(index_col) < schema.num_columns()
+                            ? schema.column(index_col).name
+                            : std::to_string(index_col);
+      s += "(" + table + "." + col + " range=";
+      s += index_lo.is_null() ? "(-inf" : "[" + index_lo.ToString();
+      s += ", ";
+      s += index_hi.is_null() ? "+inf)" : index_hi.ToString() + "]";
+      s += ")";
+      break;
+    }
     case OpType::kFilter:
       if (predicate != nullptr) s += "(" + predicate->ToString() + ")";
       break;
@@ -283,6 +305,21 @@ Status OpGraph::Validate() const {
       case OpType::kScan:
         want_inputs = 0;
         if (n.table.empty()) return Status::Corruption("scan without table");
+        break;
+      case OpType::kIndexScan:
+        want_inputs = 0;
+        if (n.table.empty()) {
+          return Status::Corruption("index scan without table");
+        }
+        if (n.index_col < 0 ||
+            static_cast<size_t>(n.index_col) >= n.schema.num_columns()) {
+          return Status::Corruption("index scan column out of range");
+        }
+        if (n.out != ExchangeKind::kLocal &&
+            n.out != ExchangeKind::kToOrigin) {
+          return Status::Corruption(
+              "index scan output must stay at the origin");
+        }
         break;
       case OpType::kJoin:
         want_inputs = 2;

@@ -64,6 +64,7 @@ enum class OpType : uint8_t {
   kFinalAgg = 5,    ///< partials (or raw rows) -> final aggregates; origin
   kRecurse = 6,     ///< transitive closure over an edge relation
   kCollect = 7,     ///< origin sink: DISTINCT / ORDER BY / LIMIT / delivery
+  kIndexScan = 8,   ///< PHT range scan over an indexed attribute (origin)
 };
 
 const char* OpTypeName(OpType t);
@@ -88,9 +89,19 @@ struct OpNode {
   /// How this node's output reaches its consumer.
   ExchangeKind out = ExchangeKind::kLocal;
 
-  // -- kScan -----------------------------------------------------------------
+  // -- kScan / kIndexScan ----------------------------------------------------
   std::string table;       ///< DHT namespace
   catalog::Schema schema;  ///< the relation's schema
+
+  // -- kIndexScan ------------------------------------------------------------
+  /// The indexed attribute and the closed value range the cursor reads.
+  /// NULL bounds are open sides (scan from/to the end of the keyspace).
+  /// The range is a SUPERSET of the predicate — an exact kFilter always
+  /// follows, so encoding coarseness (string truncation, double bounds on
+  /// int columns) can only cost traffic, never correctness.
+  int index_col = 0;
+  Value index_lo;
+  Value index_hi;
 
   // -- kFilter (and kRecurse edge predicate) ---------------------------------
   exec::ExprPtr predicate;

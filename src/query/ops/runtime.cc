@@ -101,11 +101,31 @@ Status QueryRuntime::Init() {
         }
         break;
       }
+      case OpType::kIndexScan: {
+        // The cursor's rows materialize at the origin only; they can feed
+        // the local filter/project chain and origin collection, never a
+        // distributed stage.
+        for (int cons = graph_->ConsumerOf(id); cons >= 0;
+             cons = graph_->ConsumerOf(static_cast<uint32_t>(cons))) {
+          OpType ct = graph_->nodes[cons].type;
+          if (ct == OpType::kJoin || ct == OpType::kRecurse ||
+              ct == OpType::kPartialAgg) {
+            return Status::InvalidArgument(
+                "index scan cannot feed distributed operators");
+          }
+        }
+        index_scans_.push_back(id);
+        if (is_origin_) {
+          stages_[id] =
+              std::make_unique<IndexScanStage>(host_, qid_, id, &n);
+        }
+        break;
+      }
       default:
         break;
     }
   }
-  if (epochal_ && epochal_scans_.empty()) {
+  if (epochal_ && epochal_scans_.empty() && index_scans_.empty()) {
     return Status::InvalidArgument("graph has no executable source");
   }
 
@@ -238,6 +258,14 @@ void QueryRuntime::StartEpoch(uint64_t epoch) {
     scan.Run(BuildEmitFrom(id));
   }
   if (agg_ != nullptr) agg_->EndScan();
+  // Index scans run at the origin only and complete asynchronously within
+  // the epoch's result window.
+  if (is_origin_) {
+    for (uint32_t id : index_scans_) {
+      static_cast<IndexScanStage*>(stages_[id].get())
+          ->RunEpoch(BuildEmitFrom(id));
+    }
+  }
 }
 
 void QueryRuntime::OnArrival(const std::string& ns,

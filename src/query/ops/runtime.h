@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "query/ops/agg_stage.h"
+#include "query/ops/index_scan_stage.h"
 #include "query/ops/join_stage.h"
 #include "query/ops/recursive_stage.h"
 #include "query/ops/scan_stage.h"
@@ -87,6 +88,9 @@ class QueryRuntime {
   const OpNode* final_agg_ = nullptr;
   const OpNode* collect_ = nullptr;
   std::vector<uint32_t> epochal_scans_;
+  /// kIndexScan nodes; their stages exist (and run) only at the origin —
+  /// members receiving an index graph install an inert runtime.
+  std::vector<uint32_t> index_scans_;
   std::map<std::string, uint32_t> ns_to_stage_;
 };
 

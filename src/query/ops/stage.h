@@ -72,6 +72,14 @@ class StageHost {
   /// whose continuation must not outlive the query.
   virtual void PostToStage(uint64_t qid, uint32_t node_id,
                            const std::function<void(Stage*)>& fn) = 0;
+
+  /// An origin-side index scan finished its cursor walk. `ok` means the
+  /// range was fully read (possibly empty); the engine may finalize a
+  /// one-shot answer early. !ok means the walk failed mid-churn or found a
+  /// cold index: the engine rewrites the plan's index scans into broadcast
+  /// scans and re-disseminates — the answer degrades toward the scan
+  /// baseline, it never errors.
+  virtual void OnIndexScanDone(uint64_t qid, bool ok) = 0;
 };
 
 /// A stage consuming tuples from a local edge. Returns false to stop the

@@ -61,6 +61,15 @@ struct EngineStats {
   uint64_t bloom_suppressed = 0;
   uint64_t recursion_expansions = 0;
   uint64_t recursion_duplicates = 0;
+  // -- PHT index scans (origin-side) ----------------------------------------
+  uint64_t index_scans_run = 0;      ///< cursor walks started
+  uint64_t index_probes = 0;         ///< trie-node DHT gets issued
+  uint64_t index_leaves = 0;         ///< leaves visited across walks
+  uint64_t index_rows = 0;           ///< in-range rows emitted by cursors
+  uint64_t index_early_finalizes = 0; ///< one-shot answers closed before
+                                      ///< the result_wait deadline
+  uint64_t index_fallbacks = 0;      ///< cursor failed or index cold ->
+                                     ///< re-planned as broadcast scan
 };
 
 /// One epoch's worth of answers, delivered to the issuing client.

@@ -248,6 +248,28 @@ class Parser {
 
   Status ParseComparison(AstExprPtr* out) {
     PIER_RETURN_IF_ERROR(ParseAdditive(out));
+    // BETWEEN lo AND hi desugars to (x >= lo AND x <= hi); the bound
+    // operands parse at additive precedence so the AND belongs to BETWEEN,
+    // not the enclosing conjunction.
+    if (ConsumeKeyword("BETWEEN")) {
+      AstExprPtr lo, hi;
+      PIER_RETURN_IF_ERROR(ParseAdditive(&lo));
+      PIER_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      PIER_RETURN_IF_ERROR(ParseAdditive(&hi));
+      auto ge = MakeExpr(AstExpr::Kind::kCompare);
+      ge->cmp = exec::CompareOp::kGe;
+      ge->left = *out;
+      ge->right = lo;
+      auto le = MakeExpr(AstExpr::Kind::kCompare);
+      le->cmp = exec::CompareOp::kLe;
+      le->left = *out;
+      le->right = hi;
+      auto both = MakeExpr(AstExpr::Kind::kAnd);
+      both->left = ge;
+      both->right = le;
+      *out = both;
+      return Status::OK();
+    }
     // IS [NOT] NULL postfix.
     if (PeekKeyword("IS")) {
       ++pos_;

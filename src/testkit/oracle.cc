@@ -89,6 +89,27 @@ Result<std::vector<Tuple>> OracleEvaluate(core::PierNetwork& net,
       case OpType::kScan:
         out[id] = CollectTable(net, node);
         break;
+      case OpType::kIndexScan: {
+        // Ground truth for an index scan: the same readable base slices a
+        // broadcast scan would read, restricted to the node's closed value
+        // range. The distributed path reads a SUPERSET of this range from
+        // trie leaves and re-filters, and the exact-predicate kFilter that
+        // always follows makes both sides converge to identical rows.
+        std::vector<Tuple> rows = CollectTable(net, node);
+        for (const Tuple& t : rows) {
+          if (static_cast<size_t>(node.index_col) >= t.size()) continue;
+          const Value& v = t[static_cast<size_t>(node.index_col)];
+          if (v.is_null()) continue;  // range predicates never match NULL
+          if (!node.index_lo.is_null() && v.Compare(node.index_lo) < 0) {
+            continue;
+          }
+          if (!node.index_hi.is_null() && v.Compare(node.index_hi) > 0) {
+            continue;
+          }
+          out[id].push_back(t);
+        }
+        break;
+      }
       case OpType::kFilter: {
         for (const Tuple& t : out[node.inputs[0]]) {
           bool pass = false;

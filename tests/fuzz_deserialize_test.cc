@@ -12,6 +12,7 @@
 #include "common/bloom.h"
 #include "common/rng.h"
 #include "exec/expr.h"
+#include "index/pht.h"
 #include "query/plan.h"
 #include "sql/parser.h"
 
@@ -277,6 +278,139 @@ TEST(FuzzDeserialize, PlanRoundTripSurvivesAndMatches) {
   EXPECT_NE(p.where, nullptr);
 }
 
+std::string ValidIndexGraphBytes() {
+  // The planner's index-scan shape: index-scan -> filter -> collect.
+  query::OpGraph g;
+  query::OpNode scan;
+  scan.type = query::OpType::kIndexScan;
+  scan.table = "metrics";
+  scan.schema = catalog::Schema(
+      "metrics", {{"host", ValueType::kString}, {"v", ValueType::kInt64}});
+  scan.index_col = 1;
+  scan.index_lo = Value::Int64(10);
+  scan.index_hi = Value::Int64(99);
+  g.nodes.push_back(std::move(scan));
+  query::OpNode f;
+  f.type = query::OpType::kFilter;
+  f.predicate = exec::Expr::Compare(exec::CompareOp::kGe,
+                                    exec::Expr::Column(1),
+                                    exec::Expr::Literal(Value::Int64(10)));
+  f.inputs = {0};
+  f.out = query::ExchangeKind::kToOrigin;
+  g.nodes.push_back(std::move(f));
+  query::OpNode collect;
+  collect.type = query::OpType::kCollect;
+  collect.inputs = {1};
+  g.nodes.push_back(std::move(collect));
+  EXPECT_TRUE(g.Validate().ok());
+  Writer w;
+  g.Serialize(&w);
+  return w.Release();
+}
+
+TEST(FuzzDeserialize, IndexScanGraphGarbage) {
+  auto parse = [](const std::string& b) {
+    Reader r(b);
+    query::OpGraph g;
+    (void)query::OpGraph::Deserialize(&r, &g);
+  };
+  NoCrashOnGarbage(parse, 2000, 256, 18);
+  NoCrashOnMutation(parse, ValidIndexGraphBytes(), 19);
+}
+
+TEST(FuzzDeserialize, IndexScanGraphRoundTripsByteIdentical) {
+  std::string valid = ValidIndexGraphBytes();
+  Reader r(valid);
+  query::OpGraph g;
+  ASSERT_TRUE(query::OpGraph::Deserialize(&r, &g).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.nodes[0].type, query::OpType::kIndexScan);
+  EXPECT_EQ(g.nodes[0].index_lo, Value::Int64(10));
+  EXPECT_EQ(g.nodes[0].index_hi, Value::Int64(99));
+  Writer w;
+  g.Serialize(&w);
+  EXPECT_EQ(w.buffer(), valid);
+  // Every strict prefix must fail, never crash or accept partial input.
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    std::string truncated = valid.substr(0, cut);
+    Reader rt(truncated);
+    query::OpGraph gt;
+    EXPECT_FALSE(query::OpGraph::Deserialize(&rt, &gt).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(FuzzDeserialize, MalformedIndexScanGraphRejected) {
+  // Index column outside the schema...
+  query::OpGraph g;
+  std::string valid = ValidIndexGraphBytes();
+  {
+    Reader r(valid);
+    ASSERT_TRUE(query::OpGraph::Deserialize(&r, &g).ok());
+  }
+  g.nodes[0].index_col = 7;
+  Writer w;
+  g.Serialize(&w);
+  {
+    Reader r(w.buffer());
+    query::OpGraph bad;
+    EXPECT_FALSE(query::OpGraph::Deserialize(&r, &bad).ok());
+  }
+  // ...and an index scan emitting into a rehash exchange (it must stay at
+  // the origin) are both structurally rejected.
+  g.nodes[0].index_col = 1;
+  g.nodes[0].out = query::ExchangeKind::kRehash;
+  Writer w2;
+  g.Serialize(&w2);
+  {
+    Reader r(w2.buffer());
+    query::OpGraph bad;
+    EXPECT_FALSE(query::OpGraph::Deserialize(&r, &bad).ok());
+  }
+}
+
+TEST(FuzzDeserialize, PhtEntryGarbage) {
+  index::PhtEntry valid;
+  valid.key = 0x8000000000001234ull;
+  valid.tuple_bytes = ValidTupleBytes();
+  Writer w;
+  valid.Serialize(&w);
+  auto parse = [](const std::string& b) {
+    Reader r(b);
+    index::PhtEntry e;
+    (void)index::PhtEntry::Deserialize(&r, &e);
+  };
+  NoCrashOnGarbage(parse, 3000, 96, 20);
+  NoCrashOnMutation(parse, w.buffer(), 21);
+  // Round trip.
+  Reader r(w.buffer());
+  index::PhtEntry back;
+  ASSERT_TRUE(index::PhtEntry::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.key, valid.key);
+  EXPECT_EQ(back.tuple_bytes, valid.tuple_bytes);
+}
+
+TEST(FuzzDeserialize, PhtMarkerGarbage) {
+  Writer w;
+  index::PhtNodeRecord rec;
+  rec.internal = true;
+  rec.Serialize(&w);
+  auto parse = [](const std::string& b) {
+    Reader r(b);
+    index::PhtNodeRecord m;
+    (void)index::PhtNodeRecord::Deserialize(&r, &m);
+  };
+  NoCrashOnGarbage(parse, 2000, 16, 22);
+  NoCrashOnMutation(parse, w.buffer(), 23);
+  Reader r(w.buffer());
+  index::PhtNodeRecord back;
+  ASSERT_TRUE(index::PhtNodeRecord::Deserialize(&r, &back).ok());
+  EXPECT_TRUE(back.internal);
+  // Unknown marker tags are Corruption, not a third state.
+  std::string bad_tag(1, '\x09');
+  Reader bad(bad_tag);
+  EXPECT_FALSE(index::PhtNodeRecord::Deserialize(&bad, &back).ok());
+}
+
 TEST(FuzzDeserialize, BloomGarbage) {
   BloomFilter valid(512, 5);
   valid.Add(42);
@@ -296,8 +430,16 @@ TEST(FuzzDeserialize, TableDefGarbage) {
   def.name = "t";
   def.schema = catalog::Schema("t", {{"a", ValueType::kInt64}});
   def.partition_cols = {0};
+  def.indexes = {catalog::IndexDef{0, 8}};
   Writer w;
   def.Serialize(&w);
+  {
+    Reader r(w.buffer());
+    catalog::TableDef back;
+    ASSERT_TRUE(catalog::TableDef::Deserialize(&r, &back).ok());
+    ASSERT_EQ(back.indexes.size(), 1u);
+    EXPECT_EQ(back.indexes[0], (catalog::IndexDef{0, 8}));
+  }
   auto parse = [](const std::string& b) {
     Reader r(b);
     catalog::TableDef d;

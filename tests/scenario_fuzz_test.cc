@@ -47,6 +47,9 @@ TableDef FuzzTable() {
                                  {"hits", ValueType::kInt64}});
   def.partition_cols = {0};
   def.ttl = Seconds(600);
+  // PHT index over hits with tiny buckets: every fuzz case grows a real
+  // trie, so splits and entry forwards race the sampled faults and churn.
+  def.indexes = {catalog::IndexDef{1, 3}};
   return def;
 }
 
@@ -90,6 +93,23 @@ ScenarioReport RunFuzzCase(uint64_t seed, const FaultScript* override_script,
                  .wait = 0,
                  .min_recall = 0.7,
                  .min_precision = 0.95})
+      // Range query over the PHT: exercises cursor walks, splits racing
+      // the sampled faults, and the broadcast fallback. Floors only apply
+      // to fault-script cases: link faults destroy MESSAGES, so post-heal
+      // index state reconverges (acked moves + repair sweep). Churn
+      // destroys STATE — index entries live on different nodes than their
+      // base rows, so crashes make the two views diverge in both
+      // directions (ghost entries for dead rows, dead entries for
+      // surviving rows) and no floor against the base-readable oracle is
+      // meaningful; the query still runs and every other invariant still
+      // asserts.
+      .AddQuery({.sql = "SELECT rule_id, hits FROM alerts "
+                        "WHERE hits BETWEEN 15 AND 40",
+                 .issue_at = issue_at + Seconds(20),
+                 .origin = 0,
+                 .wait = 0,
+                 .min_recall = churn ? -1.0 : 0.5,
+                 .min_precision = churn ? -1.0 : 0.8})
       .WithHealSettle(Seconds(chord ? 60 : 25))
       .WithDefaultCheckers();
   if (churn) {

@@ -195,6 +195,27 @@ TEST(ParserTest, WithRecursive) {
   EXPECT_TRUE(rq.outer.select_star);
 }
 
+TEST(ParserTest, BetweenDesugarsToClosedRange) {
+  auto r = sql::Parse("SELECT a FROM t WHERE x BETWEEN 5 AND 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const sql::AstExprPtr& w = r.value().select.where;
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->ToString(), "((x >= 5) AND (x <= 10))");
+}
+
+TEST(ParserTest, BetweenBindsTighterThanConjunction) {
+  // The AND inside BETWEEN must not swallow the following conjunct.
+  auto r = sql::Parse(
+      "SELECT a FROM t WHERE x BETWEEN 1 + 1 AND 10 AND y = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().select.where->ToString(),
+            "(((x >= (1 + 1)) AND (x <= 10)) AND (y = 3))");
+}
+
+TEST(ParserTest, BetweenMissingAndFails) {
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t WHERE x BETWEEN 5 10").ok());
+}
+
 TEST(ParserTest, ErrorsCarryPosition) {
   auto r = sql::Parse("SELECT FROM t");
   ASSERT_FALSE(r.ok());
@@ -236,6 +257,14 @@ catalog::Catalog TestCatalog() {
                                 {"label", ValueType::kString}});
   sevs.partition_cols = {0};
   EXPECT_TRUE(cat.Register(sevs).ok());
+  TableDef metrics;  // PHT-indexed on value and host: the range-query table
+  metrics.name = "metrics";
+  metrics.schema = Schema("metrics", {{"host", ValueType::kString},
+                                      {"value", ValueType::kInt64},
+                                      {"note", ValueType::kString}});
+  metrics.partition_cols = {0};
+  metrics.indexes = {catalog::IndexDef{1, 8}, catalog::IndexDef{0, 8}};
+  EXPECT_TRUE(cat.Register(metrics).ok());
   return cat;
 }
 
@@ -371,6 +400,111 @@ TEST(PlannerTest, ContinuousClausesCarryThrough) {
       "SELECT SUM(hits) FROM alerts EVERY 10 SECONDS WINDOW 20 SECONDS");
   EXPECT_EQ(p.every, Seconds(10));
   EXPECT_EQ(p.window, Seconds(20));
+}
+
+// ---------------------------------------------------------------------------
+// Index-scan access-path selection
+// ---------------------------------------------------------------------------
+
+bool HasIndexScan(const QueryPlan& p) {
+  return p.graph.Has(query::OpType::kIndexScan);
+}
+
+TEST(PlannerIndexTest, RangeOnIndexedColumnSelectsIndexScan) {
+  QueryPlan p = MustPlan("SELECT host, value FROM metrics WHERE value < 50");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  const query::OpNode& scan = p.graph.nodes[0];
+  EXPECT_EQ(scan.type, query::OpType::kIndexScan);
+  EXPECT_EQ(scan.table, "metrics");
+  EXPECT_EQ(scan.index_col, 1);
+  EXPECT_TRUE(scan.index_lo.is_null());  // open below
+  EXPECT_EQ(scan.index_hi, Value::Int64(50));
+  // The exact predicate always follows the (superset) range.
+  EXPECT_EQ(p.graph.nodes[1].type, query::OpType::kFilter);
+}
+
+TEST(PlannerIndexTest, BetweenTightensBothBounds) {
+  QueryPlan p = MustPlan(
+      "SELECT value FROM metrics WHERE value BETWEEN 10 AND 90 "
+      "AND value >= 20 AND note = 'x'");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  const query::OpNode& scan = p.graph.nodes[0];
+  EXPECT_EQ(scan.index_lo, Value::Int64(20));  // max of lower bounds
+  EXPECT_EQ(scan.index_hi, Value::Int64(90));
+}
+
+TEST(PlannerIndexTest, TwoSidedRangeBeatsOneSidedOnOtherIndex) {
+  // Both host and value are indexed; value has both bounds, host only one.
+  QueryPlan p = MustPlan(
+      "SELECT value FROM metrics "
+      "WHERE host >= 'a' AND value >= 10 AND value <= 20");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  EXPECT_EQ(p.graph.nodes[0].index_col, 1);
+}
+
+TEST(PlannerIndexTest, EqualityPinsBothBounds) {
+  QueryPlan p = MustPlan("SELECT note FROM metrics WHERE value = 42");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  EXPECT_EQ(p.graph.nodes[0].index_lo, Value::Int64(42));
+  EXPECT_EQ(p.graph.nodes[0].index_hi, Value::Int64(42));
+}
+
+TEST(PlannerIndexTest, StringIndexedColumnUsesIndex) {
+  QueryPlan p = MustPlan(
+      "SELECT host FROM metrics WHERE host >= 'h-10' AND host <= 'h-20'");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  EXPECT_EQ(p.graph.nodes[0].index_col, 0);
+}
+
+TEST(PlannerIndexTest, NonIndexedOrUnusableShapesKeepBroadcastScan) {
+  // Range on a non-indexed attribute.
+  EXPECT_FALSE(HasIndexScan(
+      MustPlan("SELECT rule_id FROM alerts WHERE hits < 50")));
+  // Indexed attribute but no literal bound.
+  EXPECT_FALSE(HasIndexScan(
+      MustPlan("SELECT value FROM metrics WHERE value < value + 1")));
+  // Disqualifying literal type (string bound on INT64 column).
+  EXPECT_FALSE(HasIndexScan(
+      MustPlan("SELECT value FROM metrics WHERE value < 'fifty'")));
+  // Windowed continuous queries keep scanning (window semantics).
+  EXPECT_FALSE(HasIndexScan(MustPlan(
+      "SELECT value FROM metrics WHERE value < 50 "
+      "EVERY 10 SECONDS WINDOW 20 SECONDS")));
+  // Planner knob off.
+  {
+    auto stmt = sql::Parse("SELECT value FROM metrics WHERE value < 50");
+    ASSERT_TRUE(stmt.ok());
+    catalog::Catalog cat = TestCatalog();
+    planner::PlannerOptions no_index;
+    no_index.use_index = false;
+    auto plan = planner::PlanStatement(stmt.value(), cat, no_index);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(HasIndexScan(plan.value()));
+  }
+}
+
+TEST(PlannerIndexTest, AggregateOverRangeComposesFinalAggAtOrigin) {
+  QueryPlan p = MustPlan(
+      "SELECT host, SUM(value) AS total FROM metrics "
+      "WHERE value BETWEEN 0 AND 100 GROUP BY host ORDER BY total DESC");
+  ASSERT_TRUE(HasIndexScan(p)) << p.graph.ToString();
+  EXPECT_TRUE(p.graph.Has(query::OpType::kFinalAgg));
+  // No partial-agg layer: the cursor already centralizes the in-range rows.
+  EXPECT_FALSE(p.graph.Has(query::OpType::kPartialAgg));
+  EXPECT_TRUE(p.graph.Validate().ok()) << p.graph.ToString();
+}
+
+TEST(PlannerIndexTest, IndexGraphSerializesAndValidates) {
+  QueryPlan p = MustPlan(
+      "SELECT host, value FROM metrics WHERE value BETWEEN 10 AND 20");
+  Writer w;
+  p.Serialize(&w);
+  Reader r(w.buffer());
+  QueryPlan back;
+  ASSERT_TRUE(QueryPlan::Deserialize(&r, &back).ok());
+  ASSERT_FALSE(back.graph.empty());  // composed graphs travel
+  EXPECT_TRUE(back.graph.Has(query::OpType::kIndexScan));
+  EXPECT_TRUE(back.graph.Validate().ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -540,6 +674,58 @@ TEST_F(SqlEndToEnd, ExplainReturnsOpgraphAsOneRowResult) {
   EXPECT_NE(rendering.find("collect"), std::string::npos);
   // EXPLAIN plans without executing: no query was disseminated.
   EXPECT_EQ(net_->node(0)->query_engine()->stats().queries_issued, 0u);
+}
+
+TEST_F(SqlEndToEnd, ExplainNamesTheAccessPath) {
+  Boot(3);
+  // Indexed range predicate: EXPLAIN must show the index-scan access path
+  // with the chosen attribute and range.
+  auto batches = Run(
+      "EXPLAIN SELECT host, value FROM metrics WHERE value BETWEEN 10 AND 99",
+      /*wait=*/Seconds(1));
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].rows.size(), 1u);
+  std::string rendering = batches[0].rows[0][0].string_value();
+  EXPECT_NE(rendering.find("index-scan(metrics.value range=[10, 99])"),
+            std::string::npos)
+      << rendering;
+  EXPECT_EQ(rendering.find("scan(metrics)"), std::string::npos) << rendering;
+
+  // The same query on a non-indexed attribute names the broadcast scan.
+  auto scan_batches = Run(
+      "EXPLAIN SELECT rule_id FROM alerts WHERE hits BETWEEN 10 AND 99",
+      /*wait=*/Seconds(1));
+  ASSERT_EQ(scan_batches.size(), 1u);
+  std::string scan_rendering = scan_batches[0].rows[0][0].string_value();
+  EXPECT_NE(scan_rendering.find("scan(alerts)"), std::string::npos)
+      << scan_rendering;
+  EXPECT_EQ(scan_rendering.find("index-scan"), std::string::npos);
+}
+
+TEST_F(SqlEndToEnd, IndexedRangeQueryMatchesFilteredBaseline) {
+  Boot(8);
+  // metrics rows across all nodes; values 0..79.
+  for (int i = 0; i < 80; ++i) {
+    Tuple t{Value::String("h-" + std::to_string(i % 5)), Value::Int64(i),
+            Value::String("n")};
+    ASSERT_TRUE(net_->node(i % net_->size())
+                    ->query_engine()
+                    ->Publish("metrics", t)
+                    .ok());
+  }
+  net_->RunFor(Seconds(15));  // index forwards/splits settle
+
+  auto batches =
+      Run("SELECT value FROM metrics WHERE value BETWEEN 25 AND 34");
+  ASSERT_EQ(batches.size(), 1u);
+  std::multiset<int64_t> got;
+  for (const Tuple& t : batches[0].rows) got.insert(t[0].int64_value());
+  std::multiset<int64_t> want;
+  for (int64_t v = 25; v <= 34; ++v) want.insert(v);
+  EXPECT_EQ(got, want);
+  // The answer came through the cursor, not a broadcast scan.
+  EXPECT_GE(net_->node(0)->query_engine()->stats().index_scans_run, 1u);
+  EXPECT_EQ(net_->node(0)->query_engine()->stats().index_fallbacks, 0u);
 }
 
 }  // namespace

@@ -468,6 +468,61 @@ TEST(ScenarioTest, ChurnHonorsSoftStateExpiry) {
   EXPECT_GT(report.churn_transitions, 0u);
 }
 
+// Range queries through the PHT index under adversity. One asymmetric
+// partition, two scored queries:
+//   (a) DURING the cut: trie owners inside the minority are unreachable, so
+//       the cursor fails and the engine falls back to a broadcast scan that
+//       the minority cannot answer either — the answer must still meet a
+//       recall floor against the oracle (which evaluates the range
+//       predicate centrally over every alive node's readable slice);
+//   (b) AFTER the heal: the re-issued range query must return the exact
+//       oracle answer (recall = precision = 1.0).
+TEST(ScenarioTest, RangeQuerySurvivesAsymmetricPartitionAndHealsExact) {
+  Scenario s(/*seed=*/4215);
+  FaultScript script;
+  FaultDirective cut;
+  cut.kind = FaultDirective::Kind::kAsymPartition;
+  cut.from = Seconds(70);
+  cut.until = Seconds(130);
+  cut.group_a = {2, 5, 7};
+  cut.group_b = {0, 1, 3, 4, 6, 8, 9};
+  script.directives.push_back(cut);
+
+  TableDef indexed = AlertsTable();
+  indexed.indexes = {catalog::IndexDef{1, 4}};  // hits, small buckets
+
+  s.WithNodes(10)
+      .WithRouter(RouterKind::kChord)
+      .WithTable(indexed)
+      .PublishRows("alerts", AlertRows(40))
+      .WithFaults(script)
+      // (a) mid-partition: floors are modest — reachability bounds recall.
+      .AddQuery({.sql = "SELECT rule_id, hits FROM alerts "
+                        "WHERE hits BETWEEN 15 AND 35",
+                 .issue_at = Seconds(85),
+                 .origin = 0,
+                 .wait = Seconds(35),
+                 .min_recall = 0.4,
+                 .min_precision = 0.9})
+      // (b) post-heal: exact.
+      .AddQuery({.sql = "SELECT rule_id, hits FROM alerts "
+                        "WHERE hits BETWEEN 15 AND 35",
+                 .issue_at = Seconds(185),
+                 .origin = 0,
+                 .wait = Seconds(30),
+                 .min_recall = 1.0,
+                 .min_precision = 1.0})
+      .WithHealSettle(Seconds(45))
+      .WithDefaultCheckers();
+  s.options().node.engine.result_wait = Seconds(20);
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.messages_faulted, 0u);
+  ASSERT_EQ(report.queries.size(), 2u);
+  EXPECT_TRUE(report.queries[0].completed) << report.ToString();
+  EXPECT_TRUE(report.queries[1].completed) << report.ToString();
+}
+
 // The replay guarantee the whole testkit rests on: the same seed and script
 // reproduce the exact same event trace and scores.
 TEST(ScenarioTest, ReplayIsByteIdentical) {
