@@ -3,15 +3,21 @@
 # examples), run the test suite. CI and local pre-push both run exactly this,
 # so the README's build instructions can never rot.
 #
-# Usage: ci/check.sh [--sanitize] [--no-perf] [--fuzz] [build-dir]
+# Usage: ci/check.sh [--sanitize] [--release] [--no-perf] [--fuzz] [build-dir]
 #   --sanitize   Debug build with ASan+UBSan (-DPIER_SANITIZE=address;undefined)
 #                — the job that keeps the ownership-heavy dataflow runtime
 #                (query/ops/, query/exchange.*) memory-clean on every PR.
 #                Skips the perf smoke (sanitized timings are meaningless).
+#   --release    Full-optimization lane (-DCMAKE_BUILD_TYPE=Release, no
+#                asserts): catches NDEBUG-only breakage — side effects in
+#                assert(), UB the optimizer exploits — that the default
+#                RelWithDebInfo build hides.
 #   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1 +
-#                bench_range_scan with --json, merged into BENCH_PR3.json).
-#                The smoke fails only on a bench self-check mismatch (all
-#                deterministic), never on timing.
+#                bench_range_scan + bench_multiway_join +
+#                bench_exec_vectorized with --json, merged into
+#                BENCH_PR7.json). The smoke fails only on a bench
+#                self-check mismatch (all deterministic) or the vectorized
+#                bench's >=5x speedup gate, never on raw timing.
 #   --fuzz       Also run the extended fault-injection fuzz lane: configures
 #                with -DPIER_FUZZ_LANE=ON and runs `ctest -L fuzz`
 #                (PIER_FUZZ_ITERS scenarios, default 60). Failing seeds +
@@ -27,11 +33,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+RELEASE=0
 PERF=1
 FUZZ=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) SANITIZE=1; PERF=0 ;;
+    --release)  RELEASE=1 ;;
     --no-perf)  PERF=0 ;;
     --fuzz)     FUZZ=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -42,6 +50,9 @@ done
 if [[ $SANITIZE -eq 1 ]]; then
   BUILD_DIR="${1:-build-asan}"
   EXTRA_CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug "-DPIER_SANITIZE=address;undefined")
+elif [[ $RELEASE -eq 1 ]]; then
+  BUILD_DIR="${1:-build-release}"
+  EXTRA_CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
 else
   BUILD_DIR="${1:-build}"
   EXTRA_CMAKE_ARGS=()
@@ -81,10 +92,15 @@ if [[ $PERF -eq 1 ]]; then
   # exact rows on both access paths, >= 5x index speedup at 1%
   # selectivity, < 25% of nodes touched); wall-clock numbers are
   # recorded, never gated on.
-  echo "== perf smoke (BENCH_PR3.json) =="
-  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR3.json
-  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR3.json | tail -4
-  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR3.json | tail -3
+  echo "== perf smoke (BENCH_PR7.json) =="
+  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR7.json
+  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR7.json | tail -4
+  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR7.json | tail -3
+  "$BUILD_DIR/bench_multiway_join" --json=BENCH_PR7.json | tail -3
+  # Self-check: the batch plane must hold its >=5x rows/s edge over the
+  # tuple plane (deterministic row counts; the ratio gate rides wall-clock
+  # but is interleaved best-of-N, far from the 5x line on any idle box).
+  "$BUILD_DIR/bench_exec_vectorized" --json=BENCH_PR7.json | tail -3
 fi
 
 echo "== OK =="

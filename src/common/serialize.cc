@@ -57,6 +57,9 @@ void Writer::PutString(std::string_view s) {
 }
 
 void Writer::PutRaw(const void* data, size_t n) {
+  // n == 0 may come with data == nullptr (an empty vector's data()); the
+  // append would be a no-op but passing null to it is still UB.
+  if (n == 0) return;
   buf_.append(static_cast<const char*>(data), n);
 }
 
@@ -168,6 +171,9 @@ Status Reader::GetString(std::string* s) {
 Status Reader::GetRaw(void* out, size_t n) {
   if (failed_) return Status::Corruption("reader poisoned");
   if (n > remaining()) return Fail("truncated raw bytes");
+  // n == 0 may come with out == nullptr (an empty vector's data()), and
+  // memcpy's pointer arguments must be non-null even for zero sizes.
+  if (n == 0) return Status::OK();
   std::memcpy(out, data_.data() + pos_, n);
   pos_ += n;
   return Status::OK();

@@ -64,6 +64,11 @@ void AggUpdate(const AggSpec& spec, const catalog::Tuple& row, Value* v1,
   if (spec.col >= 0 && static_cast<size_t>(spec.col) < row.size()) {
     input = row[spec.col];
   }
+  AggUpdateValue(spec, input, v1, v2);
+}
+
+void AggUpdateValue(const AggSpec& spec, const Value& input, Value* v1,
+                    Value* v2) {
   switch (spec.fn) {
     case AggFunc::kCount: {
       // COUNT(*) counts rows; COUNT(col) counts non-null values.

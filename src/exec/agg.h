@@ -62,6 +62,13 @@ void AggInit(const AggSpec& spec, Value* v1, Value* v2);
 /// Folds one raw row into the partial state.
 void AggUpdate(const AggSpec& spec, const catalog::Tuple& row, Value* v1,
                Value* v2);
+/// Same fold with the input value already extracted (NULL when the spec's
+/// column is absent from the row). The vectorized accumulator
+/// (exec/kernels.h) feeds column cells through this without building a
+/// Tuple per row; AggUpdate delegates here so both planes share one
+/// definition.
+void AggUpdateValue(const AggSpec& spec, const Value& input, Value* v1,
+                    Value* v2);
 /// Merges another partial (in1, in2) into (v1, v2). Associative and
 /// commutative — safe at any interior node of the aggregation tree.
 void AggMerge(const AggSpec& spec, const Value& in1, const Value& in2,

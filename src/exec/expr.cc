@@ -38,6 +38,12 @@ class LiteralExpr : public Expr {
     value_.Serialize(w);
   }
   std::string ToString() const override { return value_.ToString(); }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kLiteral;
+    info.literal = value_;
+    return info;
+  }
 
  private:
   Value value_;
@@ -64,6 +70,12 @@ class ColumnExpr : public Expr {
   }
   std::string ToString() const override {
     return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kColumn;
+    info.column = index_;
+    return info;
   }
 
  private:
@@ -117,6 +129,14 @@ class CompareExpr : public Expr {
   std::string ToString() const override {
     return "(" + l_->ToString() + " " + CompareOpName(op_) + " " +
            r_->ToString() + ")";
+  }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kCompare;
+    info.cmp = op_;
+    info.left = l_.get();
+    info.right = r_.get();
+    return info;
   }
 
  private:
@@ -212,6 +232,14 @@ class ArithExpr : public Expr {
     return "(" + l_->ToString() + " " + ArithOpName(op_) + " " +
            r_->ToString() + ")";
   }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kArith;
+    info.arith = op_;
+    info.left = l_.get();
+    info.right = r_.get();
+    return info;
+  }
 
  private:
   ArithOp op_;
@@ -247,6 +275,13 @@ class LogicExpr : public Expr {
     return "(" + l_->ToString() + (is_and_ ? " AND " : " OR ") +
            r_->ToString() + ")";
   }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = is_and_ ? ExprInfo::Kind::kAnd : ExprInfo::Kind::kOr;
+    info.left = l_.get();
+    info.right = r_.get();
+    return info;
+  }
 
  private:
   bool is_and_;
@@ -268,6 +303,12 @@ class NotExpr : public Expr {
   }
   std::string ToString() const override {
     return "(NOT " + e_->ToString() + ")";
+  }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kNot;
+    info.left = e_.get();
+    return info;
   }
 
  private:
@@ -298,6 +339,12 @@ class NegExpr : public Expr {
     e_->Serialize(w);
   }
   std::string ToString() const override { return "(-" + e_->ToString() + ")"; }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind = ExprInfo::Kind::kNeg;
+    info.left = e_.get();
+    return info;
+  }
 
  private:
   ExprPtr e_;
@@ -320,6 +367,13 @@ class IsNullExpr : public Expr {
   std::string ToString() const override {
     return "(" + e_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL") +
            ")";
+  }
+  ExprInfo Info() const override {
+    ExprInfo info;
+    info.kind =
+        negated_ ? ExprInfo::Kind::kIsNotNull : ExprInfo::Kind::kIsNull;
+    info.left = e_.get();
+    return info;
   }
 
  private:

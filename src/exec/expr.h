@@ -32,6 +32,34 @@ enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
 const char* CompareOpName(CompareOp op);
 const char* ArithOpName(ArithOp op);
 
+/// Structural description of one expression node, exposed through
+/// Expr::Info() so the batch compiler (exec/kernels.h) can walk a bound
+/// tree and emit vectorized kernels without widening the Expr interface
+/// for every node type. Only the fields relevant to `kind` are meaningful.
+struct ExprInfo {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kColumn,
+    kCompare,
+    kArith,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kIsNull,
+    kIsNotNull,
+  };
+  Kind kind = Kind::kLiteral;
+  Value literal;                 ///< kLiteral
+  int column = -1;               ///< kColumn
+  CompareOp cmp = CompareOp::kEq;  ///< kCompare
+  ArithOp arith = ArithOp::kAdd;   ///< kArith
+  /// Children (borrowed; valid while the owning Expr lives). Unary nodes
+  /// use `left` only.
+  const Expr* left = nullptr;
+  const Expr* right = nullptr;
+};
+
 /// Immutable expression tree node.
 class Expr {
  public:
@@ -40,6 +68,11 @@ class Expr {
   /// Evaluates against `t`. Type errors (e.g. 'a' + 1) return
   /// InvalidArgument; data-dependent hazards (division by zero) yield NULL.
   virtual Status Eval(const catalog::Tuple& t, Value* out) const = 0;
+
+  /// Structural view of this node for the batch compiler. Scalar Eval()
+  /// stays the semantic reference; compiled kernels must agree with it row
+  /// for row (tests/vectorized_test.cc enforces this differentially).
+  virtual ExprInfo Info() const = 0;
 
   /// Wire encoding (kind tag + operands).
   virtual void Serialize(Writer* w) const = 0;

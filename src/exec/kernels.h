@@ -1,0 +1,174 @@
+// Vectorized expression kernels and batch accumulators.
+//
+// CompiledExpr::Compile walks a bound Expr tree (via Expr::Info()) and
+// builds a kernel program that evaluates whole RowBatch columns at a time:
+// comparisons and logic produce selection bitmaps, arithmetic produces new
+// column vectors, and per-row evaluation errors become error bits instead
+// of Status returns. Scalar Expr::Eval stays the semantic reference — the
+// kernels must agree with it row for row, including SQL NULL semantics
+// (NULL comparisons are false, NULL arithmetic is NULL, division by zero
+// is NULL) and error propagation (a row whose evaluation would error under
+// the scalar plane is marked in the error bitmap; filters drop such rows,
+// projections null them, exactly as the tuple plane does).
+//
+// VectorGroupBy is the batch twin of GroupByOp for the raw-row phases:
+// it accumulates grouped partial states per batch through the same
+// AggInit/AggUpdateValue folds, and drains in the same sorted group order.
+
+#ifndef PIER_EXEC_KERNELS_H_
+#define PIER_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "common/value.h"
+#include "exec/agg.h"
+#include "exec/batch.h"
+#include "exec/expr.h"
+
+namespace pier {
+namespace exec {
+
+/// Fixed-size bitset sized to a batch. An empty word vector means all-zero
+/// (the common case for error bitmaps), so untouched bitmaps cost nothing.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t n) : size_(n) {}
+
+  size_t size() const { return size_; }
+  void Reset(size_t n) {
+    size_ = n;
+    words_.clear();
+  }
+
+  bool Get(size_t i) const {
+    return !words_.empty() && (words_[i >> 6] & (1ull << (i & 63))) != 0;
+  }
+  void Set(size_t i) {
+    EnsureWords();
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+  void Clear(size_t i) {
+    if (!words_.empty()) words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  void SetAll();
+
+  /// True when no bit is set.
+  bool none() const;
+  size_t Count() const;
+
+  void OrWith(const Bitmap& o);
+  void AndWith(const Bitmap& o);
+  /// this &= ~o.
+  void AndNotWith(const Bitmap& o);
+  /// Flips every bit (tail bits stay clear).
+  void FlipAll();
+
+  /// Direct word access for kernels that fill 64 rows at a time (word i
+  /// covers rows [64i, 64i+64); callers must keep tail bits clear).
+  uint64_t* MutableWords() {
+    EnsureWords();
+    return words_.data();
+  }
+
+ private:
+  void EnsureWords() {
+    if (words_.empty()) words_.assign((size_ + 63) / 64, 0);
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// A compiled expression program over RowBatch columns.
+class CompiledExpr {
+ public:
+  /// One lowered program node (defined in kernels.cc; declared here so the
+  /// kernel implementations can take it by reference).
+  struct Node;
+
+  ~CompiledExpr();
+
+  /// Compiles `e` (which must outlive nothing — the shared_ptr is retained).
+  /// Never fails: every node kind lowers to a kernel, with a boxed per-row
+  /// fallback for heterogeneous (kMixed) columns.
+  static std::unique_ptr<CompiledExpr> Compile(ExprPtr e);
+
+  /// Predicate evaluation over all physical rows of `b`: bit i set iff the
+  /// scalar plane would keep row i (EvalPredicate true and no error) —
+  /// rows whose evaluation errors are excluded, matching the runtime
+  /// filter's skip-on-error behavior.
+  void EvalSelection(const RowBatch& b, Bitmap* out) const;
+
+  /// Full value evaluation over all physical rows: `out` holds the per-row
+  /// results and `err` flags rows whose scalar evaluation would return a
+  /// non-OK Status (their column cells are unspecified; projections map
+  /// them to NULL).
+  void EvalColumn(const RowBatch& b, Column* out, Bitmap* err) const;
+
+ private:
+  CompiledExpr() = default;
+
+  ExprPtr source_;  // keeps borrowed ExprInfo children alive
+  std::unique_ptr<Node> root_;
+};
+
+/// Narrows `b`'s live set to the rows whose bit is set in `keep` (indexed
+/// by physical row id). With a selection already installed the result is
+/// the intersection — this is how filter stages compose without
+/// materializing survivors.
+void NarrowSelection(RowBatch* b, const Bitmap& keep);
+
+/// Batch-at-a-time GROUP BY accumulator for the raw-row phases. With
+/// `finalize` false it drains partial tuples [group values..., v1, v2 per
+/// agg] (GroupByOp kPartial); with `finalize` true it drains finalized rows
+/// (kComplete). Drain order matches GroupByOp's sorted map order.
+class VectorGroupBy {
+ public:
+  VectorGroupBy(std::vector<int> group_cols, std::vector<AggSpec> aggs,
+                bool finalize);
+
+  /// Folds every live row of `b` into its group's partial states.
+  void PushBatch(const RowBatch& b);
+
+  size_t group_count() const { return groups_.size(); }
+
+  /// Emits groups in sorted key order and clears state. Stops early when
+  /// `emit` returns false (remaining groups are still discarded).
+  void DrainAndReset(const std::function<bool(catalog::Tuple&)>& emit);
+
+ private:
+  struct Group {
+    catalog::Tuple key;
+    std::vector<Value> state;
+  };
+
+  size_t FindOrCreateGroup(const RowBatch& b, size_t row);
+  void GrowSlots();
+  /// Folds column `spec.col` of every live row into agg slot `a`, using a
+  /// typed lane loop where the fold can stay unboxed (COUNT, and
+  /// SUM/AVG/MIN/MAX over INT64/DOUBLE lanes) and the boxed reference fold
+  /// everywhere else.
+  void FoldAgg(const RowBatch& b, size_t a);
+
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+  bool finalize_;
+  std::vector<Group> groups_;
+  /// Open-addressing group index: slot = group idx + 1, 0 = empty. Linear
+  /// probing over a power-of-two table; group_hash_ is parallel to groups_
+  /// so probes compare hashes before touching keys.
+  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> group_hash_;
+  /// Per-batch scratch: group index of each live row.
+  std::vector<uint32_t> row_group_;
+};
+
+}  // namespace exec
+}  // namespace pier
+
+#endif  // PIER_EXEC_KERNELS_H_

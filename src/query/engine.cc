@@ -208,6 +208,96 @@ void QueryEngine::DeliverPartial(uint64_t qid, uint64_t epoch, const Tuple& t,
   SendDirect(to, w);
 }
 
+void QueryEngine::DeliverResultBatch(uint64_t qid, uint64_t epoch,
+                                     const exec::RowBatch& b) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  if (aq->is_origin) {
+    Tuple t;
+    for (size_t i = 0; i < b.ActiveRows(); ++i) {
+      b.ToTuple(b.RowId(i), &t);
+      OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/false);
+    }
+    return;
+  }
+  size_t n = b.ActiveRows();
+  if (n == 0) return;
+  // Chunked delivery: one lost frame costs at most result_frame_rows rows,
+  // keeping best-effort recall under lossy links near the tuple plane's.
+  size_t cap = options_.result_frame_rows == 0 ? n : options_.result_frame_rows;
+  for (size_t start = 0; start < n; start += cap) {
+    size_t len = std::min(cap, n - start);
+    if (len == 1) {
+      // A single row ships in the legacy frame — it is smaller.
+      Tuple t;
+      b.ToTuple(b.RowId(start), &t);
+      DeliverResult(qid, epoch, t);
+      continue;
+    }
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(MsgType::kResultBatch));
+    w.PutVarint64(qid);
+    w.PutVarint64(epoch);
+    if (len == n) {
+      b.Encode(&w);  // compacts the selection: the wire carries live rows
+    } else {
+      b.SliceLive(start, len).Encode(&w);
+    }
+    ++stats_.result_msgs_sent;
+    ++stats_.batch_frames_sent;
+    SendDirect(aq->env.origin, w);
+  }
+}
+
+void QueryEngine::DeliverPartialBatch(uint64_t qid, uint64_t epoch,
+                                      const std::vector<Tuple>& partials,
+                                      ExchangeKind route) {
+  if (partials.empty()) return;
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  if (aq->is_origin) {
+    for (const Tuple& t : partials) {
+      OriginAccept(aq, epoch, transport_->self(), t, /*is_partial=*/true);
+    }
+    return;
+  }
+  if (partials.size() == 1) {
+    // A single partial ships in the legacy row frame — it is smaller.
+    DeliverPartial(qid, epoch, partials[0], route);
+    return;
+  }
+  sim::HostId to = aq->env.origin;
+  if (route == ExchangeKind::kTree && aq->parent != sim::kInvalidHost) {
+    to = aq->parent;
+  }
+  // Partial rows from one flush share a layout ([group..., v1, v2 per
+  // agg]); columns whose state types diverge across rows (the int->double
+  // widening ladder) ride the boxed lane via AppendValue's promotion.
+  std::vector<ValueType> types;
+  types.reserve(partials[0].size());
+  for (const Value& v : partials[0]) types.push_back(v.type());
+  for (const Tuple& t : partials) {
+    if (t.size() != types.size()) {
+      // Ragged widths cannot share one batch; ship row frames instead.
+      for (const Tuple& p : partials) DeliverPartial(qid, epoch, p, route);
+      return;
+    }
+  }
+  exec::RowBatchBuilder builder(types);
+  builder.Reserve(partials.size());
+  for (const Tuple& t : partials) builder.Append(t);
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPartialBatch));
+  w.PutVarint64(qid);
+  w.PutVarint64(epoch);
+  builder.Take().Encode(&w);
+  ++stats_.partial_msgs_sent;
+  ++stats_.batch_frames_sent;
+  SendDirect(to, w);
+}
+
 void QueryEngine::SendQueryBytes(uint32_t to, const Writer& w) {
   SendDirect(static_cast<sim::HostId>(to), w);
 }
@@ -644,6 +734,38 @@ void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
         // Interior tree node: combine if the window is open, else relay
         // upward unmodified (late child).
         aq->runtime->OnRemotePartial(epoch, t);
+      }
+      break;
+    }
+    case MsgType::kResultBatch:
+    case MsgType::kPartialBatch: {
+      uint64_t qid = 0, epoch = 0;
+      exec::RowBatch b;
+      if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&epoch).ok() ||
+          !exec::RowBatch::Decode(r, &b).ok()) {
+        return;
+      }
+      if (epoch >= (1ull << 62)) return;  // same spoof guard as row frames
+      auto it = queries_.find(qid);
+      if (it == queries_.end()) return;
+      ActiveQuery* aq = it->second.get();
+      bool is_partial = static_cast<MsgType>(type) == MsgType::kPartialBatch;
+      if (is_partial) {
+        ++stats_.partial_msgs_received;
+      } else {
+        ++stats_.result_msgs_received;
+      }
+      ++stats_.batch_frames_received;
+      // Unpack and treat each row exactly like its row-frame twin — one
+      // frame, N accept/combine decisions.
+      Tuple t;
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        b.ToTuple(i, &t);
+        if (aq->is_origin) {
+          OriginAccept(aq, epoch, from, t, is_partial);
+        } else if (is_partial && !aq->ended && aq->runtime != nullptr) {
+          aq->runtime->OnRemotePartial(epoch, t);
+        }
       }
       break;
     }

@@ -105,6 +105,11 @@ class QueryEngine : public ops::StageHost {
                      const catalog::Tuple& t) override;
   void DeliverPartial(uint64_t qid, uint64_t epoch, const catalog::Tuple& t,
                       ExchangeKind route) override;
+  void DeliverResultBatch(uint64_t qid, uint64_t epoch,
+                          const exec::RowBatch& b) override;
+  void DeliverPartialBatch(uint64_t qid, uint64_t epoch,
+                           const std::vector<catalog::Tuple>& partials,
+                           ExchangeKind route) override;
   void SendQueryBytes(uint32_t to, const Writer& w) override;
   void BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
                              const BloomFilter& right) override;

@@ -1,11 +1,20 @@
 #include "query/exchange.h"
 
+#include <map>
+
 #include "dht/key.h"
 
 namespace pier {
 namespace query {
 
 using catalog::Tuple;
+
+namespace {
+/// First byte of a column-major exchange frame. Legacy row frames start
+/// with the side byte (0 or 1), so the marker is unambiguous and old
+/// decoders reject batch frames cleanly ("bad exchange side").
+constexpr uint8_t kBatchFrameMarker = 0x42;
+}  // namespace
 
 RehashExchange::RehashExchange(ops::StageHost* host, uint64_t qid,
                                uint32_t edge_id)
@@ -41,6 +50,52 @@ void RehashExchange::PublishValue(const std::string& resource,
   host_->dht()->PutEx(dht::DhtKey{ns_, resource, instance}, std::move(value),
                       host_->engine_options().temp_ttl, /*replicate=*/false,
                       nullptr);
+}
+
+void RehashExchange::PublishBatch(int side, const std::vector<int>& key_cols,
+                                  const catalog::Schema& schema,
+                                  const std::vector<Tuple>& rows) {
+  std::map<std::string, std::vector<const Tuple*>> buckets;
+  for (const Tuple& t : rows) {
+    buckets[catalog::ResourceForCols(t, key_cols)].push_back(&t);
+  }
+  for (const auto& [resource, bucket] : buckets) {
+    if (bucket.size() == 1) {
+      PublishAt(side, resource, *bucket[0]);
+      continue;
+    }
+    exec::RowBatchBuilder builder(schema);
+    builder.Reserve(bucket.size());
+    for (const Tuple* t : bucket) builder.Append(*t);
+    exec::RowBatch batch = builder.Take();
+    Writer w;
+    w.PutU8(kBatchFrameMarker);
+    w.PutU8(static_cast<uint8_t>(side));
+    batch.Encode(&w);
+    ++host_->mutable_stats()->rehash_puts;
+    ++host_->mutable_stats()->batch_frames_sent;
+    PublishValue(resource, w.Release());
+  }
+}
+
+bool RehashExchange::IsBatchFrame(const dht::StoredItem& item) {
+  return !item.value.empty() &&
+         static_cast<uint8_t>(item.value[0]) == kBatchFrameMarker;
+}
+
+Status RehashExchange::DecodeBatchArrival(const dht::StoredItem& item,
+                                          int* side, exec::RowBatch* out) {
+  Reader r(item.value);
+  uint8_t marker = 0, s = 0;
+  PIER_RETURN_IF_ERROR(r.GetU8(&marker));
+  if (marker != kBatchFrameMarker) {
+    return Status::Corruption("not a batch frame");
+  }
+  PIER_RETURN_IF_ERROR(r.GetU8(&s));
+  if (s > 1) return Status::Corruption("bad exchange side");
+  PIER_RETURN_IF_ERROR(exec::RowBatch::Decode(&r, out));
+  *side = s;
+  return Status::OK();
 }
 
 Status RehashExchange::DecodeArrival(const dht::StoredItem& item, int* side,

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "catalog/schema.h"
 #include "catalog/tuple.h"
 #include "dht/local_store.h"
+#include "exec/batch.h"
 #include "exec/operators.h"
 #include "query/ops/stage.h"
 #include "query/opgraph.h"
@@ -46,6 +48,13 @@ class RehashExchange {
   /// Ships `t` to the owner of hash(t[key_cols]) tagged with `side`.
   void Publish(int side, const std::vector<int>& key_cols,
                const catalog::Tuple& t);
+  /// Batch-plane rehash: buckets `rows` by owner resource and ships ONE
+  /// column-major RowBatch frame per bucket (marker + side + batch) instead
+  /// of one put per tuple. Single-row buckets use the legacy row frame —
+  /// it is smaller. `schema` is the rows' layout (the producing scan's).
+  void PublishBatch(int side, const std::vector<int>& key_cols,
+                    const catalog::Schema& schema,
+                    const std::vector<catalog::Tuple>& rows);
   /// Ships `t` under an explicit precomputed resource (key-projection
   /// shipping for the semi-join).
   void PublishAt(int side, const std::string& resource,
@@ -58,6 +67,13 @@ class RehashExchange {
   /// Decodes one arrival payload ([side u8][tuple]); Corruption on garbage.
   static Status DecodeArrival(const dht::StoredItem& item, int* side,
                               catalog::Tuple* t);
+
+  /// True when `item` holds a PublishBatch frame (legacy row frames start
+  /// with side 0/1; batch frames with the 0x42 marker byte).
+  static bool IsBatchFrame(const dht::StoredItem& item);
+  /// Decodes a PublishBatch frame; Corruption on garbage.
+  static Status DecodeBatchArrival(const dht::StoredItem& item, int* side,
+                                   exec::RowBatch* out);
 
  private:
   ops::StageHost* host_;

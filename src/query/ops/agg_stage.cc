@@ -27,9 +27,10 @@ Duration AggStage::HoldDelay() const {
 
 void AggStage::DeliverAll(uint64_t epoch,
                           const std::vector<Tuple>& partials) {
-  for (const Tuple& p : partials) {
-    host_->DeliverPartial(qid_, epoch, p, route_);
-  }
+  // One column-major frame per flush instead of one message per group; the
+  // receiver unpacks and folds row by row, so combine semantics are
+  // untouched.
+  host_->DeliverPartialBatch(qid_, epoch, partials, route_);
 }
 
 // -- scan-fed ---------------------------------------------------------------
@@ -38,6 +39,7 @@ void AggStage::BeginEpoch(uint64_t epoch) {
   scan_epoch_ = epoch;
   partial_op_ = std::make_unique<exec::GroupByOp>(
       node_->group_cols, node_->aggs, exec::AggPhase::kPartial);
+  vgb_.reset();
 }
 
 bool AggStage::PushRaw(const Tuple& t) {
@@ -45,8 +47,27 @@ bool AggStage::PushRaw(const Tuple& t) {
   return true;
 }
 
+bool AggStage::PushRawBatch(exec::RowBatch& b) {
+  if (vgb_ == nullptr) {
+    vgb_ = std::make_unique<exec::VectorGroupBy>(node_->group_cols,
+                                                 node_->aggs,
+                                                 /*finalize=*/false);
+  }
+  vgb_->PushBatch(b);
+  return true;
+}
+
 void AggStage::EndScan() {
   std::vector<Tuple> partials = DrainGroupBy(std::move(partial_op_));
+  if (vgb_ != nullptr) {
+    // Same sorted group order as GroupByOp's drain — downstream combining
+    // cannot tell which plane produced the partials.
+    vgb_->DrainAndReset([&partials](Tuple& t) {
+      partials.push_back(std::move(t));
+      return true;
+    });
+    vgb_.reset();
+  }
   if (route_ != ExchangeKind::kTree || is_origin_) {
     DeliverAll(scan_epoch_, partials);
     return;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/kernels.h"
 #include "exec/operators.h"
 #include "query/exchange.h"
 #include "query/ops/stage.h"
@@ -40,6 +41,11 @@ class AggStage : public Stage {
   // -- scan-fed (epochal) ----------------------------------------------------
   void BeginEpoch(uint64_t epoch);
   bool PushRaw(const catalog::Tuple& t);  ///< EmitFn-compatible
+  /// Batch-plane twin of PushRaw: folds every live row of `b` into the
+  /// epoch's grouped partial states via VectorGroupBy (BatchEmitFn shape).
+  /// Both paths drain through the same EndScan; their partials are
+  /// identical row for row (the vectorized differential suite's contract).
+  bool PushRawBatch(exec::RowBatch& b);
   void EndScan();
 
   // -- join-fed (streaming) --------------------------------------------------
@@ -69,6 +75,9 @@ class AggStage : public Stage {
 
   uint64_t scan_epoch_ = 0;
   std::unique_ptr<exec::GroupByOp> partial_op_;
+  /// Batch-plane accumulator; an epoch feeds exactly one of partial_op_ /
+  /// vgb_ (the scan ran either the tuple or the batch pipeline).
+  std::unique_ptr<exec::VectorGroupBy> vgb_;
 
   std::unique_ptr<exec::GroupByOp> streaming_op_;
   bool stream_timer_armed_ = false;

@@ -155,24 +155,34 @@ void JoinStage::ProduceFromScans(bool bloom_phase2) {
       if (!bloom_phase2) return;  // phase 2 starts when filters arrive
       [[fallthrough]];
     case JoinStrategy::kSymmetricHash: {
-      for (const Tuple& t : left) {
-        if (bloom_phase2 && dist_right_ != nullptr &&
-            !dist_right_->MayContain(
-                catalog::HashTupleCols(t, node_->left_keys))) {
-          ++host_->mutable_stats()->bloom_suppressed;
-          continue;
+      auto publish_side = [&](std::vector<Tuple>& rows,
+                              const std::vector<int>& keys,
+                              const BloomFilter* suppress,
+                              const OpNode* scan, int side) {
+        if (bloom_phase2 && suppress != nullptr) {
+          auto kept = rows.begin();
+          for (Tuple& t : rows) {
+            if (!suppress->MayContain(catalog::HashTupleCols(t, keys))) {
+              ++host_->mutable_stats()->bloom_suppressed;
+              continue;
+            }
+            if (&*kept != &t) *kept = std::move(t);  // self-move would clear t
+            ++kept;
+          }
+          rows.erase(kept, rows.end());
         }
-        exchange_->Publish(0, node_->left_keys, t);
-      }
-      for (const Tuple& t : right) {
-        if (bloom_phase2 && dist_left_ != nullptr &&
-            !dist_left_->MayContain(
-                catalog::HashTupleCols(t, node_->right_keys))) {
-          ++host_->mutable_stats()->bloom_suppressed;
-          continue;
+        if (rows.empty()) return;
+        if (host_->engine_options().vectorized && scan != nullptr) {
+          // One column-major frame per rendezvous owner per scan, instead
+          // of one DHT put per tuple.
+          exchange_->PublishBatch(side, keys, scan->schema, rows);
+          return;
         }
-        exchange_->Publish(1, node_->right_keys, t);
-      }
+        for (const Tuple& t : rows) exchange_->Publish(side, keys, t);
+      };
+      publish_side(left, node_->left_keys, dist_right_.get(), left_scan_, 0);
+      publish_side(right, node_->right_keys, dist_left_.get(), right_scan_,
+                   1);
       break;
     }
     case JoinStrategy::kSymmetricSemi: {
@@ -263,6 +273,17 @@ void JoinStage::PublishUpstream(int side, const Tuple& t) {
 void JoinStage::OnArrival(const dht::StoredItem& item) {
   if (shj_ == nullptr) return;
   int side = 0;
+  if (RehashExchange::IsBatchFrame(item)) {
+    exec::RowBatch b;
+    if (!RehashExchange::DecodeBatchArrival(item, &side, &b).ok()) return;
+    ++host_->mutable_stats()->batch_frames_received;
+    Tuple t;
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      b.ToTuple(i, &t);
+      shj_->Push(t, side);
+    }
+    return;
+  }
   Tuple t;
   if (!RehashExchange::DecodeArrival(item, &side, &t).ok()) return;
   shj_->Push(t, side);

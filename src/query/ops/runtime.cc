@@ -1,10 +1,30 @@
 #include "query/ops/runtime.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "exec/kernels.h"
+
 namespace pier {
 namespace query {
 namespace ops {
 
 using catalog::Tuple;
+
+namespace {
+
+/// Collects every column index a bound expression reads (via Expr::Info()).
+void CollectExprColumns(const exec::Expr* e, std::vector<int>* out) {
+  if (e == nullptr) return;
+  exec::ExprInfo info = e->Info();
+  if (info.kind == exec::ExprInfo::Kind::kColumn && info.column >= 0) {
+    out->push_back(info.column);
+  }
+  CollectExprColumns(info.left, out);
+  CollectExprColumns(info.right, out);
+}
+
+}  // namespace
 
 QueryRuntime::QueryRuntime(StageHost* host, const PlanEnvelope* env,
                            bool is_origin)
@@ -234,6 +254,142 @@ EmitFn QueryRuntime::BuildEmitFrom(uint32_t producer_id) {
   }
 }
 
+BatchEmitFn QueryRuntime::BuildBatchEmitFrom(uint32_t producer_id) {
+  const OpNode& n = graph_->nodes[producer_id];
+  switch (n.out) {
+    case ExchangeKind::kToOrigin: {
+      if (!epochal_) return nullptr;  // the batch plane is epochal-only
+      return [this](exec::RowBatch& b) {
+        if (local_cap_ >= 0) {
+          int64_t room = local_cap_ - epoch_sent_;
+          if (room <= 0) return false;
+          // LIMIT pushdown mid-batch: the tail past the cap is never
+          // delivered, exactly like the tuple sink stopping at row `cap`.
+          if (static_cast<int64_t>(b.ActiveRows()) > room) {
+            b.TruncateLive(static_cast<size_t>(room));
+          }
+        }
+        epoch_sent_ += static_cast<int64_t>(b.ActiveRows());
+        host_->DeliverResultBatch(qid_, current_epoch_, b);
+        return local_cap_ < 0 || epoch_sent_ < local_cap_;
+      };
+    }
+    case ExchangeKind::kRehash:
+    case ExchangeKind::kTree:
+      // Rehash targets (joins) and tree edges are fed per-tuple elsewhere.
+      return nullptr;
+    case ExchangeKind::kLocal:
+      break;
+  }
+
+  int cons_id = graph_->ConsumerOf(producer_id);
+  if (cons_id < 0) {
+    return [](exec::RowBatch&) { return true; };
+  }
+  const OpNode& c = graph_->nodes[cons_id];
+  switch (c.type) {
+    case OpType::kFilter: {
+      BatchEmitFn next = BuildBatchEmitFrom(cons_id);
+      if (!next) return nullptr;
+      std::shared_ptr<const exec::CompiledExpr> kernel =
+          exec::CompiledExpr::Compile(c.predicate);
+      return [kernel, next](exec::RowBatch& b) {
+        exec::Bitmap keep;
+        kernel->EvalSelection(b, &keep);
+        exec::NarrowSelection(&b, keep);
+        if (b.ActiveRows() == 0) return true;
+        return next(b);
+      };
+    }
+    case OpType::kProject: {
+      BatchEmitFn next = BuildBatchEmitFrom(cons_id);
+      if (!next) return nullptr;
+      auto kernels = std::make_shared<
+          std::vector<std::unique_ptr<exec::CompiledExpr>>>();
+      for (const auto& e : c.exprs) {
+        kernels->push_back(exec::CompiledExpr::Compile(e));
+      }
+      return [kernels, next](exec::RowBatch& b) {
+        // Kernels evaluate physical rows; compact survivors first so the
+        // projected batch holds exactly the live set.
+        exec::RowBatch in = b.has_selection() ? b.Compact() : std::move(b);
+        size_t rows = in.num_rows();
+        std::vector<exec::Column> cols;
+        cols.reserve(kernels->size());
+        exec::Bitmap err;
+        for (const auto& kernel : *kernels) {
+          exec::Column col;
+          kernel->EvalColumn(in, &col, &err);
+          if (!err.none()) {
+            // Rows whose scalar evaluation would error project as NULL,
+            // matching the tuple chain.
+            exec::Column fixed(col.kind());
+            for (size_t i = 0; i < rows; ++i) {
+              if (err.Get(i)) {
+                fixed.AppendNull();
+              } else {
+                fixed.AppendFrom(col, i);
+              }
+            }
+            col = std::move(fixed);
+          }
+          cols.push_back(std::move(col));
+        }
+        exec::RowBatch out =
+            exec::RowBatch::FromColumns(std::move(cols), rows);
+        return next(out);
+      };
+    }
+    case OpType::kPartialAgg: {
+      if (!epochal_) return nullptr;
+      AggStage* as = static_cast<AggStage*>(stages_[cons_id].get());
+      return [as](exec::RowBatch& b) { return as->PushRawBatch(b); };
+    }
+    default:
+      // Origin-side nodes (final-agg, collect) are fed through exchanges,
+      // never local member edges.
+      return [](exec::RowBatch&) { return true; };
+  }
+}
+
+std::vector<int> QueryRuntime::NeededColumnsFor(uint32_t scan_id) const {
+  std::vector<int> needed;
+  uint32_t id = scan_id;
+  while (true) {
+    const OpNode& n = graph_->nodes[id];
+    if (n.out == ExchangeKind::kToOrigin) {
+      // Full scan-layout rows ship to the origin: every column is read.
+      return {};
+    }
+    if (n.out != ExchangeKind::kLocal) return {};
+    int cons = graph_->ConsumerOf(id);
+    if (cons < 0) return {};
+    const OpNode& c = graph_->nodes[cons];
+    if (c.type == OpType::kFilter) {
+      CollectExprColumns(c.predicate.get(), &needed);
+      id = static_cast<uint32_t>(cons);
+      continue;  // the filter preserves the layout; keep walking
+    }
+    if (c.type == OpType::kProject) {
+      // Downstream of a projection the layout changes; only the projected
+      // expressions read scan columns.
+      for (const auto& e : c.exprs) CollectExprColumns(e.get(), &needed);
+      break;
+    }
+    if (c.type == OpType::kPartialAgg) {
+      for (int g : c.group_cols) needed.push_back(g);
+      for (const exec::AggSpec& a : c.aggs) {
+        if (a.col >= 0) needed.push_back(a.col);
+      }
+      break;
+    }
+    return {};  // unknown consumer: decode everything
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  return needed;  // empty (e.g. bare COUNT(*)) still means "all" downstream
+}
+
 std::vector<std::string> QueryRuntime::Namespaces() const {
   std::vector<std::string> out;
   for (const auto& [ns, id] : ns_to_stage_) out.push_back(ns);
@@ -253,8 +409,17 @@ void QueryRuntime::StartEpoch(uint64_t epoch) {
   current_epoch_ = epoch;
   epoch_sent_ = 0;
   if (agg_ != nullptr) agg_->BeginEpoch(epoch);
+  const EngineOptions& opts = host_->engine_options();
   for (uint32_t id : epochal_scans_) {
     ScanStage scan(host_, &graph_->nodes[id], env_->plan.window);
+    if (opts.vectorized) {
+      BatchEmitFn bemit = BuildBatchEmitFrom(id);
+      if (bemit) {
+        scan.RunBatch(opts.batch_size, NeededColumnsFor(id), bemit);
+        continue;
+      }
+      ++host_->mutable_stats()->vectorized_fallbacks;
+    }
     scan.Run(BuildEmitFrom(id));
   }
   if (agg_ != nullptr) agg_->EndScan();

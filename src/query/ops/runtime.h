@@ -67,6 +67,17 @@ class QueryRuntime {
 
  private:
   EmitFn BuildEmitFrom(uint32_t producer_id);
+  /// Batch-plane twin of BuildEmitFrom: compiles the local chain downstream
+  /// of `producer_id` into a RowBatch pipeline (kernel filters narrowing
+  /// selections, vectorized projection, VectorGroupBy partial aggregation,
+  /// one-frame-per-batch origin delivery). Returns an empty function when
+  /// the chain has a shape the batch plane cannot express (the caller falls
+  /// back to the tuple path and counts it).
+  BatchEmitFn BuildBatchEmitFrom(uint32_t producer_id);
+  /// Scan-side column pruning: the columns of scan `scan_id`'s layout its
+  /// downstream chain actually reads. Empty = all columns (either the full
+  /// rows ship to the origin, or pruning could not be proven safe).
+  std::vector<int> NeededColumnsFor(uint32_t scan_id) const;
 
   StageHost* host_;
   const PlanEnvelope* env_;

@@ -12,10 +12,12 @@
 #define PIER_QUERY_OPS_STAGE_H_
 
 #include <functional>
+#include <vector>
 
 #include "catalog/tuple.h"
 #include "common/bloom.h"
 #include "dht/storage.h"
+#include "exec/batch.h"
 #include "query/opgraph.h"
 #include "query/protocol.h"
 #include "sim/event_queue.h"
@@ -53,6 +55,17 @@ class StageHost {
   /// to the origin.
   virtual void DeliverPartial(uint64_t qid, uint64_t epoch,
                               const catalog::Tuple& t, ExchangeKind route) = 0;
+  /// Batch-plane kToOrigin: delivers every live row of `b` to the origin in
+  /// ONE column-major wire frame (looping back row-by-row into origin
+  /// collection when this node is the origin).
+  virtual void DeliverResultBatch(uint64_t qid, uint64_t epoch,
+                                  const exec::RowBatch& b) = 0;
+  /// Batch-plane partial routing: one frame carries a whole flush worth of
+  /// partial rows; the receiver unpacks and folds them exactly as if each
+  /// had arrived as a kPartialAgg message.
+  virtual void DeliverPartialBatch(uint64_t qid, uint64_t epoch,
+                                   const std::vector<catalog::Tuple>& partials,
+                                   ExchangeKind route) = 0;
   /// Raw engine-protocol message (semi-join fetch and Bloom traffic).
   virtual void SendQueryBytes(uint32_t to, const Writer& w) = 0;
   /// Bloom join: origin redistributes the unioned filters network-wide.
@@ -85,6 +98,11 @@ class StageHost {
 /// A stage consuming tuples from a local edge. Returns false to stop the
 /// producer early (LIMIT pushdown into scans).
 using EmitFn = std::function<bool(const catalog::Tuple&)>;
+
+/// The batch-plane twin: a stage consuming whole RowBatches from a local
+/// edge. The callee may narrow or truncate the batch's selection in place;
+/// returning false stops the producing scan early, exactly like EmitFn.
+using BatchEmitFn = std::function<bool(exec::RowBatch&)>;
 
 /// Base class for per-query runtime stages.
 class Stage {

@@ -39,6 +39,21 @@ struct EngineOptions {
   Duration recursion_deadline = Seconds(120);
   /// Member-side state GC delay after a query ends.
   Duration cleanup_delay = Seconds(30);
+  /// Vectorized data plane: epochal scan pipelines decode store slices into
+  /// column batches, evaluate compiled predicate kernels, aggregate with
+  /// VectorGroupBy, and ship results/partials as column-major RowBatch
+  /// frames (one message per batch instead of one per tuple). Pipelines the
+  /// batch plane cannot express (joins, recursion, index cursors) fall back
+  /// to the tuple path per scan — answers are identical either way.
+  bool vectorized = true;
+  /// Rows per batch on the vectorized path.
+  uint32_t batch_size = 1024;
+  /// Max rows per kResultBatch frame on the member->origin hop. Result
+  /// frames ride best-effort direct messages, so one lost frame costs the
+  /// whole frame: a small cap keeps the loss blast radius (and thus recall
+  /// under faulty links) close to the row-at-a-time plane while still
+  /// amortizing per-message framing. 0 = unbounded.
+  uint32_t result_frame_rows = 4;
 };
 
 struct EngineStats {
@@ -70,6 +85,13 @@ struct EngineStats {
                                       ///< the result_wait deadline
   uint64_t index_fallbacks = 0;      ///< cursor failed or index cold ->
                                      ///< re-planned as broadcast scan
+  // -- vectorized data plane -------------------------------------------------
+  uint64_t batches_scanned = 0;      ///< RowBatches flushed by batch scans
+  uint64_t batch_frames_sent = 0;    ///< column-major wire frames sent
+  uint64_t batch_frames_received = 0;
+  /// Epochal scan pipelines that requested vectorization but ran the tuple
+  /// path (unsupported chain shape downstream of the scan).
+  uint64_t vectorized_fallbacks = 0;
 };
 
 /// One epoch's worth of answers, delivered to the issuing client.
@@ -96,6 +118,11 @@ enum class MsgType : uint8_t {
   kFetchReq = 3,
   kFetchResp = 4,
   kBloomPart = 5,
+  /// Column-major RowBatch frames: the batch-plane twins of kResultTuple
+  /// and kPartialAgg. Payload: [qid][epoch][RowBatch] — one frame carries a
+  /// whole batch of rows.
+  kResultBatch = 6,
+  kPartialBatch = 7,
 };
 
 /// Broadcast payload kinds (dissemination-tree traffic).

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "exec/agg.h"
+#include "exec/batch.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
 #include "exec/operators.h"
@@ -317,6 +318,50 @@ TEST(OperatorTest, LimitPassesFirstK) {
   limit.AddOutput(&sink);
   for (int64_t v : {1, 2, 3, 4}) limit.Push(Tuple{Value::Int64(v)}, 0);
   EXPECT_EQ(sink.rows().size(), 2u);
+}
+
+// LIMIT pushdown on the batch plane: a kToOrigin sink that hits its cap
+// mid-batch truncates the live tail instead of delivering it, mirroring the
+// tuple sink that stops accepting at row k.
+TEST(BatchTest, TruncateLiveStopsMidBatch) {
+  RowBatchBuilder builder(std::vector<ValueType>{ValueType::kInt64});
+  for (int64_t v : {10, 11, 12, 13, 14, 15}) {
+    builder.Append(Tuple{Value::Int64(v)});
+  }
+  RowBatch b = builder.Take();
+
+  // No selection installed: truncation synthesizes one.
+  b.TruncateLive(4);
+  ASSERT_EQ(b.ActiveRows(), 4u);
+  EXPECT_EQ(b.column(0).ValueAt(b.RowId(3)).int64_value(), 13);
+
+  // Truncating an already-selected batch shrinks the selection in place,
+  // preserving live order.
+  b.SetSelection({1, 3, 5});
+  b.TruncateLive(2);
+  ASSERT_EQ(b.ActiveRows(), 2u);
+  EXPECT_EQ(b.column(0).ValueAt(b.RowId(0)).int64_value(), 11);
+  EXPECT_EQ(b.column(0).ValueAt(b.RowId(1)).int64_value(), 13);
+
+  // A cap at or above the live count is a no-op.
+  b.TruncateLive(10);
+  EXPECT_EQ(b.ActiveRows(), 2u);
+}
+
+TEST(BatchTest, SliceLiveChunksInLiveOrder) {
+  RowBatchBuilder builder(std::vector<ValueType>{ValueType::kInt64});
+  for (int64_t v = 0; v < 7; ++v) builder.Append(Tuple{Value::Int64(v)});
+  RowBatch b = builder.Take();
+  b.SetSelection({0, 2, 4, 6});
+
+  RowBatch mid = b.SliceLive(1, 2);
+  ASSERT_EQ(mid.ActiveRows(), 2u);
+  EXPECT_EQ(mid.column(0).ValueAt(0).int64_value(), 2);
+  EXPECT_EQ(mid.column(0).ValueAt(1).int64_value(), 4);
+
+  // Tail slices clamp instead of reading past the live set.
+  EXPECT_EQ(b.SliceLive(3, 5).ActiveRows(), 1u);
+  EXPECT_EQ(b.SliceLive(9, 2).ActiveRows(), 0u);
 }
 
 TEST(OperatorTest, UnionMergesAndCountsEos) {

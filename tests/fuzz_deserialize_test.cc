@@ -11,8 +11,10 @@
 #include "catalog/tuple.h"
 #include "common/bloom.h"
 #include "common/rng.h"
+#include "exec/batch.h"
 #include "exec/expr.h"
 #include "index/pht.h"
+#include "query/exchange.h"
 #include "query/plan.h"
 #include "sql/parser.h"
 
@@ -447,6 +449,78 @@ TEST(FuzzDeserialize, TableDefGarbage) {
   };
   NoCrashOnGarbage(parse, 2000, 64, 12);
   NoCrashOnMutation(parse, w.buffer(), 13);
+}
+
+// A representative column-major RowBatch frame: every column kind, plus
+// nulls in each lane.
+std::string ValidRowBatchBytes() {
+  exec::RowBatchBuilder builder(std::vector<ValueType>{
+      ValueType::kInt64, ValueType::kString, ValueType::kDouble,
+      ValueType::kBool});
+  builder.Append({Value::Int64(1322), Value::String("BAD-TRAFFIC"),
+                  Value::Double(1.5), Value::Bool(true)});
+  builder.Append(
+      {Value::Null(), Value::String(""), Value::Null(), Value::Bool(false)});
+  builder.Append({Value::Int64(-7), Value::String("scan"), Value::Double(0.0),
+                  Value::Null()});
+  return builder.Take().EncodeToBytes();
+}
+
+TEST(FuzzDeserialize, RowBatchGarbage) {
+  auto parse = [](const std::string& b) {
+    exec::RowBatch batch;
+    (void)exec::RowBatch::FromBytes(b, &batch);
+  };
+  NoCrashOnGarbage(parse, 3000, 128, 30);
+  NoCrashOnMutation(parse, ValidRowBatchBytes(), 31);
+}
+
+TEST(FuzzDeserialize, RowBatchRoundTripsByteIdentical) {
+  std::string bytes = ValidRowBatchBytes();
+  exec::RowBatch back;
+  ASSERT_TRUE(exec::RowBatch::FromBytes(bytes, &back).ok());
+  ASSERT_EQ(back.num_rows(), 3u);
+  ASSERT_EQ(back.num_columns(), 4u);
+  catalog::Tuple t;
+  back.ToTuple(0, &t);
+  EXPECT_EQ(t[0].int64_value(), 1322);
+  EXPECT_EQ(t[1].string_value(), "BAD-TRAFFIC");
+  back.ToTuple(1, &t);
+  EXPECT_TRUE(t[0].is_null());
+  EXPECT_TRUE(t[2].is_null());
+  EXPECT_EQ(bytes, back.EncodeToBytes());
+}
+
+// The rehash exchange's batch frame ([marker][side][RowBatch]) rides the
+// same DHT arrivals as legacy row frames; both decoders must survive each
+// other's frames and arbitrary corruption.
+TEST(FuzzDeserialize, ExchangeBatchFrameGarbage) {
+  std::string frame = "\x42";
+  frame.push_back('\x01');
+  frame += ValidRowBatchBytes();
+  auto parse = [](const std::string& b) {
+    dht::StoredItem item;
+    item.value = b;
+    int side = 0;
+    if (query::RehashExchange::IsBatchFrame(item)) {
+      exec::RowBatch batch;
+      (void)query::RehashExchange::DecodeBatchArrival(item, &side, &batch);
+    }
+    catalog::Tuple t;
+    (void)query::RehashExchange::DecodeArrival(item, &side, &t);
+  };
+  NoCrashOnGarbage(parse, 3000, 128, 32);
+  NoCrashOnMutation(parse, frame, 33);
+  // The valid frame itself decodes.
+  dht::StoredItem item;
+  item.value = frame;
+  ASSERT_TRUE(query::RehashExchange::IsBatchFrame(item));
+  int side = -1;
+  exec::RowBatch batch;
+  ASSERT_TRUE(
+      query::RehashExchange::DecodeBatchArrival(item, &side, &batch).ok());
+  EXPECT_EQ(side, 1);
+  EXPECT_EQ(batch.num_rows(), 3u);
 }
 
 TEST(FuzzSql, ParserSurvivesGarbageText) {
