@@ -6,8 +6,10 @@
 // per (nodes, selectivity):
 //
 //   t.answer   virtual time from Execute() to the result batch — the index
-//              closes one-shot answers when the cursor drains, a broadcast
-//              scan sits out the full result_wait window;
+//              closes one-shot answers when the cursor drains; a broadcast
+//              scan closes when the origin certifies every covered member
+//              reported loss-free (the reliable plane's early finalize;
+//              before that landed it sat out the full result_wait window);
 //   contacted  nodes that did data-plane work (served a DHT get or ran a
 //              scan stage) — the index's headline claim: work scales with
 //              the answer, not the overlay;
@@ -16,9 +18,10 @@
 //
 // `--json[=path]` runs the 64-node / 1% point and merges machine-readable
 // metrics (shared common/bench_json schema). The self-check gates the exit
-// code: both paths must return the exact expected rows AND the index must
-// be >= 5x faster to answer at 1% selectivity (all virtual-time, so the
-// check is deterministic, never a wall-clock flake).
+// code: both paths must return the exact expected rows, the index must
+// touch < 25% of the overlay while the scan touches all of it, and both
+// answers must close well inside the result window (all virtual-time, so
+// the check is deterministic, never a wall-clock flake).
 
 #include <cinttypes>
 #include <cstdio>
@@ -180,8 +183,16 @@ int main(int argc, char** argv) {
     QueryCost scan = RunQuery(*d.net, 0.01, /*use_index=*/false);
     double wall = timer.Seconds();
     double speedup = idx.answer_s > 0 ? scan.answer_s / idx.answer_s : 0.0;
-    bool ok = idx.ok && scan.ok && idx.used_index && speedup >= 5.0 &&
-              idx.contacted * 4 < 64;
+    // The reliable plane's certified early finalize freed the broadcast
+    // scan from the result window, so the index's old >=5x latency edge is
+    // gone by design; speedup is recorded, no longer gated. What still
+    // gates is the work contract — the index touches a sliver of the
+    // overlay, the scan touches all of it — plus both paths closing well
+    // inside the 10s window (the scan's early certification is itself a
+    // gated behavior now).
+    bool ok = idx.ok && scan.ok && idx.used_index && idx.contacted * 4 < 64 &&
+              scan.contacted == 64 && idx.answer_s < 5.0 &&
+              scan.answer_s < 5.0;
     std::printf(
         "index: %.3fs %zu nodes touched; scan: %.3fs %zu nodes touched; "
         "speedup %.1fx; wall %.2fs; self-check %s\n",
@@ -213,7 +224,7 @@ int main(int argc, char** argv) {
   SweepAt(256);
   std::printf("\nexpected shape: index answer time and touched nodes stay "
               "~flat with overlay size and grow with selectivity; the scan "
-              "touches every node and waits out the full result window "
-              "regardless\n");
+              "touches every node at any selectivity but closes early once "
+              "the origin certifies every member reported loss-free\n");
   return 0;
 }

@@ -10,10 +10,12 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 #include "common/bench_json.h"
 #include "core/network.h"
 #include "planner/planner.h"
+#include "sim/fault_plane.h"
 #include "workload/workloads.h"
 
 namespace pier {
@@ -24,9 +26,16 @@ struct Table1Metrics {
   uint64_t bytes_sent = 0;
   uint64_t partial_msgs = 0;
   size_t reporting_nodes = 0;
+  // --lossy mode: what the reliable result plane paid, and what the origin
+  // claimed about its answer (the Completeness summary).
+  uint64_t frames_retransmitted = 0;
+  uint64_t frame_bytes_retransmitted = 0;
+  uint64_t frames_lost = 0;
+  uint64_t members_expected = 0;
+  uint64_t members_reported = 0;
 };
 
-int Run(Table1Metrics* metrics) {
+int Run(Table1Metrics* metrics, bool lossy) {
   const size_t kNodes = 300;
   core::PierNetworkOptions opts;
   opts.seed = 20040613;  // SIGMOD'04 started June 13
@@ -36,9 +45,11 @@ int Run(Table1Metrics* metrics) {
   opts.join_stagger = Millis(100);
 
   std::printf("== Table 1: network-wide top ten intrusion rules ==\n");
-  std::printf("nodes=%zu router=chord aggregation=tree\n", kNodes);
+  std::printf("nodes=%zu router=chord aggregation=tree%s\n", kNodes,
+              lossy ? " links=20% loss" : "");
 
   core::PierNetwork net(kNodes, opts);
+  sim::FaultPlane plane(net.sim()->rng().Fork(0x6c6f7373ull));  // "loss"
   size_t joined = net.Boot(Seconds(90));
   std::printf("booted: %zu/%zu nodes joined the overlay\n", joined, kNodes);
 
@@ -46,6 +57,15 @@ int Run(Table1Metrics* metrics) {
   net.RunFor(Seconds(15));
   std::printf("published %zu per-node alert rows (10 paper rules + decoys)\n\n",
               rows);
+
+  if (lossy) {
+    // 20% random loss on every link for the whole query execution: the
+    // acked result plane (frame retries + reliable dissemination) has to
+    // carry the aggregate through, and the Completeness summary has to say
+    // honestly how much of the network the printed table covers.
+    net.net()->SetFaultPlane(&plane);
+    plane.Loss({}, {}, 0.2, net.sim()->now(), net.sim()->now() + Seconds(60));
+  }
 
   std::vector<query::ResultBatch> batches;
   auto r = planner::ExecuteSql(
@@ -55,9 +75,12 @@ int Run(Table1Metrics* metrics) {
       [&](const query::ResultBatch& b) { batches.push_back(b); });
   if (!r.ok()) {
     std::printf("query failed: %s\n", r.status().ToString().c_str());
+    net.net()->SetFaultPlane(nullptr);
     return 1;
   }
   net.RunFor(Seconds(20));
+  // The plane outlives nothing: detach before it goes out of scope first.
+  net.net()->SetFaultPlane(nullptr);
 
   if (batches.empty()) {
     std::printf("no results arrived\n");
@@ -91,6 +114,27 @@ int Run(Table1Metrics* metrics) {
   metrics->bytes_sent = net.net()->stats().bytes_sent;
   metrics->partial_msgs = st.partial_msgs_received;
   metrics->reporting_nodes = batches[0].reporting_nodes;
+  // Senders of reliable result frames are the members, not the origin, so
+  // the retransmit bill has to be summed network-wide.
+  for (size_t i = 0; i < kNodes; ++i) {
+    const auto& ns = net.node(i)->query_engine()->stats();
+    metrics->frames_retransmitted += ns.frames_retransmitted;
+    metrics->frame_bytes_retransmitted += ns.frame_bytes_retransmitted;
+    metrics->frames_lost += ns.frames_lost;
+  }
+  const query::Completeness& comp = batches[0].completeness;
+  metrics->members_expected = comp.members_expected;
+  metrics->members_reported = comp.members_reported;
+  if (lossy) {
+    std::printf("completeness: %s\n", comp.ToString().c_str());
+    std::printf("retransmits: %" PRIu64 " frames / %" PRIu64
+                " bytes, %" PRIu64 " frames lost for good\n",
+                metrics->frames_retransmitted,
+                metrics->frame_bytes_retransmitted, metrics->frames_lost);
+    // Under 20% loss the answer is allowed to be inexact — the contract is
+    // that the engine SAYS so, not that it is psychic. Non-gating.
+    return 0;
+  }
   return matches == 10 ? 0 : 1;
 }
 
@@ -100,18 +144,37 @@ int Run(Table1Metrics* metrics) {
 int main(int argc, char** argv) {
   using namespace pier;
   bench::JsonOptions json = bench::ParseJsonFlag(argc, argv);
+  bool lossy = false;
+  for (const std::string& arg : json.args) {
+    if (arg == "--lossy") lossy = true;
+  }
   Table1Metrics metrics;
   bench::WallTimer timer;
-  int rc = Run(&metrics);
+  int rc = Run(&metrics, lossy);
   double wall = timer.Seconds();
   if (json.enabled) {
-    bench::JsonReport report("bench_table1_top_intrusions");
+    bench::JsonReport report(lossy ? "bench_table1_top_intrusions_lossy"
+                                   : "bench_table1_top_intrusions");
     report.Metric("wall_clock", wall, "s");
     report.Metric("rows_matched", metrics.matches, "count");
     report.Metric("bytes_sent", static_cast<double>(metrics.bytes_sent),
                   "bytes");
     report.Metric("reporting_nodes",
                   static_cast<double>(metrics.reporting_nodes), "count");
+    if (lossy) {
+      report.Metric("frames_retransmitted",
+                    static_cast<double>(metrics.frames_retransmitted),
+                    "count");
+      report.Metric("retransmit_bytes",
+                    static_cast<double>(metrics.frame_bytes_retransmitted),
+                    "bytes");
+      report.Metric("frames_lost", static_cast<double>(metrics.frames_lost),
+                    "count");
+      report.Metric("members_expected",
+                    static_cast<double>(metrics.members_expected), "count");
+      report.Metric("members_reported",
+                    static_cast<double>(metrics.members_reported), "count");
+    }
     if (!report.WriteMerged(json.path)) {
       std::printf("failed to write %s\n", json.path.c_str());
       return 1;

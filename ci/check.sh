@@ -15,7 +15,7 @@
 #   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1 +
 #                bench_range_scan + bench_multiway_join +
 #                bench_exec_vectorized with --json, merged into
-#                BENCH_PR7.json). The smoke fails only on a bench
+#                BENCH_PR8.json). The smoke fails only on a bench
 #                self-check mismatch (all deterministic) or the vectorized
 #                bench's >=5x speedup gate, never on raw timing.
 #   --fuzz       Also run the extended fault-injection fuzz lane: configures
@@ -89,18 +89,23 @@ if [[ $PERF -eq 1 ]]; then
   # Perf smoke: refresh the machine-readable perf trajectory. Exit codes
   # carry only the benches' self-checks (10/10 Table 1 rows, exact event
   # counts, and bench_range_scan's deterministic virtual-time contract:
-  # exact rows on both access paths, >= 5x index speedup at 1%
-  # selectivity, < 25% of nodes touched); wall-clock numbers are
-  # recorded, never gated on.
-  echo "== perf smoke (BENCH_PR7.json) =="
-  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR7.json
-  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR7.json | tail -4
-  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR7.json | tail -3
-  "$BUILD_DIR/bench_multiway_join" --json=BENCH_PR7.json | tail -3
+  # exact rows on both access paths, index touching < 25% of nodes while
+  # the scan touches all of them, both answers closing well inside the
+  # result window); wall-clock numbers are recorded, never gated on.
+  echo "== perf smoke (BENCH_PR8.json) =="
+  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR8.json
+  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR8.json | tail -4
+  # Same Table 1 query under 20% link loss: records what the reliable
+  # result plane paid (retransmit frames/bytes) and what the Completeness
+  # summary admits about coverage. Non-gating on the 10/10 match — under
+  # loss the contract is honesty, not telepathy.
+  "$BUILD_DIR/bench_table1_top_intrusions" --lossy --json=BENCH_PR8.json | tail -6
+  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR8.json | tail -3
+  "$BUILD_DIR/bench_multiway_join" --json=BENCH_PR8.json | tail -3
   # Self-check: the batch plane must hold its >=5x rows/s edge over the
   # tuple plane (deterministic row counts; the ratio gate rides wall-clock
   # but is interleaved best-of-N, far from the 5x line on any idle box).
-  "$BUILD_DIR/bench_exec_vectorized" --json=BENCH_PR7.json | tail -3
+  "$BUILD_DIR/bench_exec_vectorized" --json=BENCH_PR8.json | tail -3
 fi
 
 echo "== OK =="

@@ -40,10 +40,10 @@ void PierNode::BuildComponents() {
   mux_ = std::make_unique<overlay::RouteMux>(router_);
   dht_ = std::make_unique<dht::Dht>(transport_.get(), router_, mux_.get(),
                                     options_.dht);
-  broadcast_ =
-      std::make_unique<dht::BroadcastService>(transport_.get(), router_);
+  broadcast_ = std::make_unique<dht::BroadcastService>(
+      transport_.get(), router_, options_.broadcast);
   index_manager_ = std::make_unique<index::IndexManager>(
-      dht_.get(), network_->simulation());
+      dht_.get(), network_->simulation(), options_.index);
   // Index maintenance tracks the catalog: definitions registered at any
   // time wire up their PHT handles, and a reboot (which rebuilds the
   // manager but keeps the catalog) replays the existing registrations.
@@ -65,6 +65,7 @@ void PierNode::StartServices() {
 }
 
 void PierNode::StopServices() {
+  if (query_engine_) query_engine_->Stop();
   if (dht_) dht_->Stop();
   if (broadcast_) broadcast_->Stop();
 }

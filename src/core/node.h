@@ -38,7 +38,9 @@ struct NodeOptions {
   RouterKind router_kind = RouterKind::kChord;
   overlay::ChordOptions chord;
   dht::DhtOptions dht;
+  dht::BroadcastOptions broadcast;
   query::EngineOptions engine;
+  index::IndexOptions index;
 };
 
 /// One PIER node. Owns every per-node component and wires them together.

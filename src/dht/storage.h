@@ -153,6 +153,7 @@ class Dht {
 
   const DhtStats& stats() const { return stats_; }
   DhtOptions* mutable_options() { return &options_; }
+  sim::HostId self() const { return transport_->self(); }
 
  private:
   // Direct (non-routed) message types under Proto::kDht.

@@ -5,8 +5,9 @@
 namespace pier {
 namespace index {
 
-IndexManager::IndexManager(dht::Dht* dht, sim::Simulation* sim)
-    : dht_(dht), sim_(sim) {}
+IndexManager::IndexManager(dht::Dht* dht, sim::Simulation* sim,
+                           IndexOptions options)
+    : dht_(dht), sim_(sim), options_(options) {}
 
 void IndexManager::RegisterTable(const catalog::TableDef& def) {
   // Drop handles the new definition no longer declares — or declares with
@@ -29,6 +30,9 @@ void IndexManager::RegisterTable(const catalog::TableDef& def) {
     if (indexes_.count(key) > 0) continue;
     PhtOptions options;
     options.bucket_size = idx.bucket_size;
+    options.repair_interval = options_.repair_interval;
+    options.repair_jitter = options_.repair_jitter;
+    options.marker_ttl = options_.marker_ttl;
     indexes_.emplace(key, std::make_unique<PhtIndex>(
                               dht_, sim_,
                               PhtIndex::NamespaceFor(def.name, idx.col),

@@ -1,5 +1,7 @@
 #include "index/pht.h"
 
+#include "common/backoff.h"
+
 namespace pier {
 namespace index {
 
@@ -71,8 +73,24 @@ PhtIndex::PhtIndex(dht::Dht* dht, sim::Simulation* sim, std::string ns,
   dht_->SubscribeArrivals(ns_, [this](const dht::StoredItem& item) {
     return OnArrival(item);
   });
-  repair_task_.Start(sim_, options_.repair_interval,
-                     options_.repair_interval, [this] { RepairSweep(); });
+  // Deterministic (node, namespace) phase/period spread: without it every
+  // node booted at t=0 fires its sweep on the same tick, and the repair
+  // traffic arrives in synchronized bursts.
+  uint64_t salt = MixHash64(HashBytes(ns_) ^
+                            (static_cast<uint64_t>(dht_->self()) << 32));
+  auto jittered = [&](Duration base, uint64_t lane) {
+    double j = options_.repair_jitter;
+    if (j <= 0) return base;
+    uint64_t h = MixHash64(salt ^ (lane << 56));
+    double f = 1.0 + j * (2.0 * (static_cast<double>(h >> 11) /
+                                 static_cast<double>(1ull << 53)) -
+                          1.0);
+    Duration d = static_cast<Duration>(static_cast<double>(base) * f);
+    return d < Millis(1) ? Millis(1) : d;
+  };
+  repair_task_.Start(sim_, jittered(options_.repair_interval, 1),
+                     jittered(options_.repair_interval, 2),
+                     [this] { RepairSweep(); });
   attached_ = true;
 }
 

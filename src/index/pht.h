@@ -84,6 +84,10 @@ struct PhtOptions {
   /// nodes (moves that could not ack mid-partition, failover ghosts) are
   /// re-driven toward their leaf until they land or expire.
   Duration repair_interval = Seconds(15);
+  /// Deterministic per-(node, namespace) spread of the sweep phase and
+  /// period, +/- this fraction, so a thousand nodes booted together do not
+  /// sweep in lockstep.
+  double repair_jitter = 0.25;
 };
 
 struct PhtStats {

@@ -1,9 +1,12 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <set>
 
+#include "common/backoff.h"
 #include "common/logging.h"
 #include "index/index_manager.h"
+#include "query/reliable.h"
 
 namespace pier {
 namespace query {
@@ -35,6 +38,39 @@ bool IsOriginLocalGraph(const OpGraph& g) {
     }
   }
   return has_index_scan;
+}
+
+/// True when the query's data plane is pure member->origin AND every member
+/// produces its whole epoch synchronously inside StartEpoch. Only such
+/// ("accountable") epochal queries send per-epoch completion reports and can
+/// be certified exact: an interior tree relay can fold and forward after its
+/// subtree reported, and a partial-agg combiner holds its flush on a timer —
+/// either would let a member report "done" while rows are still to come,
+/// making the certification chain unsound.
+bool IsAccountableGraph(const OpGraph& g) {
+  for (const OpNode& n : g.nodes) {
+    if (n.out == ExchangeKind::kRehash || n.out == ExchangeKind::kTree) {
+      return false;
+    }
+    // Whitelist, not blacklist: only operators that produce their whole
+    // epoch synchronously inside StartEpoch qualify. Joins (even the
+    // fetch-matches kind with direct out-edges) emit from async DHT-get
+    // callbacks, recursion expands over arrival callbacks, partial-agg
+    // combiners flush on hold timers, index cursors walk the trie
+    // asynchronously — any of them would let a member's completion report
+    // race its own rows.
+    switch (n.type) {
+      case OpType::kScan:
+      case OpType::kFilter:
+      case OpType::kProject:
+      case OpType::kFinalAgg:
+      case OpType::kCollect:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -70,6 +106,9 @@ struct QueryEngine::ActiveQuery {
     std::unordered_set<uint32_t> reporters;
     sim::TimerId finalize_timer = 0;
     bool finalized = false;
+    /// A certified early finalize is already queued (deferred one tick so a
+    /// degenerate single-node query cannot call back inside Execute()).
+    bool early_finalize_scheduled = false;
   };
   std::map<uint64_t, EpochState> epochs;
   /// Epochs at or below this number already reported; stragglers count as
@@ -78,6 +117,39 @@ struct QueryEngine::ActiveQuery {
   std::unordered_set<std::string> origin_result_seen;  // recursion dedup
   TimePoint last_new_result = 0;
   sim::PeriodicTask quiesce_task;
+
+  // -- lifecycle (PR 8) ------------------------------------------------------
+  bool cancelled = false;
+  bool deadline_expired = false;
+  sim::TimerId deadline_timer = 0;
+  /// Member-side origin-liveness lease (reclaims state if the origin died
+  /// without broadcasting an end).
+  sim::TimerId lease_timer = 0;
+
+  // -- reliable result plane (PR 8) ------------------------------------------
+  /// Epochal with a pure member->origin data plane (see IsAccountableGraph).
+  bool accountable = false;
+  ReliableOutbox outbox;
+  /// Receiver-side frame dedupe, per sender.
+  std::map<uint32_t, FrameDedupe> rx_dedupe;
+  /// Distinct data frames admitted per sender (the origin checks members'
+  /// cumulative claims against this).
+  std::map<uint32_t, uint64_t> rx_data_frames;
+  /// Origin-side: latest per-member completion report (cumulative counters,
+  /// merged by max so retransmit reorderings are harmless).
+  struct MemberReport {
+    uint64_t epoch = 0;
+    uint64_t frames_to_origin = 0;
+    uint64_t retried = 0;
+    uint64_t lost = 0;
+  };
+  std::map<uint32_t, MemberReport> reports;
+  /// Members that refused the plan at admission.
+  std::set<uint32_t> shed_members;
+  /// From the dissemination cover wave: how many nodes the latest plan
+  /// broadcast reached, and whether every subtree confirmed.
+  uint64_t members_expected = 0;
+  bool coverage_complete = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -105,6 +177,10 @@ QueryEngine::QueryEngine(overlay::Transport* transport,
                                 const sim::Payload& payload) {
     OnBroadcast(origin, seq, parent, depth, payload);
   });
+  broadcast_->SetCoverageHandler(
+      [this](uint64_t seq, uint64_t members, bool complete) {
+        OnCoverage(seq, members, complete);
+      });
 }
 
 QueryEngine::~QueryEngine() {
@@ -113,8 +189,21 @@ QueryEngine::~QueryEngine() {
   for (sim::TimerId id : engine_timers_) sim_->Cancel(id);
 }
 
+void QueryEngine::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (sim::TimerId id : engine_timers_) sim_->Cancel(id);
+  engine_timers_.clear();
+  for (auto& [qid, aq] : queries_) {
+    (void)qid;
+    aq->epoch_task.Stop();
+    aq->quiesce_task.Stop();
+  }
+}
+
 sim::TimerId QueryEngine::ScheduleEngineTimer(Duration delay,
                                               std::function<void()> fn) {
+  if (stopped_) return 0;
   sim::TimerId id = sim_->ScheduleAfter(delay, std::move(fn));
   engine_timers_.push_back(id);
   return id;
@@ -122,6 +211,7 @@ sim::TimerId QueryEngine::ScheduleEngineTimer(Duration delay,
 
 sim::TimerId QueryEngine::ScheduleEngineTimerAt(TimePoint when,
                                                 std::function<void()> fn) {
+  if (stopped_) return 0;
   sim::TimerId id = sim_->ScheduleAt(when, std::move(fn));
   engine_timers_.push_back(id);
   return id;
@@ -163,6 +253,11 @@ Status QueryEngine::PublishVersioned(const std::string& table, const Tuple& t,
 // ops::StageHost — the exchange routing stages delegate to
 // ---------------------------------------------------------------------------
 
+bool QueryEngine::HasLiveQuery(uint64_t qid) const {
+  auto it = queries_.find(qid);
+  return it != queries_.end() && !it->second->ended;
+}
+
 int QueryEngine::QueryDepth(uint64_t qid) const {
   auto it = queries_.find(qid);
   return it == queries_.end() ? 0 : it->second->depth;
@@ -183,7 +278,7 @@ void QueryEngine::DeliverResult(uint64_t qid, uint64_t epoch,
   w.PutVarint64(epoch);
   catalog::SerializeTuple(t, &w);
   ++stats_.result_msgs_sent;
-  SendDirect(aq->env.origin, w);
+  SendReliable(aq, aq->env.origin, std::move(w), /*control=*/false);
 }
 
 void QueryEngine::DeliverPartial(uint64_t qid, uint64_t epoch, const Tuple& t,
@@ -205,7 +300,7 @@ void QueryEngine::DeliverPartial(uint64_t qid, uint64_t epoch, const Tuple& t,
   w.PutVarint64(epoch);
   catalog::SerializeTuple(t, &w);
   ++stats_.partial_msgs_sent;
-  SendDirect(to, w);
+  SendReliable(aq, to, std::move(w), /*control=*/false);
 }
 
 void QueryEngine::DeliverResultBatch(uint64_t qid, uint64_t epoch,
@@ -246,7 +341,7 @@ void QueryEngine::DeliverResultBatch(uint64_t qid, uint64_t epoch,
     }
     ++stats_.result_msgs_sent;
     ++stats_.batch_frames_sent;
-    SendDirect(aq->env.origin, w);
+    SendReliable(aq, aq->env.origin, std::move(w), /*control=*/false);
   }
 }
 
@@ -295,7 +390,7 @@ void QueryEngine::DeliverPartialBatch(uint64_t qid, uint64_t epoch,
   builder.Take().Encode(&w);
   ++stats_.partial_msgs_sent;
   ++stats_.batch_frames_sent;
-  SendDirect(to, w);
+  SendReliable(aq, to, std::move(w), /*control=*/false);
 }
 
 void QueryEngine::SendQueryBytes(uint32_t to, const Writer& w) {
@@ -411,10 +506,14 @@ void QueryEngine::FallbackToScan(ActiveQuery* aq) {
     aq->runtime.reset();
     return;  // defensive: leaves the query to time out best-effort
   }
+  aq->accountable =
+      aq->runtime->epochal() && IsAccountableGraph(aq->env.plan.graph);
   Writer w;
   w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
   aq->env.Serialize(&w);
-  broadcast_->Broadcast(sim::Payload(w.Release()));  // includes local delivery
+  // includes local delivery
+  uint64_t seq = broadcast_->Broadcast(sim::Payload(w.Release()));
+  if (seq != 0) coverage_waits_[seq] = {aq->env.query_id, epoch};
   aq->runtime->StartEpoch(CurrentEpoch(*aq));
 }
 
@@ -426,6 +525,298 @@ void QueryEngine::RouteArrival(uint64_t qid, const std::string& ns,
     return;
   }
   it->second->runtime->OnArrival(ns, item);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable result plane
+// ---------------------------------------------------------------------------
+
+void QueryEngine::SendReliable(ActiveQuery* aq, sim::HostId to, Writer&& inner,
+                               bool control) {
+  if (!options_.reliable_results) {
+    SendDirect(to, inner);
+    return;
+  }
+  std::string bytes = inner.Release();
+  pending_result_bytes_ += bytes.size();
+  if (!control && to == aq->env.origin) ++aq->outbox.data_to_origin;
+  uint64_t frame_id = aq->outbox.Enqueue(to, std::move(bytes), control);
+  ++stats_.frames_sent;
+  SendFrameOnce(aq, frame_id);
+  ScheduleFrameRetry(aq->env.query_id, frame_id);
+}
+
+void QueryEngine::SendFrameOnce(ActiveQuery* aq, uint64_t frame_id) {
+  ReliableOutbox::Frame* f = aq->outbox.Get(frame_id);
+  if (f == nullptr) return;
+  Writer w;
+  w.Reserve(f->bytes.size() + 20);
+  w.PutU8(static_cast<uint8_t>(MsgType::kFrame));
+  w.PutVarint64(aq->env.query_id);
+  w.PutVarint64(frame_id);
+  w.PutRaw(f->bytes.data(), f->bytes.size());
+  SendDirect(f->to, w);
+}
+
+void QueryEngine::ScheduleFrameRetry(uint64_t qid, uint64_t frame_id) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ReliableOutbox::Frame* f = it->second->outbox.Get(frame_id);
+  if (f == nullptr) return;
+  uint64_t salt = MixHash64(
+      qid ^ (frame_id << 20) ^
+      (static_cast<uint64_t>(transport_->self()) << 48));
+  Duration delay = RetryDelay(options_.retry_initial, options_.retry_max,
+                              options_.retry_jitter, salt, f->attempts);
+  ScheduleEngineTimer(delay, [this, qid, frame_id] {
+    auto qit = queries_.find(qid);
+    if (qit == queries_.end()) return;
+    ActiveQuery* q = qit->second.get();
+    ReliableOutbox::Frame* fr = q->outbox.Get(frame_id);
+    if (fr == nullptr || q->ended) return;
+    if (fr->attempts >= options_.retry_budget) {
+      // Lost for good: charge it loudly instead of pretending.
+      bool was_data = !fr->control;
+      pending_result_bytes_ -= fr->bytes.size();
+      q->outbox.MarkLost(frame_id);
+      ++stats_.frames_lost;
+      if (was_data && q->outbox.data_drained()) OnOutboxDrained(q);
+      return;
+    }
+    ++fr->attempts;
+    if (!fr->control) ++q->outbox.retried;
+    ++stats_.frames_retransmitted;
+    stats_.frame_bytes_retransmitted += fr->bytes.size();
+    SendFrameOnce(q, frame_id);
+    ScheduleFrameRetry(qid, frame_id);
+  });
+}
+
+void QueryEngine::OnFrame(sim::HostId from, Reader* r) {
+  uint64_t qid = 0, frame_id = 0;
+  if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&frame_id).ok()) return;
+  // Always ack — duplicates and unknown or finished queries included — so
+  // the sender's retransmits stop. Processing below is what is gated.
+  Writer a;
+  a.PutU8(static_cast<uint8_t>(MsgType::kFrameAck));
+  a.PutVarint64(qid);
+  a.PutVarint64(frame_id);
+  SendDirect(from, a);
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  if (!aq->rx_dedupe[from].Admit(frame_id)) {
+    ++stats_.frame_dupes_dropped;
+    return;
+  }
+  uint8_t inner = 0;
+  if (!r->GetU8(&inner).ok()) return;
+  MsgType t = static_cast<MsgType>(inner);
+  if (t == MsgType::kFrame || t == MsgType::kFrameAck) return;  // no nesting
+  if (t == MsgType::kResultTuple || t == MsgType::kPartialAgg ||
+      t == MsgType::kResultBatch || t == MsgType::kPartialBatch) {
+    ++aq->rx_data_frames[from];
+  }
+  // Ended queries still dispatch: each handler guards itself, and origin
+  // stragglers past the window must keep counting as late_partials.
+  DispatchMessage(from, inner, r);
+  // Admitted data may have been the last thing a certified epoch was
+  // waiting on (a data frame can arrive after the member's report under
+  // reordering).
+  auto it2 = queries_.find(qid);
+  if (it2 != queries_.end() && it2->second->is_origin &&
+      !it2->second->ended && it2->second->accountable) {
+    MaybeEarlyFinalize(it2->second.get(), CurrentEpoch(*it2->second));
+  }
+}
+
+void QueryEngine::OnFrameAck(Reader* r) {
+  uint64_t qid = 0, frame_id = 0;
+  if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&frame_id).ok()) return;
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  ReliableOutbox::Frame* f = aq->outbox.Get(frame_id);
+  if (f == nullptr) return;  // duplicate ack
+  bool was_data = !f->control;
+  pending_result_bytes_ -= f->bytes.size();
+  aq->outbox.Ack(frame_id);
+  ++stats_.frames_acked;
+  if (was_data && !aq->ended && aq->outbox.data_drained()) {
+    OnOutboxDrained(aq);
+  }
+}
+
+void QueryEngine::OnOutboxDrained(ActiveQuery* aq) {
+  if (aq->is_origin || aq->ended || !aq->accountable ||
+      !options_.reliable_results) {
+    return;
+  }
+  SendEpochReport(aq);
+}
+
+void QueryEngine::SendEpochReport(ActiveQuery* aq) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kEpochReport));
+  w.PutVarint64(aq->env.query_id);
+  w.PutVarint64(CurrentEpoch(*aq));
+  w.PutVarint64(aq->outbox.data_to_origin);
+  w.PutVarint64(aq->outbox.retried);
+  w.PutVarint64(aq->outbox.lost);
+  ++stats_.epoch_reports_sent;
+  SendReliable(aq, aq->env.origin, std::move(w), /*control=*/true);
+}
+
+void QueryEngine::OnCoverage(uint64_t seq, uint64_t members, bool complete) {
+  auto it = coverage_waits_.find(seq);
+  if (it == coverage_waits_.end()) return;
+  auto [qid, epoch] = it->second;
+  coverage_waits_.erase(it);
+  auto qit = queries_.find(qid);
+  if (qit == queries_.end() || !qit->second->is_origin ||
+      qit->second->ended) {
+    return;
+  }
+  ActiveQuery* aq = qit->second.get();
+  aq->members_expected = members;
+  aq->coverage_complete = complete;
+  MaybeEarlyFinalize(aq, epoch);
+}
+
+void QueryEngine::MaybeEarlyFinalize(ActiveQuery* aq, uint64_t epoch) {
+  if (!aq->is_origin || aq->ended || !aq->accountable ||
+      !options_.reliable_results) {
+    return;
+  }
+  if (aq->cancelled || aq->deadline_expired) return;
+  if (!aq->coverage_complete || aq->members_expected == 0) return;
+  if (!aq->shed_members.empty()) return;
+  if (static_cast<int64_t>(epoch) <= aq->last_finalized_epoch) return;
+  auto eit = aq->epochs.find(epoch);
+  if (eit == aq->epochs.end() || eit->second.finalized ||
+      eit->second.early_finalize_scheduled) {
+    return;
+  }
+  // Every covered member (origin included: the +1) must have reported this
+  // epoch loss-free, and every data frame it claims to have sent us must
+  // have been admitted.
+  if (aq->reports.size() + 1 < aq->members_expected) return;
+  for (const auto& [host, rep] : aq->reports) {
+    if (rep.epoch < epoch || rep.lost > 0) return;
+    auto rx = aq->rx_data_frames.find(host);
+    uint64_t admitted = rx == aq->rx_data_frames.end() ? 0 : rx->second;
+    if (admitted < rep.frames_to_origin) return;  // data still in flight
+  }
+  eit->second.early_finalize_scheduled = true;
+  ++stats_.reliable_early_finalizes;
+  // Deferred a tick: a degenerate (single-node) dissemination certifies
+  // synchronously inside Execute(), and the client must never see its
+  // callback before Execute returns the query id.
+  uint64_t qid = aq->env.query_id;
+  ScheduleEngineTimer(0, [this, qid, epoch] {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second->ended) return;
+    FinalizeEpoch(it->second.get(), epoch, /*exact_certified=*/true);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines, leases, completeness
+// ---------------------------------------------------------------------------
+
+void QueryEngine::OnDeadline(uint64_t qid) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended) return;
+  ActiveQuery* aq = it->second.get();
+  aq->deadline_expired = true;
+  ++stats_.queries_deadline_expired;
+  if (!aq->is_origin) {
+    // Self-expiry: the grace period passed without the origin's kCancel.
+    HandleQueryEnd(qid);
+    return;
+  }
+  // Degrade loudly: report whatever arrived, flagged deadline_expired, then
+  // cancel network-wide so members free their state now.
+  bool origin_local = aq->origin_local;
+  FinalizeEpoch(aq, CurrentEpoch(*aq));
+  auto it2 = queries_.find(qid);
+  if (it2 != queries_.end() && !it2->second->ended && !origin_local) {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(BcastKind::kCancel));
+    w.PutVarint64(qid);
+    broadcast_->Broadcast(sim::Payload(w.Release()));
+  }
+}
+
+void QueryEngine::ArmMemberLifecycle(ActiveQuery* aq) {
+  if (aq->is_origin) return;
+  uint64_t qid = aq->env.query_id;
+  if (aq->env.deadline > 0 && aq->deadline_timer == 0) {
+    // Two seconds of grace past the origin's deadline: its kCancel
+    // normally lands first, making this the lost-broadcast backstop.
+    aq->deadline_timer = ScheduleEngineTimerAt(
+        aq->env.deadline + Seconds(2), [this, qid] { OnDeadline(qid); });
+  }
+  // Origin-liveness lease: a member whose origin crashed (no kQueryEnd, no
+  // kCancel, no plan refreshes) reclaims its stage state and exchange
+  // namespaces itself, well before the storage TTL would.
+  TimePoint lease;
+  if (aq->env.plan.every > 0) {
+    // Refreshed on every plan re-broadcast: one missed period plus the
+    // result window plus slack means the origin is gone.
+    lease = sim_->now() + aq->env.plan.every + options_.result_wait +
+            options_.member_lease;
+  } else if (aq->runtime != nullptr && aq->runtime->has_recurse()) {
+    lease = aq->env.issued_at + options_.recursion_deadline +
+            options_.member_lease;
+  } else {
+    lease = aq->env.issued_at + options_.result_wait + options_.member_lease;
+  }
+  if (aq->lease_timer != 0) sim_->Cancel(aq->lease_timer);
+  aq->lease_timer = ScheduleEngineTimerAt(lease, [this, qid] {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second->ended) return;
+    ++stats_.leases_reclaimed;
+    HandleQueryEnd(qid);
+  });
+}
+
+Completeness QueryEngine::BuildCompleteness(ActiveQuery* aq, uint64_t epoch,
+                                            bool exact_certified) const {
+  Completeness c;
+  c.cancelled = aq->cancelled;
+  c.deadline_expired = aq->deadline_expired;
+  c.members_shed = aq->shed_members.size();
+  auto eit = aq->epochs.find(epoch);
+  uint64_t reporters =
+      eit != aq->epochs.end() ? eit->second.reporters.size() : 0;
+  if (aq->origin_local) {
+    c.members_expected = 1;
+    c.members_reported = 1;
+    c.coverage_complete = true;
+  } else {
+    c.members_expected = aq->members_expected;
+    c.coverage_complete = aq->coverage_complete;
+    if (aq->accountable && options_.reliable_results) {
+      // Members with nothing to contribute still report; count them (and
+      // the origin itself) over the raw data-reporter set.
+      uint64_t reported = 1;
+      for (const auto& [host, rep] : aq->reports) {
+        if (rep.epoch >= epoch) ++reported;
+      }
+      c.members_reported = std::max(reported, reporters);
+    } else {
+      c.members_reported = reporters;
+    }
+  }
+  for (const auto& [host, rep] : aq->reports) {
+    c.frames_retried += rep.retried;
+    c.frames_lost += rep.lost;
+  }
+  c.frames_retried += aq->outbox.retried;
+  c.frames_lost += aq->outbox.lost;
+  c.exact = exact_certified;
+  return c;
 }
 
 // ---------------------------------------------------------------------------
@@ -470,6 +861,25 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
   PIER_RETURN_IF_ERROR(plan.graph.Validate());
   PIER_RETURN_IF_ERROR(ValidateGraphAgainstCatalog(plan.graph));
 
+  // Admission: refuse at issue time rather than degrade mid-flight. A
+  // refused caller gets a typed Busy and nothing was broadcast.
+  size_t live = 0;
+  for (const auto& [id, q] : queries_) {
+    if (!q->ended) ++live;
+  }
+  if (live >= options_.max_live_queries) {
+    ++stats_.admission_refusals;
+    return Status::Busy("admission: live-query budget exhausted");
+  }
+  if (plan.graph.nodes.size() > options_.max_plan_operators) {
+    ++stats_.admission_refusals;
+    return Status::Busy("admission: plan exceeds operator budget");
+  }
+  if (pending_result_bytes_ > options_.max_pending_result_bytes) {
+    ++stats_.admission_refusals;
+    return Status::Busy("admission: pending result bytes over budget");
+  }
+
   uint64_t query_id =
       (static_cast<uint64_t>(transport_->self() + 1) << 32) |
       next_query_seq_++;
@@ -483,12 +893,27 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
   aq->origin_local = IsOriginLocalGraph(aq->env.plan.graph);
   aq->parent = transport_->self();
   aq->cb = std::move(cb);
+  // Resolve the deadline once, at the origin: the wire carries the absolute
+  // time so every member counts down against the same clock.
+  Duration deadline_after = aq->env.plan.deadline > 0
+                                ? aq->env.plan.deadline
+                                : options_.query_deadline;
+  if (deadline_after > 0) {
+    aq->env.deadline = aq->env.issued_at + deadline_after;
+  }
   aq->runtime =
       std::make_unique<ops::QueryRuntime>(this, &aq->env, /*is_origin=*/true);
   PIER_RETURN_IF_ERROR(aq->runtime->Init());
   ++stats_.queries_issued;
   ActiveQuery* raw = aq.get();
+  raw->accountable =
+      raw->runtime->epochal() && IsAccountableGraph(raw->env.plan.graph);
   queries_.emplace(query_id, std::move(aq));
+
+  if (raw->env.deadline > 0) {
+    raw->deadline_timer = ScheduleEngineTimerAt(
+        raw->env.deadline, [this, query_id] { OnDeadline(query_id); });
+  }
 
   // Strategy-specific origin duties (e.g. the Bloom filter-collection
   // window) start at issue time, before the plan broadcast goes out.
@@ -530,7 +955,8 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
     Writer w;
     w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
     raw->env.Serialize(&w);
-    broadcast_->Broadcast(sim::Payload(w.Release()));
+    uint64_t seq = broadcast_->Broadcast(sim::Payload(w.Release()));
+    if (seq != 0) coverage_waits_[seq] = {query_id, 0};
   }
   PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
       << "issued query " << query_id << " " << raw->env.plan.ToString();
@@ -539,8 +965,25 @@ Result<uint64_t> QueryEngine::Execute(QueryPlan plan, ResultCallback cb) {
 
 void QueryEngine::Cancel(uint64_t query_id) {
   auto it = queries_.find(query_id);
-  if (it == queries_.end() || !it->second->is_origin) return;
-  EndQuery(query_id);
+  if (it == queries_.end() || !it->second->is_origin || it->second->ended) {
+    return;
+  }
+  ActiveQuery* aq = it->second.get();
+  aq->cancelled = true;
+  ++stats_.queries_cancelled;
+  aq->quiesce_task.Stop();
+  if (aq->origin_local) {
+    // Never disseminated: tear down locally.
+    HandleQueryEnd(query_id);
+    return;
+  }
+  // kCancel rides the same dissemination tree the plan did (acked edges,
+  // so it actually arrives), freeing member stage state and q<id>.x<n>
+  // namespaces now instead of squatting until TTL. No final batch fires.
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(BcastKind::kCancel));
+  w.PutVarint64(query_id);
+  broadcast_->Broadcast(sim::Payload(w.Release()));  // includes local delivery
 }
 
 void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
@@ -572,7 +1015,8 @@ void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
       it->second->runtime->OnBloomDist(std::move(left), std::move(right));
       break;
     }
-    case BcastKind::kQueryEnd: {
+    case BcastKind::kQueryEnd:
+    case BcastKind::kCancel: {
       uint64_t qid = 0;
       if (!r.GetVarint64(&qid).ok()) return;
       HandleQueryEnd(qid);
@@ -588,6 +1032,19 @@ void QueryEngine::HandleQueryEnd(uint64_t qid) {
   aq->ended = true;
   aq->epoch_task.Stop();
   aq->quiesce_task.Stop();
+  // Drop unacked frames with the query: retransmitting into a dead query
+  // only burns bytes (the receiver acks-and-ignores anyway), and the
+  // admission gate must stop charging for them.
+  pending_result_bytes_ -= aq->outbox.pending_bytes();
+  aq->outbox.Clear();
+  if (aq->deadline_timer != 0) {
+    sim_->Cancel(aq->deadline_timer);
+    aq->deadline_timer = 0;
+  }
+  if (aq->lease_timer != 0) {
+    sim_->Cancel(aq->lease_timer);
+    aq->lease_timer = 0;
+  }
   if (aq->runtime != nullptr) {
     for (const std::string& ns : aq->runtime->Namespaces()) {
       dht_->UnsubscribeArrivals(ns);
@@ -603,15 +1060,45 @@ void QueryEngine::InstallQuery(const PlanEnvelope& env, sim::HostId parent,
   if (it != queries_.end()) {
     // Already installed. Continuous queries are re-disseminated
     // periodically (soft state); a refresh carries a fresh tree position,
-    // repairing aggregation trees around failed parents.
+    // repairing aggregation trees around failed parents — and renews the
+    // member's origin-liveness lease.
     if (!it->second->is_origin) {
       it->second->parent = parent;
       it->second->depth = depth;
+      ArmMemberLifecycle(it->second.get());
       if (it->second->installed) return;
     } else if (it->second->installed) {
       return;
     }
   } else {
+    // Member-side admission: refuse the plan at dissemination time, loudly.
+    // The typed reject tells the origin exactly who shed, so its
+    // Completeness summary reflects the shortfall instead of silently
+    // missing rows.
+    if (env.origin != transport_->self()) {
+      AdmissionReason refuse_reason{};
+      bool refused = false;
+      size_t live = 0;
+      for (const auto& [id, q] : queries_) {
+        if (!q->ended) ++live;
+      }
+      if (live >= options_.max_live_queries) {
+        refused = true;
+        refuse_reason = AdmissionReason::kLiveQueries;
+      } else if (pending_result_bytes_ > options_.max_pending_result_bytes) {
+        refused = true;
+        refuse_reason = AdmissionReason::kPendingBytes;
+      }
+      if (refused) {
+        ++stats_.plans_shed;
+        Writer w;
+        w.PutU8(static_cast<uint8_t>(MsgType::kAdmissionReject));
+        w.PutVarint64(env.query_id);
+        w.PutU8(static_cast<uint8_t>(refuse_reason));
+        SendDirect(env.origin, w);
+        return;
+      }
+    }
     auto aq = std::make_unique<ActiveQuery>();
     aq->env = env;
     aq->parent = parent;
@@ -627,11 +1114,16 @@ void QueryEngine::InstallQuery(const PlanEnvelope& env, sim::HostId parent,
     aq->runtime = std::make_unique<ops::QueryRuntime>(this, &aq->env,
                                                       aq->is_origin);
     if (!aq->runtime->Init().ok()) {
-      // Hostile or unexecutable graph: drop it (soft failure, no crash).
+      // Hostile or unexecutable graph: drop it (soft failure, no crash) —
+      // but still lease the husk so it cannot squat forever.
       aq->runtime.reset();
+      ArmMemberLifecycle(aq);
       return;
     }
+    aq->accountable =
+        aq->runtime->epochal() && IsAccountableGraph(aq->env.plan.graph);
   }
+  ArmMemberLifecycle(aq);
 
   if (aq->runtime->epochal()) {
     StartEpoch(aq, CurrentEpoch(*aq));
@@ -693,10 +1185,18 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
       Writer w;
       w.PutU8(static_cast<uint8_t>(BcastKind::kPlan));
       aq->env.Serialize(&w);
-      broadcast_->Broadcast(sim::Payload(w.Release()));
+      uint64_t seq = broadcast_->Broadcast(sim::Payload(w.Release()));
+      if (seq != 0) coverage_waits_[seq] = {qid, epoch};
     }
   }
   aq->runtime->StartEpoch(epoch);
+  // Scans run synchronously: a member whose epoch produced nothing has a
+  // drained outbox right here and must still report, or the origin would
+  // read its silence as loss.
+  if (!aq->is_origin && aq->accountable && options_.reliable_results &&
+      !aq->ended && aq->outbox.data_drained()) {
+    SendEpochReport(aq);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -706,6 +1206,60 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
 void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
   uint8_t type = 0;
   if (!r->GetU8(&type).ok()) return;
+  DispatchMessage(from, type, r);
+}
+
+void QueryEngine::DispatchMessage(sim::HostId from, uint8_t type, Reader* r) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kFrame:
+      OnFrame(from, r);
+      return;
+    case MsgType::kFrameAck:
+      OnFrameAck(r);
+      return;
+    case MsgType::kEpochReport: {
+      uint64_t qid = 0, epoch = 0, frames = 0, retried = 0, lost = 0;
+      if (!r->GetVarint64(&qid).ok() || !r->GetVarint64(&epoch).ok() ||
+          !r->GetVarint64(&frames).ok() || !r->GetVarint64(&retried).ok() ||
+          !r->GetVarint64(&lost).ok()) {
+        return;
+      }
+      if (epoch >= (1ull << 62)) return;  // same spoof guard as data frames
+      auto it = queries_.find(qid);
+      if (it == queries_.end() || !it->second->is_origin ||
+          it->second->ended) {
+        return;
+      }
+      ActiveQuery* aq = it->second.get();
+      ++stats_.epoch_reports_received;
+      // Counters are cumulative; component-wise max makes retransmit
+      // reorderings harmless.
+      ActiveQuery::MemberReport& rep = aq->reports[from];
+      rep.epoch = std::max(rep.epoch, epoch);
+      rep.frames_to_origin = std::max(rep.frames_to_origin, frames);
+      rep.retried = std::max(rep.retried, retried);
+      rep.lost = std::max(rep.lost, lost);
+      MaybeEarlyFinalize(aq, CurrentEpoch(*aq));
+      return;
+    }
+    case MsgType::kAdmissionReject: {
+      uint64_t qid = 0;
+      uint8_t reason = 0;
+      if (!r->GetVarint64(&qid).ok() || !r->GetU8(&reason).ok()) return;
+      auto it = queries_.find(qid);
+      if (it == queries_.end() || !it->second->is_origin ||
+          it->second->ended) {
+        return;
+      }
+      ++stats_.admission_rejects_received;
+      // A shed member permanently bars exactness for this query run; the
+      // Completeness summary carries the count so callers see the shortfall.
+      it->second->shed_members.insert(from);
+      return;
+    }
+    default:
+      break;
+  }
   switch (static_cast<MsgType>(type)) {
     case MsgType::kResultTuple:
     case MsgType::kPartialAgg: {
@@ -799,6 +1353,8 @@ void QueryEngine::OnDirect(sim::HostId from, Reader* r) {
       it->second->runtime->OnBloomPart(r);
       break;
     }
+    default:
+      break;  // frame-plane types handled above
   }
 }
 
@@ -939,8 +1495,13 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
   return rows;
 }
 
-void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch) {
+void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch,
+                                bool exact_certified) {
   if (!aq->is_origin || aq->ended) return;
+  // A continuous query may race its early finalize against the result-wait
+  // timer; whichever fired first already erased this epoch's state, and
+  // operator[] below must not resurrect it.
+  if (static_cast<int64_t>(epoch) <= aq->last_finalized_epoch) return;
   ActiveQuery::EpochState& es = aq->epochs[epoch];
   if (es.finalized) return;
   es.finalized = true;
@@ -955,10 +1516,11 @@ void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch) {
   batch.reporting_nodes = es.reporters.size();
   batch.reporters.assign(es.reporters.begin(), es.reporters.end());
   std::sort(batch.reporters.begin(), batch.reporters.end());
+  batch.completeness = BuildCompleteness(aq, epoch, exact_certified);
   batch.rows = OriginPostProcess(aq, epoch);
   aq->last_finalized_epoch =
       std::max(aq->last_finalized_epoch, static_cast<int64_t>(epoch));
-  if (aq->cb) aq->cb(batch);
+  if (aq->cb && !aq->cancelled) aq->cb(batch);
 
   bool one_shot = aq->env.plan.every == 0;
   if (one_shot) {
@@ -984,7 +1546,13 @@ void QueryEngine::EndQuery(uint64_t query_id) {
   broadcast_->Broadcast(sim::Payload(w.Release()));  // includes local delivery
 }
 
-void QueryEngine::GcQuery(uint64_t query_id) { queries_.erase(query_id); }
+void QueryEngine::GcQuery(uint64_t query_id) {
+  for (auto it = coverage_waits_.begin(); it != coverage_waits_.end();) {
+    it = it->second.first == query_id ? coverage_waits_.erase(it)
+                                      : std::next(it);
+  }
+  queries_.erase(query_id);
+}
 
 }  // namespace query
 }  // namespace pier

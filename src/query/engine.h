@@ -82,17 +82,32 @@ class QueryEngine : public ops::StageHost {
                           uint64_t instance);
 
   /// Issues a distributed query from this node. `cb` fires once per epoch
-  /// (exactly once for one-shot queries). Returns the query id.
+  /// (exactly once for one-shot queries). Refused with Status::Busy when
+  /// this node's admission budgets (live queries, plan operators, pending
+  /// reliable-result bytes) are exhausted. Returns the query id.
   Result<uint64_t> Execute(QueryPlan plan, ResultCallback cb);
 
-  /// Stops a (typically continuous) query network-wide.
+  /// Stops a (typically continuous) query network-wide: broadcasts kCancel
+  /// down the dissemination tree so members free stage state and exchange
+  /// namespaces immediately instead of squatting until TTL. No further
+  /// result callbacks fire (cancellation never emits a final batch).
   void Cancel(uint64_t query_id);
+
+  /// Kills every pending engine timer and epoch task (node crash/leave).
+  /// A stopped engine must never fire another result callback: a crashed
+  /// origin's result-window timer delivering an answer from beyond the
+  /// grave is exactly the kind of zombie lifecycle this forbids.
+  void Stop();
 
   const EngineStats& stats() const { return stats_; }
   const EngineOptions& options() const { return options_; }
 
   /// Number of queries this node currently tracks (diagnostics).
   size_t active_queries() const { return queries_.size(); }
+
+  /// Whether `qid` is tracked here and not yet torn down — the testkit's
+  /// namespace-hygiene probe (ended-but-unGCed husks don't count).
+  bool HasLiveQuery(uint64_t qid) const;
 
   // -- ops::StageHost --------------------------------------------------------
   sim::Simulation* sim() override { return sim_; }
@@ -127,9 +142,43 @@ class QueryEngine : public ops::StageHost {
   void OnBroadcast(sim::HostId origin, uint64_t seq, sim::HostId parent,
                    int depth, const sim::Payload& payload);
   void OnDirect(sim::HostId from, Reader* r);
+  /// The shared direct-message switch: called with the type byte already
+  /// consumed, both for raw messages and for the inner bytes of an admitted
+  /// kFrame envelope.
+  void DispatchMessage(sim::HostId from, uint8_t type, Reader* r);
   void SendDirect(sim::HostId to, const Writer& w);
   void RouteArrival(uint64_t qid, const std::string& ns,
                     const dht::StoredItem& item);
+
+  // -- reliable result plane -------------------------------------------------
+  /// Wraps `inner` (a complete direct message) in an acked kFrame envelope
+  /// and owns its retransmit schedule; falls back to a bare send when
+  /// EngineOptions::reliable_results is off.
+  void SendReliable(ActiveQuery* aq, sim::HostId to, Writer&& inner,
+                    bool control);
+  void SendFrameOnce(ActiveQuery* aq, uint64_t frame_id);
+  void ScheduleFrameRetry(uint64_t qid, uint64_t frame_id);
+  void OnFrame(sim::HostId from, Reader* r);
+  void OnFrameAck(Reader* r);
+  /// Member side: the reliable outbox just drained of data frames — tell
+  /// the origin how much this member has contributed so far.
+  void OnOutboxDrained(ActiveQuery* aq);
+  void SendEpochReport(ActiveQuery* aq);
+  /// Origin side: finalize `epoch` before the result window closes if every
+  /// covered member has reported it complete and loss-free.
+  void MaybeEarlyFinalize(ActiveQuery* aq, uint64_t epoch);
+  /// Dissemination cover wave returned for broadcast `seq`.
+  void OnCoverage(uint64_t seq, uint64_t members, bool complete);
+  Completeness BuildCompleteness(ActiveQuery* aq, uint64_t epoch,
+                                 bool exact_certified) const;
+
+  // -- lifecycle -------------------------------------------------------------
+  /// Deadline fired: origin finalizes what it has (flagged) and cancels
+  /// network-wide; members self-expire.
+  void OnDeadline(uint64_t qid);
+  /// Arms/refreshes a member's deadline self-expiry and origin-liveness
+  /// lease timers.
+  void ArmMemberLifecycle(ActiveQuery* aq);
 
   // -- query lifecycle -------------------------------------------------------
   /// Graph constraints that need the catalog (partitioning prerequisites
@@ -139,7 +188,8 @@ class QueryEngine : public ops::StageHost {
   /// Globally time-aligned epoch number for a continuous query.
   uint64_t CurrentEpoch(const ActiveQuery& aq) const;
   void StartEpoch(ActiveQuery* aq, uint64_t epoch);
-  void FinalizeEpoch(ActiveQuery* aq, uint64_t epoch);
+  void FinalizeEpoch(ActiveQuery* aq, uint64_t epoch,
+                     bool exact_certified = false);
   void EndQuery(uint64_t query_id);
   /// Member-side end-of-query teardown (also the local path for
   /// origin-local queries that never broadcast).
@@ -175,6 +225,13 @@ class QueryEngine : public ops::StageHost {
   uint64_t publish_seq_ = 1;
   std::map<uint64_t, std::unique_ptr<ActiveQuery>> queries_;
   std::vector<sim::TimerId> engine_timers_;
+  bool stopped_ = false;
+  /// Bytes sitting in unacked reliable outboxes across all queries — the
+  /// admission gate's backpressure signal.
+  uint64_t pending_result_bytes_ = 0;
+  /// Broadcast seq -> (qid, epoch): which query/epoch a pending
+  /// dissemination cover wave reports coverage for.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> coverage_waits_;
 };
 
 }  // namespace query

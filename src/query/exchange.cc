@@ -47,9 +47,15 @@ void RehashExchange::PublishValue(const std::string& resource,
   uint64_t instance =
       (static_cast<uint64_t>(host_->self_host()) << 32) | seq_++;
   // Temp tuples skip replication: cheap to recreate, dead within the query.
+  // The non-null callback makes the put acked and retried (the DHT's own
+  // retry plane), so a single lost message no longer drops join state; the
+  // owner-side arrival dedupe absorbs any retry duplicates.
+  EngineStats* stats = host_->mutable_stats();
   host_->dht()->PutEx(dht::DhtKey{ns_, resource, instance}, std::move(value),
                       host_->engine_options().temp_ttl, /*replicate=*/false,
-                      nullptr);
+                      [stats](Status s) {
+                        if (!s.ok()) ++stats->rehash_put_failures;
+                      });
 }
 
 void RehashExchange::PublishBatch(int side, const std::vector<int>& key_cols,

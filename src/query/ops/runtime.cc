@@ -439,6 +439,13 @@ void QueryRuntime::OnArrival(const std::string& ns,
   if (it == ns_to_stage_.end()) return;
   Stage* s = stages_[it->second].get();
   if (s == nullptr) return;
+  // Acked rehash puts are retried; when the ack (not the store) was what
+  // got lost, the same publisher-scoped instance arrives again. Admit each
+  // instance once.
+  if (!arrival_seen_[ns].insert(item.key.instance).second) {
+    ++host_->mutable_stats()->rehash_dupes_dropped;
+    return;
+  }
   const OpNode& n = graph_->nodes[it->second];
   if (n.type == OpType::kJoin) {
     static_cast<JoinStage*>(s)->OnArrival(item);

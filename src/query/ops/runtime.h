@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,10 @@ class QueryRuntime {
   /// members receiving an index graph install an inert runtime.
   std::vector<uint32_t> index_scans_;
   std::map<std::string, uint32_t> ns_to_stage_;
+  /// Publisher-scoped instance ids already admitted per exchange namespace:
+  /// acked+retried rehash puts can deliver twice (the ack, not the store,
+  /// is what got lost), and join state must not double-count.
+  std::map<std::string, std::set<uint64_t>> arrival_seen_;
 };
 
 }  // namespace ops

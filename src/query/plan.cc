@@ -329,6 +329,7 @@ void PlanEnvelope::Serialize(Writer* w) const {
   w->PutVarint64(query_id);
   w->PutFixed32(origin);
   w->PutVarint64(static_cast<uint64_t>(issued_at));
+  w->PutVarint64(static_cast<uint64_t>(deadline));
   plan.Serialize(w);
 }
 
@@ -338,6 +339,9 @@ Status PlanEnvelope::Deserialize(Reader* r, PlanEnvelope* out) {
   uint64_t issued = 0;
   PIER_RETURN_IF_ERROR(r->GetVarint64(&issued));
   out->issued_at = static_cast<TimePoint>(issued);
+  uint64_t deadline = 0;
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&deadline));
+  out->deadline = static_cast<TimePoint>(deadline);
   return QueryPlan::Deserialize(r, &out->plan);
 }
 

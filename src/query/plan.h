@@ -99,6 +99,12 @@ struct QueryPlan {
   Duration window = 0;  ///< 0 = whole live snapshot; else items newer than
                         ///< `window` at scan time
 
+  // -- Lifecycle --------------------------------------------------------------
+  /// Per-query deadline override (0 = use EngineOptions::query_deadline).
+  /// Origin-local only — the wire carries the resolved absolute deadline in
+  /// PlanEnvelope::deadline, so this field is not serialized.
+  Duration deadline = 0;
+
   // -- Recursion (kRecursive) -------------------------------------------------
   int src_col = 0;      ///< edge source column in `scan_schema`
   int dst_col = 1;      ///< edge destination column
@@ -126,6 +132,9 @@ struct PlanEnvelope {
   uint64_t query_id = 0;
   uint32_t origin = 0;       ///< host that issued the query
   TimePoint issued_at = 0;   ///< origin virtual time (epoch alignment)
+  /// Absolute expiry (0 = none). Members self-expire shortly after this
+  /// even if the origin's kCancel/kQueryEnd broadcast never reaches them.
+  TimePoint deadline = 0;
   QueryPlan plan;
 
   void Serialize(Writer* w) const;

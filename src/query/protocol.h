@@ -8,6 +8,7 @@
 #define PIER_QUERY_PROTOCOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "catalog/tuple.h"
@@ -48,12 +49,49 @@ struct EngineOptions {
   bool vectorized = true;
   /// Rows per batch on the vectorized path.
   uint32_t batch_size = 1024;
-  /// Max rows per kResultBatch frame on the member->origin hop. Result
-  /// frames ride best-effort direct messages, so one lost frame costs the
-  /// whole frame: a small cap keeps the loss blast radius (and thus recall
-  /// under faulty links) close to the row-at-a-time plane while still
-  /// amortizing per-message framing. 0 = unbounded.
+  /// Max rows per kResultBatch frame on the member->origin hop. A lost
+  /// frame costs the whole frame (until its retransmit lands, or for good
+  /// with reliable_results off): a small cap keeps the loss blast radius
+  /// (and thus recall under faulty links) close to the row-at-a-time plane
+  /// while still amortizing per-message framing. 0 = unbounded.
   uint32_t result_frame_rows = 4;
+  // -- reliable result plane --------------------------------------------------
+  /// Wrap every member->origin / member->parent result and partial frame in
+  /// an acked, retried kFrame envelope with per-query monotone frame ids.
+  /// Receivers dedupe by frame id, so retransmits are idempotent. Off =
+  /// PR 7's fire-and-forget plane (kept for A/B tests and measurement).
+  bool reliable_results = true;
+  /// First retransmit after this long without an ack; subsequent attempts
+  /// back off exponentially (x2) up to retry_max, each delay jittered by
+  /// +/- retry_jitter to decorrelate retransmit storms across senders.
+  Duration retry_initial = Millis(300);
+  Duration retry_max = Seconds(2);
+  /// Total send attempts per frame before it is declared lost-for-good and
+  /// charged to Completeness::frames_lost. 7 attempts fit inside the
+  /// default 8s result window at 20% per-hop loss with P(loss) ~ 1e-3.
+  int retry_budget = 7;
+  double retry_jitter = 0.25;
+  // -- lifecycle --------------------------------------------------------------
+  /// Default query deadline (0 = none). The origin finalizes whatever it has
+  /// at issued_at + deadline, flags the batch deadline_expired, and tears
+  /// the query down everywhere. Per-query override: QueryPlan::deadline.
+  Duration query_deadline{0};
+  /// Member-side origin-liveness lease: grace beyond a query's expected end
+  /// (one-shot: issued_at + result_wait; continuous: refreshed by each
+  /// epoch's plan re-broadcast) after which a member reclaims the query's
+  /// stage state and exchange namespaces on its own. Protects against an
+  /// origin that crashed without broadcasting kQueryEnd/kCancel.
+  Duration member_lease = Seconds(20);
+  // -- admission control ------------------------------------------------------
+  /// Per-node live-query budget. Origins refuse Execute() with
+  /// Status::Busy; members shed the plan at install time and answer with a
+  /// typed kAdmissionReject instead of silently timing out.
+  uint32_t max_live_queries = 256;
+  /// Per-node bound on bytes sitting in unacked reliable-result outboxes.
+  uint64_t max_pending_result_bytes = 8ull << 20;
+  /// Fan-out budget: plans with more operators than this are refused at
+  /// origin admission (a PIQL-style bounded-cost gate).
+  uint32_t max_plan_operators = 64;
 };
 
 struct EngineStats {
@@ -92,6 +130,73 @@ struct EngineStats {
   /// Epochal scan pipelines that requested vectorization but ran the tuple
   /// path (unsupported chain shape downstream of the scan).
   uint64_t vectorized_fallbacks = 0;
+  // -- reliable result plane -------------------------------------------------
+  uint64_t frames_sent = 0;           ///< kFrame envelopes first-sent
+  uint64_t frames_acked = 0;          ///< acks consumed by a pending frame
+  uint64_t frames_retransmitted = 0;  ///< retry sends (all frame kinds)
+  uint64_t frame_bytes_retransmitted = 0;
+  uint64_t frames_lost = 0;           ///< retry budget exhausted
+  uint64_t frame_dupes_dropped = 0;   ///< receiver-side dedupe hits
+  uint64_t epoch_reports_sent = 0;
+  uint64_t epoch_reports_received = 0;
+  /// One-shot epochs closed before result_wait because every expected
+  /// member reported a fully-acked, loss-free epoch (the reliable plane's
+  /// analogue of index_early_finalizes).
+  uint64_t reliable_early_finalizes = 0;
+  // -- lifecycle -------------------------------------------------------------
+  uint64_t queries_cancelled = 0;        ///< user Cancel() at the origin
+  uint64_t queries_deadline_expired = 0; ///< origin + member self-expiries
+  uint64_t leases_reclaimed = 0;         ///< member lease fired (dead origin)
+  // -- admission control -----------------------------------------------------
+  uint64_t admission_refusals = 0;          ///< origin-side Execute refusals
+  uint64_t plans_shed = 0;                  ///< member-side installs refused
+  uint64_t admission_rejects_received = 0;  ///< origin-side kAdmissionReject
+  // -- acked rehash puts -----------------------------------------------------
+  uint64_t rehash_put_failures = 0;  ///< exchange puts dead after DHT retries
+  uint64_t rehash_dupes_dropped = 0; ///< arrival instances deduped at stages
+};
+
+/// Answer-quality accounting attached to every ResultBatch: how much of the
+/// network the answer actually covers and what was lost getting it here.
+/// The contract is *degrade loudly, never silently drop rows* — a batch is
+/// marked `exact` only when the engine can certify nothing is missing.
+struct Completeness {
+  /// Members the dissemination tree confirmed covered for this epoch's plan
+  /// broadcast (origin included). 0 = coverage unknown (reliable broadcast
+  /// disabled or the cover wave had not returned by finalize time).
+  uint64_t members_expected = 0;
+  /// Members whose results (or per-epoch completion reports) reached the
+  /// origin for this epoch, origin included.
+  uint64_t members_reported = 0;
+  /// The broadcast cover wave confirmed every reachable subtree delivered.
+  bool coverage_complete = false;
+  /// Frame retransmits / frames dropped after the retry budget, summed over
+  /// the members that reported (plus the origin's own outbox).
+  uint64_t frames_retried = 0;
+  uint64_t frames_lost = 0;
+  /// Members that refused the plan at admission (kAdmissionReject).
+  uint64_t members_shed = 0;
+  bool cancelled = false;
+  bool deadline_expired = false;
+  /// Engine-certified: coverage complete, every member reported this epoch,
+  /// zero frames lost, zero members shed, and every data frame members
+  /// claim to have sent was admitted at the origin. Only the reliable
+  /// direct-to-origin pipeline certifies; tree-aggregated and join answers
+  /// stay conservatively non-exact even when they happen to be complete.
+  bool exact = false;
+
+  std::string ToString() const {
+    std::string s = exact ? "exact" : "degraded";
+    s += " members=" + std::to_string(members_reported) + "/" +
+         std::to_string(members_expected);
+    s += coverage_complete ? " covered" : " coverage-unknown";
+    s += " retried=" + std::to_string(frames_retried);
+    s += " lost=" + std::to_string(frames_lost);
+    s += " shed=" + std::to_string(members_shed);
+    if (cancelled) s += " cancelled";
+    if (deadline_expired) s += " deadline-expired";
+    return s;
+  }
 };
 
 /// One epoch's worth of answers, delivered to the issuing client.
@@ -109,6 +214,8 @@ struct ResultBatch {
   /// multisets only.
   std::vector<uint32_t> reporters;
   std::vector<catalog::Tuple> rows;
+  /// How complete this answer is and why (see Completeness).
+  Completeness completeness;
 };
 
 /// Message types under overlay::Proto::kQuery (direct engine traffic).
@@ -123,6 +230,29 @@ enum class MsgType : uint8_t {
   /// whole batch of rows.
   kResultBatch = 6,
   kPartialBatch = 7,
+  /// Reliable envelope: [qid][frame_id][inner message bytes]. The inner
+  /// bytes are a complete direct message (kResultTuple/kPartialAgg/
+  /// kResultBatch/kPartialBatch/kEpochReport). Receivers always ack —
+  /// including duplicates and unknown queries, so retransmit storms die —
+  /// and admit the inner message only on first sight of the frame id.
+  kFrame = 8,
+  /// [qid][frame_id], receiver -> sender.
+  kFrameAck = 9,
+  /// Member -> origin, per-epoch completion claim (sent as a control frame
+  /// when the member's reliable outbox drains): [qid][epoch]
+  /// [cumulative data frames sent to origin][retries][losses]. The origin
+  /// certifies an epoch exact only when every covered member's claim
+  /// matches what it admitted.
+  kEpochReport = 10,
+  /// Member -> origin, admission shed: [qid][reason u8]. Sent instead of
+  /// installing the plan when the member is over budget.
+  kAdmissionReject = 11,
+};
+
+/// kAdmissionReject reasons.
+enum class AdmissionReason : uint8_t {
+  kLiveQueries = 1,
+  kPendingBytes = 2,
 };
 
 /// Broadcast payload kinds (dissemination-tree traffic).
@@ -130,6 +260,10 @@ enum class BcastKind : uint8_t {
   kPlan = 1,
   kBloomDist = 2,
   kQueryEnd = 3,
+  /// Cancellation/expiry: [qid]. Same member-side teardown as kQueryEnd
+  /// (stage state and q<id>.x<n> namespaces dropped immediately, not at
+  /// TTL), kept distinct so traces show *why* the query ended.
+  kCancel = 4,
 };
 
 }  // namespace query

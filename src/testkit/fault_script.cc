@@ -32,6 +32,8 @@ const char* FaultKindName(FaultDirective::Kind k) {
     case FaultDirective::Kind::kDelaySpike: return "delay-spike";
     case FaultDirective::Kind::kDuplicate: return "duplicate";
     case FaultDirective::Kind::kReorder: return "reorder";
+    case FaultDirective::Kind::kCancelQuery: return "cancel-query";
+    case FaultDirective::Kind::kQueryDeadline: return "query-deadline";
   }
   return "?";
 }
@@ -71,6 +73,9 @@ void FaultScript::Apply(sim::FaultPlane* plane) const {
       case FaultDirective::Kind::kReorder:
         plane->Reorder(d.group_a, d.group_b, d.magnitude, d.from, d.until);
         break;
+      case FaultDirective::Kind::kCancelQuery:
+      case FaultDirective::Kind::kQueryDeadline:
+        break;  // lifecycle directives are the Scenario harness's to apply
     }
   }
 }
@@ -148,6 +153,30 @@ FaultScript FaultScript::Sample(Rng* rng, size_t n_hosts, TimePoint start,
         break;
       default:
         break;
+    }
+    script.directives.push_back(std::move(d));
+  }
+  // Roughly a third of scripts also stress the query lifecycle: a mid-query
+  // cancel or a tight deadline on one of the scenario's query slots. The
+  // harness drops the oracle floors for the targeted slot (a cancelled
+  // query legitimately answers with nothing) — the teardown and hygiene
+  // invariants are what these directives hunt.
+  if (rng->NextBelow(3) == 0) {
+    FaultDirective d;
+    bool cancel = rng->NextBelow(2) == 0;
+    d.kind = cancel ? FaultDirective::Kind::kCancelQuery
+                    : FaultDirective::Kind::kQueryDeadline;
+    // Query slot (taken modulo the scenario's spec count by the harness).
+    // Drawn from {1, 2}: scripts keep host 0 out of every group_a, and the
+    // modulo still reaches both slots of a two-query scenario.
+    d.group_a = {static_cast<sim::HostId>(1 + rng->NextBelow(2))};
+    Duration span = end - start;
+    d.from = start + static_cast<Duration>(rng->NextBelow(
+                         static_cast<uint64_t>(span / 2) + 1));
+    d.until = d.from;
+    if (!cancel) {
+      d.magnitude = Seconds(1) + static_cast<Duration>(rng->NextBelow(
+                                     static_cast<uint64_t>(Seconds(6))));
     }
     script.directives.push_back(std::move(d));
   }

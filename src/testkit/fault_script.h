@@ -22,7 +22,9 @@
 namespace pier {
 namespace testkit {
 
-/// One timed fault. `group_a`/`group_b` are node indices.
+/// One timed fault. `group_a`/`group_b` are node indices — except for the
+/// query-lifecycle kinds, where `group_a[0]` is a *query slot* (an index
+/// into the scenario's issue-ordered query list, taken modulo its size).
 struct FaultDirective {
   enum class Kind : uint8_t {
     kPartition,      ///< bidirectional blackhole A <-> B
@@ -31,6 +33,11 @@ struct FaultDirective {
     kDelaySpike,     ///< fixed extra latency on A <-> B links
     kDuplicate,      ///< probabilistic duplication on A <-> B links
     kReorder,        ///< reordering window on A <-> B links
+    // Query-lifecycle adversity (consumed by the Scenario harness, not the
+    // FaultPlane): exercise mid-query cancellation and deadline expiry so
+    // the fuzzer hunts teardown bugs, not just delivery bugs.
+    kCancelQuery,    ///< origin cancels query slot group_a[0] at `from`
+    kQueryDeadline,  ///< query slot group_a[0] runs with deadline `magnitude`
   };
 
   Kind kind = Kind::kPartition;
@@ -40,7 +47,7 @@ struct FaultDirective {
   std::vector<sim::HostId> group_b;
   /// Loss / duplication probability.
   double probability = 0.0;
-  /// Delay-spike magnitude or reorder window.
+  /// Delay-spike magnitude, reorder window, or deadline duration.
   Duration magnitude = 0;
 
   std::string ToString() const;

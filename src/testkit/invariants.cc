@@ -1,6 +1,7 @@
 #include "testkit/invariants.h"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
 namespace pier {
@@ -126,12 +127,82 @@ Status OracleFloorChecker::Check(const CheckContext& ctx) {
   return Status::OK();
 }
 
+Status CompletenessChecker::Check(const CheckContext& ctx) {
+  if (ctx.queries == nullptr) return Status::OK();
+  for (const QueryOutcome& q : *ctx.queries) {
+    if (!q.completed || !q.oracle_ok) continue;
+    if (q.batch.completeness.exact && q.score.recall < 1.0) {
+      return Status::Internal(
+          "completeness claims exact for \"" + q.sql +
+          "\" but the oracle sees missing rows: " + q.score.ToString() +
+          " (" + q.batch.completeness.ToString() + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status ExchangeHygieneChecker::Check(const CheckContext& ctx) {
+  core::PierNetwork& net = *ctx.net;
+  const TimePoint now = net.sim()->now();
+  for (size_t i = 0; i < net.size(); ++i) {
+    core::PierNode* node = net.node(i);
+    if (!node->alive()) continue;
+    const dht::LocalStore& store = *node->dht()->local_store();
+    for (const std::string& ns : store.Namespaces()) {
+      // Query-scoped namespaces: "q<qid>.x<edge>" (rehash exchanges) and
+      // "q<qid>.reach" (recursion closure state).
+      if (ns.size() < 3 || ns[0] != 'q' || !std::isdigit(static_cast<unsigned char>(ns[1]))) continue;
+      size_t dot = ns.find('.');
+      if (dot == std::string::npos) continue;
+      uint64_t qid = 0;
+      bool numeric = dot > 1;
+      for (size_t p = 1; p < dot; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(ns[p]))) {
+          numeric = false;
+          break;
+        }
+        qid = qid * 10 + static_cast<uint64_t>(ns[p] - '0');
+      }
+      if (!numeric) continue;
+      if (store.Scan(ns, now).empty()) continue;  // expired, just unswept
+      // Rule 1 — local orphan: exchange items whose query this node itself
+      // already tore down (or never knew).
+      if (!node->query_engine()->HasLiveQuery(qid)) {
+        return Status::Internal(
+            "namespace squatting at " + HostLabel(node) + ": live items in " +
+            ns + " but query " + std::to_string(qid) +
+            " is not live on this node");
+      }
+      // Rule 2 — dead at the origin: the issuing node (encoded in the
+      // query-id's top half) is alive and has ended the query, yet this
+      // member still holds live exchange state — a cancel/teardown that
+      // never took effect here.
+      uint64_t origin_host = (qid >> 32) - 1;
+      for (size_t j = 0; j < net.size(); ++j) {
+        core::PierNode* origin = net.node(j);
+        if (!origin->alive() ||
+            static_cast<uint64_t>(origin->host()) != origin_host) {
+          continue;
+        }
+        if (!origin->query_engine()->HasLiveQuery(qid)) {
+          return Status::Internal(
+              "namespace squatting at " + HostLabel(node) +
+              ": live items in " + ns + " but query " + std::to_string(qid) +
+              " already ended at its origin " + HostLabel(origin));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 std::vector<std::unique_ptr<InvariantChecker>> DefaultCheckers() {
   std::vector<std::unique_ptr<InvariantChecker>> out;
   out.push_back(std::make_unique<RoutingConvergenceChecker>());
   out.push_back(std::make_unique<SoftStateExpiryChecker>());
   out.push_back(std::make_unique<PayloadLeakChecker>());
   out.push_back(std::make_unique<OracleFloorChecker>());
+  out.push_back(std::make_unique<CompletenessChecker>());
   return out;
 }
 

@@ -30,6 +30,7 @@ struct QueryOutcome {
   std::string sql;
   size_t origin = 0;
   bool completed = false;  ///< the origin delivered a result batch
+  bool oracle_ok = false;  ///< the central oracle produced a reference answer
   query::ResultBatch batch;
   std::vector<catalog::Tuple> oracle_rows;
   OracleScore score;
@@ -112,7 +113,28 @@ class OracleFloorChecker : public InvariantChecker {
   Status Check(const CheckContext& ctx) override;
 };
 
-/// The default suite: all four invariants.
+/// Completeness honesty: a result batch whose Completeness summary claims
+/// `exact` while the central oracle sees missing rows is lying — the one
+/// thing the accounting must never do. ("Degrade loudly, never silently.")
+class CompletenessChecker : public InvariantChecker {
+ public:
+  std::string name() const override { return "completeness-honesty"; }
+  Status Check(const CheckContext& ctx) override;
+};
+
+/// No namespace squatting: after cancel/deadline/heal has settled, no alive
+/// node may hold live query-exchange state (`q<id>.…` namespaces) for a
+/// query that is dead — locally torn down, or gone at its origin. Not part
+/// of DefaultCheckers(): a scenario whose queries legitimately outlive the
+/// check window (long continuous queries) attaches it deliberately.
+class ExchangeHygieneChecker : public InvariantChecker {
+ public:
+  std::string name() const override { return "exchange-hygiene"; }
+  Status Check(const CheckContext& ctx) override;
+};
+
+/// The default suite: routing convergence, soft-state expiry, payload
+/// leaks, oracle floors, completeness honesty.
 std::vector<std::unique_ptr<InvariantChecker>> DefaultCheckers();
 
 }  // namespace testkit

@@ -128,8 +128,31 @@ ScenarioReport Scenario::Run() {
                      [](const QuerySpec& a, const QuerySpec& b) {
                        return a.issue_at < b.issue_at;
                      });
+    // Fold the script's query-lifecycle directives into the specs they
+    // target. A cancelled or deadlined query legitimately answers with less
+    // than the oracle, so its floors are dropped — the hygiene/teardown
+    // invariants are what these directives test.
+    std::vector<TimePoint> cancel_at(specs.size(), 0);
+    if (!specs.empty()) {
+      for (const FaultDirective& d : script_.directives) {
+        if (d.kind != FaultDirective::Kind::kCancelQuery &&
+            d.kind != FaultDirective::Kind::kQueryDeadline) {
+          continue;
+        }
+        if (d.group_a.empty()) continue;
+        size_t slot = d.group_a[0] % specs.size();
+        if (d.kind == FaultDirective::Kind::kCancelQuery) {
+          cancel_at[slot] = d.from;
+        } else {
+          specs[slot].deadline = d.magnitude;
+        }
+        specs[slot].min_recall = -1.0;
+        specs[slot].min_precision = -1.0;
+      }
+    }
     report.queries.reserve(specs.size());
-    for (const QuerySpec& spec : specs) {
+    for (size_t spec_idx = 0; spec_idx < specs.size(); ++spec_idx) {
+      const QuerySpec& spec = specs[spec_idx];
       if (spec.issue_at > net.sim()->now()) {
         net.sim()->RunUntil(spec.issue_at);
       }
@@ -157,6 +180,7 @@ ScenarioReport Scenario::Run() {
       }
       auto oracle_rows = OracleEvaluate(net, plan.value());
       if (oracle_rows.ok()) {
+        outcome.oracle_ok = true;
         outcome.oracle_rows = std::move(oracle_rows.value());
       } else if (spec.min_recall >= 0 || spec.min_precision >= 0) {
         report.violations.push_back("oracle \"" + spec.sql + "\": " +
@@ -169,8 +193,11 @@ ScenarioReport Scenario::Run() {
       // query's wait window (during a later query's window or the heal
       // settle) must still be scored, or its floor check passes vacuously
       // on the default-constructed (recall=1) score.
+      query::QueryPlan issued_plan = plan.value();
+      if (spec.deadline > 0) issued_plan.deadline = spec.deadline;
       auto exec = origin->query_engine()->Execute(
-          plan.value(), [&report, slot](const query::ResultBatch& b) {
+          std::move(issued_plan),
+          [&report, slot](const query::ResultBatch& b) {
             QueryOutcome& q = report.queries[slot];
             q.completed = true;
             q.batch = b;
@@ -180,6 +207,24 @@ ScenarioReport Scenario::Run() {
         report.violations.push_back("execute \"" + spec.sql + "\": " +
                                     exec.status().ToString());
         continue;
+      }
+      // Mid-query cancellation, from the spec or a lifecycle directive
+      // (whichever is earliest but still in the future).
+      TimePoint cancel_when = 0;
+      if (spec.cancel_after > 0) {
+        cancel_when = net.sim()->now() + spec.cancel_after;
+      }
+      if (cancel_at[spec_idx] > 0 &&
+          (cancel_when == 0 || cancel_at[spec_idx] < cancel_when)) {
+        cancel_when = cancel_at[spec_idx];
+      }
+      if (cancel_when > 0) {
+        cancel_when = std::max(cancel_when, net.sim()->now() + Millis(1));
+        uint64_t qid = exec.value();
+        net.sim()->ScheduleAt(cancel_when, [&net, &spec, qid] {
+          core::PierNode* n = net.node(spec.origin % net.size());
+          if (n->alive()) n->query_engine()->Cancel(qid);
+        });
       }
       Duration wait = spec.wait > 0
                           ? spec.wait

@@ -52,6 +52,10 @@ struct QuerySpec {
   /// Oracle floors; < 0 = don't assert (the query still runs and scores).
   double min_recall = -1.0;
   double min_precision = -1.0;
+  /// > 0: the origin cancels this query this long after issuing it.
+  Duration cancel_after = 0;
+  /// > 0: per-query deadline (overrides EngineOptions::query_deadline).
+  Duration deadline = 0;
 };
 
 /// Everything a run produced (checkers already applied).

@@ -111,7 +111,12 @@ ScenarioReport RunFuzzCase(uint64_t seed, const FaultScript* override_script,
                  .min_recall = churn ? -1.0 : 0.5,
                  .min_precision = churn ? -1.0 : 0.8})
       .WithHealSettle(Seconds(chord ? 60 : 25))
-      .WithDefaultCheckers();
+      .WithDefaultCheckers()
+      // Both workload queries are one-shot and long finished by check time,
+      // so no alive node may still hold live per-query exchange state —
+      // especially after the cancel/deadline directives Sample() now mixes
+      // in a third of the time ("no namespace squatting after cancel").
+      .WithChecker(std::make_unique<ExchangeHygieneChecker>());
   if (churn) {
     sim::ChurnOptions copts;
     copts.mean_session = Seconds(60);
