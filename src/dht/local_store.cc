@@ -11,6 +11,7 @@ void LocalStore::Put(StoredItem item) {
     nit = by_namespace_.emplace(item.key.ns, NamespaceShard{}).first;
   }
   NamespaceShard& shard = nit->second;
+  shard.version = ++mutation_counter_;
   shard.min_expiry = std::min(shard.min_expiry, item.expires_at);
   auto it = shard.items.find(
       ResourceRef{std::string_view(item.key.resource), item.key.instance});
@@ -65,6 +66,7 @@ size_t LocalStore::Sweep(TimePoint now) {
         stats_.max_sweep_lag =
             std::max(stats_.max_sweep_lag, now - it->second.expires_at);
         it = shard.items.erase(it);
+        shard.version = ++mutation_counter_;
         ++reclaimed;
         ++stats_.items_reclaimed;
         --size_;
@@ -101,6 +103,7 @@ bool LocalStore::Erase(std::string_view ns, std::string_view resource,
   auto it = rm.find(ResourceRef{resource, instance});
   if (it == rm.end()) return false;
   rm.erase(it);
+  nit->second.version = ++mutation_counter_;
   --size_;
   if (rm.empty()) by_namespace_.erase(nit);
   return true;

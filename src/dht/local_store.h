@@ -113,6 +113,16 @@ class LocalStore {
   bool Erase(std::string_view ns, std::string_view resource,
              uint64_t instance);
 
+  /// Monotone per-namespace mutation version: bumped by every Put, Erase,
+  /// and sweep-reclaim that touches the namespace; 0 when the namespace is
+  /// absent. The query scheduler's shared-scan cache keys on it — an
+  /// unchanged version proves a materialized sweep of the namespace is
+  /// still exact.
+  uint64_t NamespaceVersion(std::string_view ns) const {
+    auto nit = by_namespace_.find(ns);
+    return nit == by_namespace_.end() ? 0 : nit->second.version;
+  }
+
   /// Live + not-yet-swept expired items currently held.
   size_t size() const { return size_; }
   /// Namespaces currently present (diagnostics).
@@ -158,11 +168,16 @@ class LocalStore {
     /// without touching the watermark), so a future watermark proves there
     /// is nothing to reclaim yet.
     TimePoint min_expiry = std::numeric_limits<TimePoint>::max();
+    /// See NamespaceVersion(). Seeded from the store-wide counter so a
+    /// namespace dropped and recreated never repeats a version.
+    uint64_t version = 0;
   };
 
   std::unordered_map<std::string, NamespaceShard, StringHash, StringEq>
       by_namespace_;
   size_t size_ = 0;
+  /// Store-wide monotone mutation counter feeding per-shard versions.
+  uint64_t mutation_counter_ = 0;
   Stats stats_;
 };
 

@@ -127,6 +127,9 @@ class ChordNode : public Router {
   // -- stabilization observability (partition-heal testing hooks) ------------
   /// Virtual time of the last ring-neighborhood change at this node.
   TimePoint last_neighbor_change() const { return last_neighbor_change_; }
+  TimePoint last_topology_change() const override {
+    return last_neighbor_change_;
+  }
   /// True when the ring neighborhood has been unchanged for `window` — the
   /// per-node convergence probe the fault testkit polls after a heal.
   bool RingStable(Duration window) const;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/id160.h"
+#include "common/time_util.h"
 #include "overlay/node_info.h"
 #include "sim/payload.h"
 
@@ -56,6 +57,15 @@ class Router {
   /// Live routing neighbors, deduplicated, for building dissemination trees:
   /// successors first, then fingers in increasing clockwise distance.
   virtual std::vector<NodeInfo> RoutingNeighbors() const = 0;
+
+  /// Virtual time of the most recent routing-topology change this node
+  /// observed locally (neighbor eviction/adoption under churn). 0 = never.
+  /// A recent change means this node's view of "the whole network" may be
+  /// one side of a partition — consumers making global claims (the query
+  /// engine's exactness certification) must hold off until the view has
+  /// been stable for a detection window. The idealized one-hop router's
+  /// omniscient directory never drifts, so the default stands.
+  virtual TimePoint last_topology_change() const { return 0; }
 
   /// Resolves the responsible node for `key` asynchronously.
   /// `cb(status, owner, hops)`.

@@ -41,12 +41,15 @@ bool IsOriginLocalGraph(const OpGraph& g) {
 }
 
 /// True when the query's data plane is pure member->origin AND every member
-/// produces its whole epoch synchronously inside StartEpoch. Only such
-/// ("accountable") epochal queries send per-epoch completion reports and can
-/// be certified exact: an interior tree relay can fold and forward after its
-/// subtree reported, and a partial-agg combiner holds its flush on a timer —
-/// either would let a member report "done" while rows are still to come,
-/// making the certification chain unsound.
+/// produces its whole epoch from its scans alone (no async operator state).
+/// Only such ("accountable") epochal queries send per-epoch completion
+/// reports and can be certified exact: an interior tree relay can fold and
+/// forward after its subtree reported, and a partial-agg combiner holds its
+/// flush on a timer — either would let a member report "done" while rows
+/// are still to come, making the certification chain unsound. Scheduled
+/// scans complete asynchronously, so both the member report and the origin
+/// certification additionally gate on the runtime's scans-done signal
+/// (ActiveQuery::scans_done_epoch).
 bool IsAccountableGraph(const OpGraph& g) {
   for (const OpNode& n : g.nodes) {
     if (n.out == ExchangeKind::kRehash || n.out == ExchangeKind::kTree) {
@@ -146,6 +149,21 @@ struct QueryEngine::ActiveQuery {
   std::map<uint32_t, MemberReport> reports;
   /// Members that refused the plan at admission.
   std::set<uint32_t> shed_members;
+
+  // -- multi-tenant scheduler / budgets (PR 9) -------------------------------
+  /// Highest epoch whose scheduled scans have all completed on this node
+  /// (-1 = none yet). Members gate their epoch reports on it; origins gate
+  /// certification on it — an async scan still draining means rows are
+  /// still to come.
+  int64_t scans_done_epoch = -1;
+  /// A per-query budget tripped on this node (sticky for the query's life).
+  bool budget_tripped = false;
+  /// Budget meters on this node.
+  uint64_t bytes_shipped = 0;
+  uint64_t rehash_puts = 0;
+  /// Origin-side: members that told us their budget tripped (kBudgetTrip or
+  /// an epoch report's flag).
+  std::set<uint32_t> budget_tripped_members;
   /// From the dissemination cover wave: how many nodes the latest plan
   /// broadcast reached, and whether every subtree confirmed.
   uint64_t members_expected = 0;
@@ -181,6 +199,17 @@ QueryEngine::QueryEngine(overlay::Transport* transport,
       [this](uint64_t seq, uint64_t members, bool complete) {
         OnCoverage(seq, members, complete);
       });
+  QueryScheduler::Options sched;
+  sched.quantum_rows = options_.sched_quantum_rows;
+  sched.round_interval = options_.sched_round_interval;
+  sched.shared_window = options_.shared_scan_window;
+  sched.batch_rows = options_.batch_size;
+  scheduler_ = std::make_unique<QueryScheduler>(
+      sim_, dht_, &stats_,
+      [this](Duration delay, std::function<void()> fn) {
+        return ScheduleEngineTimer(delay, std::move(fn));
+      },
+      sched);
 }
 
 QueryEngine::~QueryEngine() {
@@ -198,7 +227,17 @@ void QueryEngine::Stop() {
     (void)qid;
     aq->epoch_task.Stop();
     aq->quiesce_task.Stop();
+    // Prune the reliable plane with the engine, not just on the normal
+    // kQueryEnd path: a stopped (crashed) node must release its pending-byte
+    // charge and per-sender dedupe state, or a storm of short queries under
+    // churn grows these maps without bound and wedges the admission gate.
+    pending_result_bytes_ -= aq->outbox.pending_bytes();
+    aq->outbox.Clear();
+    aq->rx_dedupe.clear();
+    aq->rx_data_frames.clear();
+    aq->reports.clear();
   }
+  scheduler_->Stop();
 }
 
 sim::TimerId QueryEngine::ScheduleEngineTimer(Duration delay,
@@ -256,6 +295,39 @@ Status QueryEngine::PublishVersioned(const std::string& table, const Tuple& t,
 bool QueryEngine::HasLiveQuery(uint64_t qid) const {
   auto it = queries_.find(qid);
   return it != queries_.end() && !it->second->ended;
+}
+
+Status QueryEngine::CheckReliableAccounting() const {
+  uint64_t live_pending = 0;
+  for (const auto& [qid, aq] : queries_) {
+    if (!aq->ended) {
+      live_pending += aq->outbox.pending_bytes();
+      continue;
+    }
+    // Ended-but-unGCed husks exist only to absorb stragglers; any reliable
+    // state still attached to one is a teardown leak.
+    if (aq->outbox.pending_frames() != 0) {
+      return Status::Internal("query " + std::to_string(qid) +
+                              " ended with " +
+                              std::to_string(aq->outbox.pending_frames()) +
+                              " frames still in its outbox");
+    }
+    if (!aq->rx_dedupe.empty()) {
+      return Status::Internal("query " + std::to_string(qid) +
+                              " ended with a live rx dedupe window");
+    }
+    if (!aq->reports.empty()) {
+      return Status::Internal("query " + std::to_string(qid) +
+                              " ended with member reports retained");
+    }
+  }
+  if (live_pending != pending_result_bytes_) {
+    return Status::Internal(
+        "admission counter drift: pending_result_bytes=" +
+        std::to_string(pending_result_bytes_) + " but live outboxes hold " +
+        std::to_string(live_pending));
+  }
+  return Status::OK();
 }
 
 int QueryEngine::QueryDepth(uint64_t qid) const {
@@ -479,6 +551,7 @@ void QueryEngine::FallbackToScan(ActiveQuery* aq) {
   // Rewrite in place: every index scan becomes the plain scan of the same
   // relation. The planner always keeps the full WHERE in the trailing
   // filter node, so the rewritten graph computes the identical answer.
+  scheduler_->DropQuery(aq->env.query_id);  // queued feeds capture the runtime
   aq->runtime.reset();
   for (OpNode& n : aq->env.plan.graph.nodes) {
     if (n.type == OpType::kIndexScan) {
@@ -533,6 +606,24 @@ void QueryEngine::RouteArrival(uint64_t qid, const std::string& ns,
 
 void QueryEngine::SendReliable(ActiveQuery* aq, sim::HostId to, Writer&& inner,
                                bool control) {
+  // A frame enqueued after teardown would be charged to the admission gate
+  // but never acked, lost, or cleared — the pending-byte leak that wedges
+  // admission into permanent Busy. (Stage pipelines can still emit while a
+  // teardown broadcast is being processed.)
+  if (aq->ended) return;
+  if (!control) {
+    // Bytes-shipped budget: data frames only — control traffic (acks,
+    // reports, the trip notice itself) must always flow or the origin
+    // would read the degradation as loss.
+    const QueryBudget budget = EffectiveBudget(*aq);
+    if (budget.max_result_bytes > 0 &&
+        aq->bytes_shipped + inner.size() > budget.max_result_bytes) {
+      TripBudget(aq);
+      ++stats_.budget_frames_dropped;
+      return;
+    }
+    aq->bytes_shipped += inner.size();
+  }
   if (!options_.reliable_results) {
     SendDirect(to, inner);
     return;
@@ -605,6 +696,18 @@ void QueryEngine::OnFrame(sim::HostId from, Reader* r) {
   auto it = queries_.find(qid);
   if (it == queries_.end()) return;
   ActiveQuery* aq = it->second.get();
+  if (aq->ended) {
+    // Teardown hygiene: an ended query's dedupe windows and admission
+    // counters were pruned and must not regrow from stragglers. Still
+    // dispatch so late data keeps counting as late_partials (a retransmit
+    // racing the ack may count twice — the counter is diagnostic).
+    uint8_t inner = 0;
+    if (!r->GetU8(&inner).ok()) return;
+    MsgType t = static_cast<MsgType>(inner);
+    if (t == MsgType::kFrame || t == MsgType::kFrameAck) return;
+    DispatchMessage(from, inner, r);
+    return;
+  }
   if (!aq->rx_dedupe[from].Admit(frame_id)) {
     ++stats_.frame_dupes_dropped;
     return;
@@ -617,8 +720,6 @@ void QueryEngine::OnFrame(sim::HostId from, Reader* r) {
       t == MsgType::kResultBatch || t == MsgType::kPartialBatch) {
     ++aq->rx_data_frames[from];
   }
-  // Ended queries still dispatch: each handler guards itself, and origin
-  // stragglers past the window must keep counting as late_partials.
   DispatchMessage(from, inner, r);
   // Admitted data may have been the last thing a certified epoch was
   // waiting on (a data frame can arrive after the member's report under
@@ -652,6 +753,10 @@ void QueryEngine::OnOutboxDrained(ActiveQuery* aq) {
       !options_.reliable_results) {
     return;
   }
+  // A drained outbox means nothing while this epoch's scheduled scans are
+  // still queued: more data frames are coming, and an early "done" claim
+  // would let the origin certify an answer missing them.
+  if (aq->scans_done_epoch < static_cast<int64_t>(CurrentEpoch(*aq))) return;
   SendEpochReport(aq);
 }
 
@@ -663,6 +768,9 @@ void QueryEngine::SendEpochReport(ActiveQuery* aq) {
   w.PutVarint64(aq->outbox.data_to_origin);
   w.PutVarint64(aq->outbox.retried);
   w.PutVarint64(aq->outbox.lost);
+  // Flags bit 0: a budget tripped here — rides the report so an origin that
+  // missed the kBudgetTrip frame still learns of the degradation.
+  w.PutVarint64(aq->budget_tripped ? 1 : 0);
   ++stats_.epoch_reports_sent;
   SendReliable(aq, aq->env.origin, std::move(w), /*control=*/true);
 }
@@ -691,6 +799,20 @@ void QueryEngine::MaybeEarlyFinalize(ActiveQuery* aq, uint64_t epoch) {
   if (aq->cancelled || aq->deadline_expired) return;
   if (!aq->coverage_complete || aq->members_expected == 0) return;
   if (!aq->shed_members.empty()) return;
+  // A recently changed overlay neighborhood means this node's "everyone"
+  // may be one side of a partition (the minority ring's cover wave returns
+  // complete over 3 nodes of 10): no global exactness claim until the view
+  // has been stable for a detection window.
+  const TimePoint topo = router_->last_topology_change();
+  if (options_.certify_stability_window > 0 && topo != 0 &&
+      sim_->now() - topo < options_.certify_stability_window) {
+    return;
+  }
+  // Budget degradation anywhere bars exactness, and the origin's own
+  // scheduled scans must have drained — its loopback rows are part of the
+  // answer being certified.
+  if (aq->budget_tripped || !aq->budget_tripped_members.empty()) return;
+  if (aq->scans_done_epoch < static_cast<int64_t>(epoch)) return;
   if (static_cast<int64_t>(epoch) <= aq->last_finalized_epoch) return;
   auto eit = aq->epochs.find(epoch);
   if (eit == aq->epochs.end() || eit->second.finalized ||
@@ -718,6 +840,90 @@ void QueryEngine::MaybeEarlyFinalize(ActiveQuery* aq, uint64_t epoch) {
     if (it == queries_.end() || it->second->ended) return;
     FinalizeEpoch(it->second.get(), epoch, /*exact_certified=*/true);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler integration & per-query budgets
+// ---------------------------------------------------------------------------
+
+void QueryEngine::SubmitScan(ScanWork work) {
+  const uint64_t qid = work.qid;
+  // The abort probe is the engine's, not the runtime's: the scheduler must
+  // stop serving a scan the moment the query ends or its budget trips,
+  // even while a feed callback sits queued behind other tenants.
+  work.aborted = [this, qid]() {
+    auto it = queries_.find(qid);
+    return it == queries_.end() || it->second->ended ||
+           it->second->budget_tripped;
+  };
+  scheduler_->Submit(std::move(work));
+}
+
+void QueryEngine::OnEpochScansDone(uint64_t qid, uint64_t epoch) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  ActiveQuery* aq = it->second.get();
+  aq->scans_done_epoch =
+      std::max(aq->scans_done_epoch, static_cast<int64_t>(epoch));
+  if (aq->ended) return;
+  if (!aq->is_origin && aq->accountable && options_.reliable_results &&
+      aq->outbox.data_drained()) {
+    // Everything this member will contribute for the epoch is already
+    // acked — the drain event fired before the scans-done gate opened, so
+    // report now.
+    SendEpochReport(aq);
+  }
+  if (aq->is_origin && aq->accountable) {
+    // The origin's own loopback scan was the last missing piece; the
+    // member reports may already all be in.
+    MaybeEarlyFinalize(aq, epoch);
+  }
+}
+
+bool QueryEngine::ChargeRehashPuts(uint64_t qid, uint64_t n) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second->ended) return false;
+  ActiveQuery* aq = it->second.get();
+  const QueryBudget budget = EffectiveBudget(*aq);
+  if (budget.max_rehash_puts == 0) return true;  // unlimited
+  if (aq->budget_tripped || aq->rehash_puts + n > budget.max_rehash_puts) {
+    TripBudget(aq);
+    stats_.budget_rehash_dropped += n;
+    return false;
+  }
+  aq->rehash_puts += n;
+  return true;
+}
+
+QueryBudget QueryEngine::EffectiveBudget(const ActiveQuery& aq) const {
+  QueryBudget b = aq.env.plan.budget;
+  if (b.max_result_bytes == 0) {
+    b.max_result_bytes = options_.default_budget.max_result_bytes;
+  }
+  if (b.max_rehash_puts == 0) {
+    b.max_rehash_puts = options_.default_budget.max_rehash_puts;
+  }
+  if (b.max_result_rows == 0) {
+    b.max_result_rows = options_.default_budget.max_result_rows;
+  }
+  return b;
+}
+
+void QueryEngine::TripBudget(ActiveQuery* aq) {
+  if (aq->budget_tripped) return;
+  aq->budget_tripped = true;
+  ++stats_.budget_trips;
+  PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
+      << "query " << aq->env.query_id << " tripped its resource budget";
+  if (!aq->is_origin && !aq->ended) {
+    // Tell the origin immediately (control frame: exempt from the very
+    // byte budget that may have tripped) so the degradation lands in
+    // Completeness even if no epoch report ever goes out.
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(MsgType::kBudgetTrip));
+    w.PutVarint64(aq->env.query_id);
+    SendReliable(aq, aq->env.origin, std::move(w), /*control=*/true);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -787,6 +993,8 @@ Completeness QueryEngine::BuildCompleteness(ActiveQuery* aq, uint64_t epoch,
   c.cancelled = aq->cancelled;
   c.deadline_expired = aq->deadline_expired;
   c.members_shed = aq->shed_members.size();
+  c.budget_trips = aq->budget_tripped_members.size() +
+                   (aq->budget_tripped ? 1 : 0);
   auto eit = aq->epochs.find(epoch);
   uint64_t reporters =
       eit != aq->epochs.end() ? eit->second.reporters.size() : 0;
@@ -1037,6 +1245,16 @@ void QueryEngine::HandleQueryEnd(uint64_t qid) {
   // admission gate must stop charging for them.
   pending_result_bytes_ -= aq->outbox.pending_bytes();
   aq->outbox.Clear();
+  // Same for the receiver side: per-sender dedupe windows, admitted-frame
+  // counters, and member reports die with the query on EVERY terminal path
+  // (kQueryEnd, kCancel, member deadline self-expiry, lease reclaim all
+  // route here) — not just the happy one. A storm of short queries must
+  // leave these maps empty, not monotonically growing.
+  aq->rx_dedupe.clear();
+  aq->rx_data_frames.clear();
+  aq->reports.clear();
+  // Queued scan work captures the runtime about to be torn down.
+  scheduler_->DropQuery(qid);
   if (aq->deadline_timer != 0) {
     sim_->Cancel(aq->deadline_timer);
     aq->deadline_timer = 0;
@@ -1189,14 +1407,10 @@ void QueryEngine::StartEpoch(ActiveQuery* aq, uint64_t epoch) {
       if (seq != 0) coverage_waits_[seq] = {qid, epoch};
     }
   }
+  // The runtime signals OnEpochScansDone when this epoch's scans complete
+  // (synchronously on the legacy path, after the scheduler drains them on
+  // the multi-tenant path); members report and origins certify from there.
   aq->runtime->StartEpoch(epoch);
-  // Scans run synchronously: a member whose epoch produced nothing has a
-  // drained outbox right here and must still report, or the origin would
-  // read its silence as loss.
-  if (!aq->is_origin && aq->accountable && options_.reliable_results &&
-      !aq->ended && aq->outbox.data_drained()) {
-    SendEpochReport(aq);
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1224,6 +1438,8 @@ void QueryEngine::DispatchMessage(sim::HostId from, uint8_t type, Reader* r) {
           !r->GetVarint64(&lost).ok()) {
         return;
       }
+      uint64_t flags = 0;
+      if (!r->GetVarint64(&flags).ok()) return;
       if (epoch >= (1ull << 62)) return;  // same spoof guard as data frames
       auto it = queries_.find(qid);
       if (it == queries_.end() || !it->second->is_origin ||
@@ -1239,7 +1455,21 @@ void QueryEngine::DispatchMessage(sim::HostId from, uint8_t type, Reader* r) {
       rep.frames_to_origin = std::max(rep.frames_to_origin, frames);
       rep.retried = std::max(rep.retried, retried);
       rep.lost = std::max(rep.lost, lost);
+      if (flags & 1) aq->budget_tripped_members.insert(from);
       MaybeEarlyFinalize(aq, CurrentEpoch(*aq));
+      return;
+    }
+    case MsgType::kBudgetTrip: {
+      uint64_t qid = 0;
+      if (!r->GetVarint64(&qid).ok()) return;
+      auto it = queries_.find(qid);
+      if (it == queries_.end() || !it->second->is_origin ||
+          it->second->ended) {
+        return;
+      }
+      // Degrade loudly: the member stopped working within its budget; the
+      // answer ships with budget_trips counted and exactness barred.
+      it->second->budget_tripped_members.insert(from);
       return;
     }
     case MsgType::kAdmissionReject: {
@@ -1394,6 +1624,15 @@ void QueryEngine::OriginAccept(ActiveQuery* aq, uint64_t epoch,
     if (!aq->origin_result_seen.insert(key).second) return;
     aq->last_new_result = sim_->now();
   }
+  // Result-window budget: the origin stops accumulating past the row cap
+  // and flags the trip — callers get a bounded prefix declared degraded,
+  // never an unbounded buffer or a silent truncation.
+  const uint64_t row_cap = EffectiveBudget(*aq).max_result_rows;
+  if (row_cap > 0 && es.rows.size() >= row_cap) {
+    TripBudget(aq);
+    ++stats_.budget_rows_dropped;
+    return;
+  }
   es.rows.push_back(t);
 }
 
@@ -1498,6 +1737,16 @@ std::vector<Tuple> QueryEngine::OriginPostProcess(ActiveQuery* aq,
 void QueryEngine::FinalizeEpoch(ActiveQuery* aq, uint64_t epoch,
                                 bool exact_certified) {
   if (!aq->is_origin || aq->ended) return;
+  // Re-check the certification at delivery time: the early finalize is
+  // deferred a tick, and a late kAdmissionReject, budget trip, cancel, or
+  // deadline can land in between (or arrive through a fault-plane
+  // duplicate after the cover wave). A batch must never claim exact while
+  // its own Completeness carries a degradation.
+  if (exact_certified &&
+      (!aq->shed_members.empty() || aq->cancelled || aq->deadline_expired ||
+       aq->budget_tripped || !aq->budget_tripped_members.empty())) {
+    exact_certified = false;
+  }
   // A continuous query may race its early finalize against the result-wait
   // timer; whichever fired first already erased this epoch's state, and
   // operator[] below must not resurrect it.

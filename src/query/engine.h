@@ -39,6 +39,7 @@
 #include "query/ops/runtime.h"
 #include "query/plan.h"
 #include "query/protocol.h"
+#include "query/scheduler.h"
 #include "sim/event_queue.h"
 
 namespace pier {
@@ -109,6 +110,14 @@ class QueryEngine : public ops::StageHost {
   /// namespace-hygiene probe (ended-but-unGCed husks don't count).
   bool HasLiveQuery(uint64_t qid) const;
 
+  /// Audits the reliable result plane's teardown accounting: the admission
+  /// gate's pending-byte counter must equal the bytes actually sitting in
+  /// live outboxes, and ended queries must hold no reliable-plane state
+  /// (frames, dedupe windows, member reports). The testkit's
+  /// ExchangeHygieneChecker runs this on every node — a leak here is what
+  /// wedges admission into permanent Busy under query storms.
+  Status CheckReliableAccounting() const;
+
   // -- ops::StageHost --------------------------------------------------------
   sim::Simulation* sim() override { return sim_; }
   dht::Dht* dht() override { return dht_; }
@@ -134,6 +143,9 @@ class QueryEngine : public ops::StageHost {
   void PostToStage(uint64_t qid, uint32_t node_id,
                    const std::function<void(ops::Stage*)>& fn) override;
   void OnIndexScanDone(uint64_t qid, bool ok) override;
+  void SubmitScan(ScanWork work) override;
+  void OnEpochScansDone(uint64_t qid, uint64_t epoch) override;
+  bool ChargeRehashPuts(uint64_t qid, uint64_t n) override;
 
  private:
   struct ActiveQuery;
@@ -199,6 +211,15 @@ class QueryEngine : public ops::StageHost {
   /// disseminates it — the mid-churn / cold-index degradation path.
   void FallbackToScan(ActiveQuery* aq);
 
+  // -- per-query budgets -------------------------------------------------------
+  /// The plan's budget with engine-wide defaults filled into unset (0)
+  /// dimensions.
+  QueryBudget EffectiveBudget(const ActiveQuery& aq) const;
+  /// Marks the query budget-tripped on this node (once): the scheduler's
+  /// abort probe stops its scans, and a member tells the origin via
+  /// kBudgetTrip so Completeness reports the degradation.
+  void TripBudget(ActiveQuery* aq);
+
   // -- origin-side post-processing --------------------------------------------
   void OriginAccept(ActiveQuery* aq, uint64_t epoch, sim::HostId from,
                     const catalog::Tuple& t, bool is_partial);
@@ -214,6 +235,8 @@ class QueryEngine : public ops::StageHost {
   sim::Simulation* sim_;
   EngineOptions options_;
   EngineStats stats_;
+  /// The multi-tenant scan dispatcher (round-robin quanta + shared sweeps).
+  std::unique_ptr<QueryScheduler> scheduler_;
 
   /// Schedules an engine-owned timer: cancelled automatically when the
   /// engine is destroyed (node crash/reboot), so callbacks never fire on a

@@ -35,6 +35,9 @@ void RehashExchange::Publish(int side, const std::vector<int>& key_cols,
 
 void RehashExchange::PublishAt(int side, const std::string& resource,
                                const Tuple& t) {
+  // Per-query fan-out budget: a tripped query stops feeding the DHT and
+  // degrades loudly (the engine flags Completeness) instead of flooding it.
+  if (!host_->ChargeRehashPuts(qid_, 1)) return;
   Writer w;
   w.PutU8(static_cast<uint8_t>(side));
   catalog::SerializeTuple(t, &w);
@@ -70,6 +73,9 @@ void RehashExchange::PublishBatch(int side, const std::vector<int>& key_cols,
       PublishAt(side, resource, *bucket[0]);
       continue;
     }
+    // One batch frame is one DHT put regardless of row count, so it charges
+    // one unit — the budget caps network operations, not rows.
+    if (!host_->ChargeRehashPuts(qid_, 1)) continue;
     exec::RowBatchBuilder builder(schema);
     builder.Reserve(bucket.size());
     for (const Tuple* t : bucket) builder.Append(*t);

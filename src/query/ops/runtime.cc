@@ -410,19 +410,36 @@ void QueryRuntime::StartEpoch(uint64_t epoch) {
   epoch_sent_ = 0;
   if (agg_ != nullptr) agg_->BeginEpoch(epoch);
   const EngineOptions& opts = host_->engine_options();
-  for (uint32_t id : epochal_scans_) {
-    ScanStage scan(host_, &graph_->nodes[id], env_->plan.window);
-    if (opts.vectorized) {
-      BatchEmitFn bemit = BuildBatchEmitFrom(id);
-      if (bemit) {
-        scan.RunBatch(opts.batch_size, NeededColumnsFor(id), bemit);
-        continue;
+  if (opts.scheduler_enabled) {
+    // Multi-tenant path: hand each scan pass to the node's QueryScheduler
+    // and finish the epoch (EndScan + the engine's scans-done gate) only
+    // when the last one completes. Queries with no epochal scans (pure
+    // index plans, join graphs) complete the gate immediately.
+    pending_epoch_scans_ = epochal_scans_.size();
+    if (pending_epoch_scans_ == 0) {
+      if (agg_ != nullptr) agg_->EndScan();
+      host_->OnEpochScansDone(qid_, epoch);
+    } else {
+      for (uint32_t id : epochal_scans_) {
+        host_->SubmitScan(BuildScanWork(id, epoch));
       }
-      ++host_->mutable_stats()->vectorized_fallbacks;
     }
-    scan.Run(BuildEmitFrom(id));
+  } else {
+    for (uint32_t id : epochal_scans_) {
+      ScanStage scan(host_, &graph_->nodes[id], env_->plan.window);
+      if (opts.vectorized) {
+        BatchEmitFn bemit = BuildBatchEmitFrom(id);
+        if (bemit) {
+          scan.RunBatch(opts.batch_size, NeededColumnsFor(id), bemit);
+          continue;
+        }
+        ++host_->mutable_stats()->vectorized_fallbacks;
+      }
+      scan.Run(BuildEmitFrom(id));
+    }
+    if (agg_ != nullptr) agg_->EndScan();
+    host_->OnEpochScansDone(qid_, epoch);
   }
-  if (agg_ != nullptr) agg_->EndScan();
   // Index scans run at the origin only and complete asynchronously within
   // the epoch's result window.
   if (is_origin_) {
@@ -430,6 +447,49 @@ void QueryRuntime::StartEpoch(uint64_t epoch) {
       static_cast<IndexScanStage*>(stages_[id].get())
           ->RunEpoch(BuildEmitFrom(id));
     }
+  }
+}
+
+ScanWork QueryRuntime::BuildScanWork(uint32_t scan_id, uint64_t epoch) {
+  const OpNode& node = graph_->nodes[scan_id];
+  ScanWork work;
+  work.qid = qid_;
+  work.epoch = epoch;
+  work.table = node.table;
+  work.schema = node.schema;
+  work.window = env_->plan.window;
+  const EngineOptions& opts = host_->engine_options();
+  BatchEmitFn bemit;
+  if (opts.vectorized) bemit = BuildBatchEmitFrom(scan_id);
+  if (bemit) {
+    work.count_batches = true;
+    work.feed = std::move(bemit);
+  } else {
+    if (opts.vectorized) ++host_->mutable_stats()->vectorized_fallbacks;
+    // Tuple-plane chain fed from the shared batch stream: box each live row
+    // back out. Slower, but answers are identical — the same fallback
+    // contract the legacy path keeps.
+    EmitFn emit = BuildEmitFrom(scan_id);
+    work.feed = [this, emit](exec::RowBatch& b) {
+      catalog::Tuple t;
+      for (size_t i = 0; i < b.ActiveRows(); ++i) {
+        b.ToTuple(b.RowId(i), &t);
+        if (!emit(t)) return false;
+      }
+      return true;
+    };
+  }
+  work.done = [this, epoch](bool) { OnEpochScanDone(epoch); };
+  return work;
+}
+
+void QueryRuntime::OnEpochScanDone(uint64_t epoch) {
+  // Stale completions (a superseded epoch's scan draining late) must not
+  // double-close the current epoch.
+  if (epoch != current_epoch_ || pending_epoch_scans_ == 0) return;
+  if (--pending_epoch_scans_ == 0) {
+    if (agg_ != nullptr) agg_->EndScan();
+    host_->OnEpochScansDone(qid_, epoch);
   }
 }
 

@@ -79,6 +79,13 @@ class QueryRuntime {
   /// downstream chain actually reads. Empty = all columns (either the full
   /// rows ship to the origin, or pruning could not be proven safe).
   std::vector<int> NeededColumnsFor(uint32_t scan_id) const;
+  /// Packages one epochal scan as scheduler work: the compiled batch chain
+  /// (or the tuple-fallback adapter) as the feed, and an epoch-completion
+  /// callback as done.
+  ScanWork BuildScanWork(uint32_t scan_id, uint64_t epoch);
+  /// One scheduled scan of `epoch` finished; when the last one does, runs
+  /// the end-of-scan work (agg EndScan, the host's scans-done gate).
+  void OnEpochScanDone(uint64_t epoch);
 
   StageHost* host_;
   const PlanEnvelope* env_;
@@ -92,6 +99,8 @@ class QueryRuntime {
   int64_t local_cap_ = -1;
   uint64_t current_epoch_ = 0;
   int64_t epoch_sent_ = 0;
+  /// Scheduler path: scans of current_epoch_ still draining.
+  size_t pending_epoch_scans_ = 0;
 
   std::vector<std::unique_ptr<Stage>> stages_;  // indexed by graph node id
   std::vector<JoinStage*> joins_;               // in topological order

@@ -20,6 +20,7 @@
 #include "exec/batch.h"
 #include "query/opgraph.h"
 #include "query/protocol.h"
+#include "query/scheduler.h"
 #include "sim/event_queue.h"
 
 namespace pier {
@@ -93,6 +94,20 @@ class StageHost {
   /// scans and re-disseminates — the answer degrades toward the scan
   /// baseline, it never errors.
   virtual void OnIndexScanDone(uint64_t qid, bool ok) = 0;
+
+  /// Hands one epochal scan pass to the node's QueryScheduler (round-robin
+  /// quanta + shared-sweep batching). The engine injects its abort probe
+  /// before enqueueing; `work.done` fires when the scan finishes.
+  virtual void SubmitScan(ScanWork work) = 0;
+  /// The runtime finished (or scheduled the completion of) every epochal
+  /// scan for `epoch`: members may report their outbox-drain epoch claims,
+  /// origins may certify. Fired on both the scheduler and the legacy
+  /// synchronous path so the engine has one gate.
+  virtual void OnEpochScansDone(uint64_t qid, uint64_t epoch) = 0;
+  /// Budget gate for rehash-exchange fan-out: returns false (and trips the
+  /// query's budget) when `n` more puts would exceed the per-query cap —
+  /// the exchange drops the put and the query degrades loudly.
+  virtual bool ChargeRehashPuts(uint64_t qid, uint64_t n) = 0;
 };
 
 /// A stage consuming tuples from a local edge. Returns false to stop the

@@ -214,6 +214,10 @@ void QueryPlan::Serialize(Writer* w) const {
   bool ship_graph = !graph.empty() && !graph_is_derived;
   w->PutBool(ship_graph);
   if (ship_graph) graph.Serialize(w);
+  // Budget travels last so members enforce the same caps as the origin.
+  w->PutVarint64(budget.max_result_bytes);
+  w->PutVarint64(budget.max_rehash_puts);
+  w->PutVarint64(budget.max_result_rows);
 }
 
 Status QueryPlan::Deserialize(Reader* r, QueryPlan* out) {
@@ -297,6 +301,9 @@ Status QueryPlan::Deserialize(Reader* r, QueryPlan* out) {
   if (has_graph) {
     PIER_RETURN_IF_ERROR(OpGraph::Deserialize(r, &out->graph));
   }
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->budget.max_result_bytes));
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->budget.max_rehash_puts));
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->budget.max_result_rows));
   return Status::OK();
 }
 

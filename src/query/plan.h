@@ -32,6 +32,7 @@
 #include "exec/agg.h"
 #include "exec/expr.h"
 #include "query/opgraph.h"
+#include "query/protocol.h"
 
 namespace pier {
 namespace query {
@@ -104,6 +105,11 @@ struct QueryPlan {
   /// Origin-local only — the wire carries the resolved absolute deadline in
   /// PlanEnvelope::deadline, so this field is not serialized.
   Duration deadline = 0;
+
+  /// Per-query resource budget (0-dimensions fall back to
+  /// EngineOptions::default_budget). Travels with the plan so every member
+  /// enforces the same caps.
+  QueryBudget budget;
 
   // -- Recursion (kRecursive) -------------------------------------------------
   int src_col = 0;      ///< edge source column in `scan_schema`

@@ -17,6 +17,21 @@
 namespace pier {
 namespace query {
 
+/// Per-query resource budget, enforced at the scheduler and the exchange
+/// layer. 0 = unlimited. A tripped budget never silently drops the answer:
+/// the member stops doing work, tells the origin via kBudgetTrip, and the
+/// batch's Completeness reports budget_trips > 0 with exact = false.
+struct QueryBudget {
+  /// Max bytes of reliable result/partial frames a member may ship to the
+  /// origin for this query.
+  uint64_t max_result_bytes = 0;
+  /// Max rehash-exchange puts a node may issue for this query (join/agg
+  /// fan-out cap).
+  uint64_t max_rehash_puts = 0;
+  /// Max rows the origin accumulates in one epoch's result window.
+  uint64_t max_result_rows = 0;
+};
+
 struct EngineOptions {
   /// How long the origin waits for distributed results before finalizing an
   /// epoch (the paper's demo semantics: sum over nodes *responding* in the
@@ -92,6 +107,33 @@ struct EngineOptions {
   /// Fan-out budget: plans with more operators than this are refused at
   /// origin admission (a PIQL-style bounded-cost gate).
   uint32_t max_plan_operators = 64;
+  // -- multi-tenant scheduler -------------------------------------------------
+  /// Run epochal scans through the per-node QueryScheduler (round-robin over
+  /// live queries with per-query quanta + shared-scan batching) instead of
+  /// synchronously inside StartEpoch. Off = the single-tenant PR 7 path,
+  /// kept for A/B tests.
+  bool scheduler_enabled = true;
+  /// Rows one query may consume from the store per scheduler round before
+  /// the round-robin cursor moves on (fairness quantum). Served in whole
+  /// batches, so the effective quantum rounds up to a batch boundary.
+  uint32_t sched_quantum_rows = 2048;
+  /// Delay between scheduler rounds while runnable scan work remains.
+  Duration sched_round_interval = Millis(5);
+  /// A materialized store sweep stays attachable to later same-table scans
+  /// for this long (and only while the namespace is unmodified), so a burst
+  /// of concurrent queries shares one sweep.
+  Duration shared_scan_window = Millis(500);
+  /// Engine-wide default budget applied when a plan ships none (0s =
+  /// unlimited). Per-query override: QueryPlan::budget.
+  QueryBudget default_budget;
+  /// The origin refuses the `exact` certification while its overlay
+  /// topology changed within this window: a freshly split (or merging)
+  /// ring makes "every member reported" locally true but globally false —
+  /// the minority side of a partition would otherwise certify a fraction
+  /// of the answer as exact. Sized so a one-shot query issued within
+  /// ~window - result_wait of a detected split can never certify before
+  /// its result window closes. 0 = certify regardless (single-node tests).
+  Duration certify_stability_window = Seconds(30);
 };
 
 struct EngineStats {
@@ -154,6 +196,15 @@ struct EngineStats {
   // -- acked rehash puts -----------------------------------------------------
   uint64_t rehash_put_failures = 0;  ///< exchange puts dead after DHT retries
   uint64_t rehash_dupes_dropped = 0; ///< arrival instances deduped at stages
+  // -- multi-tenant scheduler ------------------------------------------------
+  uint64_t store_sweeps = 0;       ///< LocalStore sweeps materialized
+  uint64_t shared_scan_hits = 0;   ///< scans served from a shared sweep
+  uint64_t sched_rounds = 0;       ///< round-robin dispatch rounds run
+  // -- per-query budgets -----------------------------------------------------
+  uint64_t budget_trips = 0;           ///< queries that hit a budget (per node)
+  uint64_t budget_frames_dropped = 0;  ///< result frames refused post-trip
+  uint64_t budget_rehash_dropped = 0;  ///< rehash puts refused post-trip
+  uint64_t budget_rows_dropped = 0;    ///< origin rows refused post-trip
 };
 
 /// Answer-quality accounting attached to every ResultBatch: how much of the
@@ -176,6 +227,10 @@ struct Completeness {
   uint64_t frames_lost = 0;
   /// Members that refused the plan at admission (kAdmissionReject).
   uint64_t members_shed = 0;
+  /// Nodes (members or the origin itself) that stopped work on this query
+  /// because a per-query resource budget tripped. Any trip bars exactness:
+  /// the rows that were not shipped are declared, never silently dropped.
+  uint64_t budget_trips = 0;
   bool cancelled = false;
   bool deadline_expired = false;
   /// Engine-certified: coverage complete, every member reported this epoch,
@@ -193,6 +248,7 @@ struct Completeness {
     s += " retried=" + std::to_string(frames_retried);
     s += " lost=" + std::to_string(frames_lost);
     s += " shed=" + std::to_string(members_shed);
+    if (budget_trips > 0) s += " budget-trips=" + std::to_string(budget_trips);
     if (cancelled) s += " cancelled";
     if (deadline_expired) s += " deadline-expired";
     return s;
@@ -240,13 +296,18 @@ enum class MsgType : uint8_t {
   kFrameAck = 9,
   /// Member -> origin, per-epoch completion claim (sent as a control frame
   /// when the member's reliable outbox drains): [qid][epoch]
-  /// [cumulative data frames sent to origin][retries][losses]. The origin
+  /// [cumulative data frames sent to origin][retries][losses][flags]
+  /// (flags bit 0: a per-query budget tripped on this member). The origin
   /// certifies an epoch exact only when every covered member's claim
-  /// matches what it admitted.
+  /// matches what it admitted and no flags are set.
   kEpochReport = 10,
   /// Member -> origin, admission shed: [qid][reason u8]. Sent instead of
   /// installing the plan when the member is over budget.
   kAdmissionReject = 11,
+  /// Member -> origin, sent (as a reliable control frame) the first time a
+  /// per-query budget trips on the member: [qid]. The origin folds it into
+  /// Completeness::budget_trips and withholds the exact certification.
+  kBudgetTrip = 12,
 };
 
 /// kAdmissionReject reasons.

@@ -41,6 +41,13 @@ class FrameDedupe {
 /// removed on ack or after the retry budget is spent; `control` frames
 /// (epoch reports) are excluded from the data-drain accounting that gates
 /// the member's per-epoch completion report.
+///
+/// Teardown contract: the engine must Clear() the outbox — refunding
+/// pending_bytes() against its admission counter first — on EVERY terminal
+/// path of the owning query (end, cancel, deadline self-expiry, lease
+/// reclaim, engine stop), and must never Enqueue into an ended query's
+/// outbox. The testkit audits both via
+/// QueryEngine::CheckReliableAccounting.
 class ReliableOutbox {
  public:
   struct Frame {

@@ -147,6 +147,15 @@ Status ExchangeHygieneChecker::Check(const CheckContext& ctx) {
   for (size_t i = 0; i < net.size(); ++i) {
     core::PierNode* node = net.node(i);
     if (!node->alive()) continue;
+    // Rule 0 — reliable-plane teardown accounting: ended queries must hold
+    // no outbox frames / dedupe windows / member reports, and the admission
+    // gate's pending-byte counter must match what live outboxes actually
+    // hold. A drifted counter wedges admission into permanent Busy.
+    Status acct = node->query_engine()->CheckReliableAccounting();
+    if (!acct.ok()) {
+      return Status::Internal("reliable-plane accounting at " +
+                              HostLabel(node) + ": " + acct.ToString());
+    }
     const dht::LocalStore& store = *node->dht()->local_store();
     for (const std::string& ns : store.Namespaces()) {
       // Query-scoped namespaces: "q<qid>.x<edge>" (rehash exchanges) and

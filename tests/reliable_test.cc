@@ -15,6 +15,7 @@
 #include "query/engine.h"
 #include "query/plan.h"
 #include "query/reliable.h"
+#include "sim/fault_plane.h"
 
 namespace pier {
 namespace query {
@@ -247,6 +248,93 @@ TEST(ReliableAbTest, CleanNetworkAnswersAreIdenticalWithRetriesOnAndOff) {
   EXPECT_EQ(on_stats.frames_lost, 0u);
   EXPECT_EQ(off_stats.frames_sent, 0u);
   EXPECT_EQ(off_stats.frames_acked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: messy teardowns must not wedge admission
+// ---------------------------------------------------------------------------
+
+// A storm of short overlapping queries under link loss, with some cancelled
+// mid-flight and one member crashed outright, once leaked reliable-plane
+// state on the survivors: outboxes were dropped without refunding their
+// pending-byte charge and receiver dedupe maps outlived their queries, so
+// the admission gate eventually reported Busy forever. After the storm
+// drains, every alive node's accounting must balance and a fresh query must
+// still admit and answer.
+TEST(ReliableTeardownTest, StormWithCancelsAndCrashLeavesAdmissionOpen) {
+  PierNetworkOptions o;
+  o.seed = 77;
+  o.node.router_kind = RouterKind::kOneHop;
+  o.node.engine.result_wait = Seconds(2);
+  o.node.engine.reliable_results = true;
+  PierNetwork net(6, o);
+  net.Boot(Seconds(5));
+  for (size_t i = 0; i < net.size(); ++i) {
+    ASSERT_TRUE(net.node(i)->catalog()->Register(AlertsTable()).ok());
+  }
+  for (int r = 0; r < 30; ++r) {
+    Tuple t{Value::Int64(r), Value::String("d"), Value::Int64(r * 10)};
+    ASSERT_TRUE(net.node(static_cast<size_t>(r) % net.size())
+                    ->query_engine()
+                    ->Publish("alerts", t)
+                    .ok());
+  }
+  net.RunFor(Seconds(5));
+
+  // Lossy window covering the whole storm: every result frame, ack, epoch
+  // report, and cancel broadcast has a 25% chance of vanishing.
+  sim::FaultPlane plane(net.sim()->rng().Fork(0x746f726eull));
+  std::vector<sim::HostId> all_hosts;
+  for (size_t i = 0; i < net.size(); ++i) {
+    all_hosts.push_back(net.node(i)->host());
+  }
+  plane.Loss(all_hosts, all_hosts, 0.25, net.sim()->now(),
+             net.sim()->now() + Seconds(60));
+  net.net()->SetFaultPlane(&plane);
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kSelectProject;
+  plan.table = "alerts";
+  plan.scan_schema = AlertsTable().schema;
+
+  // Twelve overlapping short queries from rotating origins (node 5 is the
+  // crash victim, so it only ever serves as a member). Every third query is
+  // cancelled mid-flight.
+  std::vector<std::pair<size_t, uint64_t>> live;  // (origin, qid)
+  for (int q = 0; q < 12; ++q) {
+    size_t origin = static_cast<size_t>(q) % 5;
+    auto r = net.node(origin)->query_engine()->Execute(
+        plan, [](const ResultBatch&) {});
+    ASSERT_TRUE(r.ok()) << "query " << q << ": " << r.status().ToString();
+    live.push_back({origin, r.value()});
+    net.RunFor(Millis(150));
+    if (q % 3 == 2) {
+      net.node(origin)->query_engine()->Cancel(r.value());
+    }
+    if (q == 7) net.Crash(5);  // mid-storm member loss
+  }
+
+  // Drain: let retries toward the dead member exhaust their budget and the
+  // result windows close, then lift the loss and settle.
+  net.RunFor(Seconds(20));
+  plane.Clear();
+  net.RunFor(Seconds(10));
+
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (!net.node(i)->alive()) continue;
+    Status acct = net.node(i)->query_engine()->CheckReliableAccounting();
+    EXPECT_TRUE(acct.ok()) << "node " << i << ": " << acct.ToString();
+  }
+
+  // Admission must have recovered: a fresh query admits and answers.
+  std::vector<ResultBatch> batches;
+  auto fresh = net.node(0)->query_engine()->Execute(
+      plan, [&](const ResultBatch& b) { batches.push_back(b); });
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  net.RunFor(Seconds(10));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_GT(batches[0].rows.size(), 0u);
+  net.net()->SetFaultPlane(nullptr);
 }
 
 }  // namespace
