@@ -1,17 +1,31 @@
-// Ablation B: the four PIER distributed join strategies.
+// Ablation B: the four PIER distributed join strategies, plus the planner.
 //
-// Reproduces the design-space comparison from the PIER papers: symmetric
-// hash (rehash both sides), fetch matches (probe the pre-partitioned inner),
-// symmetric semi-join (rehash keys + ids, fetch matched tuples), and Bloom
-// join (filter both sides before rehash). We report answer completeness,
-// latency, and — the interesting axis — bytes shipped, under a low-match
-// workload where semi/Bloom strategies should win on traffic.
+// Part 1 reproduces the design-space comparison from the PIER papers:
+// symmetric hash (rehash both sides), fetch matches (probe the
+// pre-partitioned inner), symmetric semi-join (rehash keys + ids, fetch
+// matched tuples), and Bloom join (filter both sides before rehash). We
+// report answer completeness, latency, and — the interesting axis — bytes
+// shipped, under a low-match workload where semi/Bloom strategies win on
+// traffic.
+//
+// Part 2 takes the caller out of the loop: the same join planned twice from
+// SQL, once against a catalog with no statistics (the planner must stay on
+// the conservative symmetric hash) and once against a catalog whose
+// TableStats declare the cardinalities and key domain (the planner's cost
+// model picks the cheap shipping strategy itself). Gates: every run returns
+// the exact join answer, and the stats-driven plan moves >=5x fewer
+// query-plane bytes (DHT rehash + direct engine frames) than the
+// stats-blind plan.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
+#include "common/bench_json.h"
 #include "core/network.h"
+#include "planner/planner.h"
 #include "query/plan.h"
+#include "sql/parser.h"
 #include "workload/workloads.h"
 
 namespace pier {
@@ -24,21 +38,50 @@ using catalog::Tuple;
 constexpr size_t kNodes = 48;
 constexpr int kLeftRows = 400;
 constexpr int kRightRows = 400;
-constexpr int kKeySpace = 2000;  // sparse keys: ~8% of pairs match
+// Sparse keys: ~400*400/20000 = 8 expected matches. At this match rate the
+// 2 KiB payloads are almost all wasted shipping under symmetric hash.
+constexpr int kKeySpace = 20000;
+constexpr size_t kPayloadBytes = 2048;
 
-TableDef MakeTable(const std::string& name) {
+TableDef MakeTable(const std::string& name, bool with_stats) {
   TableDef def;
   def.name = name;
   def.schema = Schema(name, {{"k", ValueType::kInt64},
                              {"payload", ValueType::kString}});
   def.partition_cols = {0};
   def.ttl = Seconds(3600);
+  if (with_stats) {
+    // Application-declared estimates, as PIER's catalog-less design
+    // intends: row count, serialized width, and the key's value domain
+    // (distinct_per_col declares selectivity, so it names the domain the
+    // keys are drawn from, not the sample's distinct count).
+    def.stats.row_count = kLeftRows;
+    def.stats.avg_tuple_bytes =
+        static_cast<uint32_t>(kPayloadBytes + 16);
+    def.stats.distinct_per_col = {kKeySpace, 1};
+  }
   return def;
 }
 
-void RunStrategy(query::JoinStrategy strategy) {
+struct RunResult {
+  bool ok = false;
+  size_t got = 0;
+  int64_t expected = 0;
+  double seconds = 0;
+  uint64_t query_plane_bytes = 0;  // kDht + kQuery deltas over the run
+  uint64_t total_bytes = 0;        // + overlay and broadcast planes
+  uint64_t rehash = 0, fetches = 0, suppressed = 0;
+  std::string planned;  // EXPLAIN join line ("planner" runs only)
+};
+
+/// One measured execution. `strategy` (caller knob) and `via_planner`
+/// (SQL -> PlanStatement, strategy left at default) are mutually exclusive
+/// paths; `with_stats` controls whether the catalog carries TableStats.
+RunResult RunJoin(query::JoinStrategy strategy, bool via_planner,
+                  bool with_stats) {
+  RunResult out;
   core::PierNetworkOptions opts;
-  opts.seed = 4242;  // identical data for every strategy
+  opts.seed = 4242;  // identical data and topology for every run
   opts.node.router_kind = core::RouterKind::kChord;
   opts.node.engine.result_wait = Seconds(20);
   opts.node.engine.bloom_wait = Seconds(5);
@@ -46,11 +89,10 @@ void RunStrategy(query::JoinStrategy strategy) {
   core::PierNetwork net(kNodes, opts);
   net.Boot(Seconds(60));
 
-  workload::RegisterTableEverywhere(&net, MakeTable("r_tab"));
-  workload::RegisterTableEverywhere(&net, MakeTable("s_tab"));
+  workload::RegisterTableEverywhere(&net, MakeTable("r_tab", with_stats));
+  workload::RegisterTableEverywhere(&net, MakeTable("s_tab", with_stats));
   Rng rng(7);
-  std::string payload(40, 'x');
-  int64_t expected = 0;
+  std::string payload(kPayloadBytes, 'x');
   std::vector<int> left_keys(kKeySpace, 0), right_keys(kKeySpace, 0);
   for (int i = 0; i < kLeftRows; ++i) {
     int key = static_cast<int>(rng.NextBelow(kKeySpace));
@@ -65,77 +107,186 @@ void RunStrategy(query::JoinStrategy strategy) {
     (void)net.node((i + 11) % kNodes)->query_engine()->Publish("s_tab", t);
   }
   for (int k = 0; k < kKeySpace; ++k) {
-    expected += static_cast<int64_t>(left_keys[k]) * right_keys[k];
+    out.expected += static_cast<int64_t>(left_keys[k]) * right_keys[k];
   }
   net.RunFor(Seconds(15));
 
-  uint64_t bytes_before = net.TotalBytesOut(overlay::Proto::kOverlay) +
-                          net.TotalBytesOut(overlay::Proto::kDht) +
-                          net.TotalBytesOut(overlay::Proto::kQuery) +
-                          net.TotalBytesOut(overlay::Proto::kBroadcast);
+  // Rehash puts are routed through the chord overlay (kOverlay carries the
+  // forwarded put frames; kDht only the direct acks), so the query-plane
+  // delta must span all three planes the dataflow touches. Ring maintenance
+  // rides kOverlay too, at a constant steady-state rate in the deterministic
+  // sim — so an idle calibration window of the same length as the query
+  // window measures the noise floor exactly, and the per-strategy delta
+  // subtracts it out.
+  auto query_plane = [&net] {
+    return net.TotalBytesOut(overlay::Proto::kDht) +
+           net.TotalBytesOut(overlay::Proto::kQuery) +
+           net.TotalBytesOut(overlay::Proto::kOverlay);
+  };
+  uint64_t calib_start = query_plane();
+  net.RunFor(Seconds(40));
+  uint64_t noise_floor = query_plane() - calib_start;
+
+  uint64_t qp_before = query_plane();
+  uint64_t all_before = qp_before +
+                        net.TotalBytesOut(overlay::Proto::kBroadcast);
 
   query::QueryPlan plan;
-  plan.kind = query::PlanKind::kJoin;
-  plan.join_strategy = strategy;
-  plan.table = "r_tab";
-  plan.scan_schema = MakeTable("r_tab").schema;
-  plan.right_table = "s_tab";
-  plan.right_schema = MakeTable("s_tab").schema;
-  plan.left_key_cols = {0};
-  plan.right_key_cols = {0};
-  plan.projections = {exec::Expr::Column(0)};
+  if (via_planner) {
+    // The planner owns the strategy. prefer_fetch_matches is off so the
+    // partitioning short-circuit (r/s are partitioned on k) does not mask
+    // the statistics-driven choice this bench measures.
+    planner::PlannerOptions popts;
+    popts.prefer_fetch_matches = false;
+    auto parsed = sql::Parse(
+        "SELECT r.k FROM r_tab r, s_tab s WHERE r.k = s.k");
+    if (!parsed.ok()) return out;
+    auto planned = planner::PlanStatement(
+        parsed.value(), *net.node(0)->query_engine()->catalog(), popts);
+    if (!planned.ok()) return out;
+    plan = std::move(planned).value();
+    plan.EnsureGraph();
+    // Pull the join line out of the EXPLAIN rendering for the report.
+    std::string expl = plan.graph.ToString();
+    size_t at = expl.find("join[");
+    if (at != std::string::npos) {
+      out.planned = expl.substr(at, expl.find(']', at) + 1 - at);
+    }
+  } else {
+    plan.kind = query::PlanKind::kJoin;
+    plan.join_strategy = strategy;
+    plan.table = "r_tab";
+    plan.scan_schema = MakeTable("r_tab", false).schema;
+    plan.right_table = "s_tab";
+    plan.right_schema = MakeTable("s_tab", false).schema;
+    plan.left_key_cols = {0};
+    plan.right_key_cols = {0};
+    plan.projections = {exec::Expr::Column(0)};
+  }
 
   TimePoint t0 = net.sim()->now();
   TimePoint t_done = 0;
-  size_t got = 0;
   auto r = net.node(0)->query_engine()->Execute(
       plan, [&](const query::ResultBatch& b) {
-        got = b.rows.size();
+        out.got = b.rows.size();
         t_done = net.sim()->now();
       });
   if (!r.ok()) {
-    std::printf("%-15s FAILED: %s\n", query::JoinStrategyName(strategy),
-                r.status().ToString().c_str());
-    return;
+    std::printf("execute FAILED: %s\n", r.status().ToString().c_str());
+    return out;
   }
   net.RunFor(Seconds(40));
+  out.seconds = ToSecondsF(t_done - t0);
 
-  uint64_t bytes_after = net.TotalBytesOut(overlay::Proto::kOverlay) +
-                         net.TotalBytesOut(overlay::Proto::kDht) +
-                         net.TotalBytesOut(overlay::Proto::kQuery) +
-                         net.TotalBytesOut(overlay::Proto::kBroadcast);
-  uint64_t rehash = 0, fetches = 0, suppressed = 0;
+  uint64_t qp_after = query_plane();
+  uint64_t all_after = qp_after +
+                       net.TotalBytesOut(overlay::Proto::kBroadcast);
+  uint64_t qp_delta = qp_after - qp_before;
+  out.query_plane_bytes = qp_delta > noise_floor ? qp_delta - noise_floor : 0;
+  out.total_bytes = all_after - all_before;
   for (size_t i = 0; i < net.size(); ++i) {
     const auto& st = net.node(i)->query_engine()->stats();
-    rehash += st.rehash_puts;
-    fetches += st.fetch_gets + st.semijoin_fetches;
-    suppressed += st.bloom_suppressed;
+    out.rehash += st.rehash_puts;
+    out.fetches += st.fetch_gets + st.semijoin_fetches;
+    out.suppressed += st.bloom_suppressed;
   }
-  std::printf("%-15s %8zu/%-8" PRId64 " %9.1f %12.1f %10" PRIu64
+  out.ok = true;
+  return out;
+}
+
+void PrintRow(const char* label, const RunResult& r) {
+  std::printf("%-18s %8zu/%-8" PRId64 " %9.1f %12.1f %10" PRIu64
               " %9" PRIu64 " %10" PRIu64 "\n",
-              query::JoinStrategyName(strategy), got, expected,
-              ToSecondsF(t_done - t0),
-              static_cast<double>(bytes_after - bytes_before) / 1024.0,
-              rehash, fetches, suppressed);
+              label, r.got, r.expected, r.seconds,
+              static_cast<double>(r.query_plane_bytes) / 1024.0, r.rehash,
+              r.fetches, r.suppressed);
 }
 
 }  // namespace
 }  // namespace pier
 
-int main() {
+int main(int argc, char** argv) {
+  using pier::query::JoinStrategy;
+  pier::bench::JsonOptions json = pier::bench::ParseJsonFlag(argc, argv);
+  pier::bench::JsonReport report("join_strategies");
+
   std::printf("== Ablation B: distributed join strategies ==\n");
-  std::printf("nodes=%zu |R|=%d |S|=%d keyspace=%d (low match rate)\n\n",
+  std::printf("nodes=%zu |R|=%d |S|=%d keyspace=%d payload=%zuB "
+              "(low match rate)\n\n",
               pier::kNodes, pier::kLeftRows, pier::kRightRows,
-              pier::kKeySpace);
-  std::printf("%-15s %17s %9s %12s %10s %9s %10s\n", "strategy",
-              "results/expected", "time.s", "traffic.KiB", "rehashed",
+              pier::kKeySpace, pier::kPayloadBytes);
+  std::printf("%-18s %17s %9s %12s %10s %9s %10s\n", "strategy",
+              "results/expected", "time.s", "qplane.KiB", "rehashed",
               "fetches", "bloom.cut");
-  pier::RunStrategy(pier::query::JoinStrategy::kSymmetricHash);
-  pier::RunStrategy(pier::query::JoinStrategy::kFetchMatches);
-  pier::RunStrategy(pier::query::JoinStrategy::kSymmetricSemi);
-  pier::RunStrategy(pier::query::JoinStrategy::kBloom);
-  std::printf("\nexpected shape: symmetric hash ships everything; "
-              "fetch-matches trades rehash for per-tuple gets; Bloom cuts "
-              "non-matching rehash traffic\n");
+
+  bool exact = true;
+  const JoinStrategy kAll[] = {
+      JoinStrategy::kSymmetricHash, JoinStrategy::kFetchMatches,
+      JoinStrategy::kSymmetricSemi, JoinStrategy::kBloom};
+  for (JoinStrategy s : kAll) {
+    pier::RunResult r = pier::RunJoin(s, /*via_planner=*/false,
+                                      /*with_stats=*/false);
+    PrintRow(pier::query::JoinStrategyName(s), r);
+    exact = exact && r.ok && static_cast<int64_t>(r.got) == r.expected;
+    report.Metric(std::string(pier::query::JoinStrategyName(s)) +
+                      "_qplane_bytes",
+                  static_cast<double>(r.query_plane_bytes), "bytes");
+  }
+
+  // Part 2: the planner picks. Same SQL, only the catalog differs.
+  pier::RunResult blind = pier::RunJoin(JoinStrategy::kSymmetricHash,
+                                        /*via_planner=*/true,
+                                        /*with_stats=*/false);
+  pier::RunResult informed = pier::RunJoin(JoinStrategy::kSymmetricHash,
+                                           /*via_planner=*/true,
+                                           /*with_stats=*/true);
+  std::printf("\n");
+  PrintRow("planner/no-stats", blind);
+  PrintRow("planner/stats", informed);
+  std::printf("\nplanner chose without stats: %s, with stats: %s\n",
+              blind.planned.c_str(), informed.planned.c_str());
+
+  exact = exact && blind.ok && informed.ok &&
+          static_cast<int64_t>(blind.got) == blind.expected &&
+          static_cast<int64_t>(informed.got) == informed.expected;
+  double reduction =
+      informed.query_plane_bytes > 0
+          ? static_cast<double>(blind.query_plane_bytes) /
+                static_cast<double>(informed.query_plane_bytes)
+          : 0.0;
+  std::printf("query-plane bytes: %.1f KiB (stats-blind) vs %.1f KiB "
+              "(stats-driven) = %.1fx reduction\n",
+              static_cast<double>(blind.query_plane_bytes) / 1024.0,
+              static_cast<double>(informed.query_plane_bytes) / 1024.0,
+              reduction);
+  report.Metric("planner_blind_qplane_bytes",
+                static_cast<double>(blind.query_plane_bytes), "bytes");
+  report.Metric("planner_stats_qplane_bytes",
+                static_cast<double>(informed.query_plane_bytes), "bytes");
+  report.Metric("planner_bytes_reduction", reduction, "x");
+  if (json.enabled && !report.WriteMerged(json.path)) {
+    std::fprintf(stderr, "failed to write %s\n", json.path.c_str());
+    return 1;
+  }
+
+  // Gates: exact answers everywhere; the informed planner must not stay on
+  // symmetric hash; and its plan must move >=5x fewer query-plane bytes.
+  if (!exact) {
+    std::printf("FAIL: a strategy returned a wrong or incomplete answer\n");
+    return 1;
+  }
+  if (informed.planned.find("hash") != std::string::npos ||
+      informed.planned.empty()) {
+    std::printf("FAIL: stats-driven planner stayed on %s\n",
+                informed.planned.c_str());
+    return 1;
+  }
+  if (reduction < 5.0) {
+    std::printf("FAIL: stats-driven plan saved only %.1fx (need >=5x)\n",
+                reduction);
+    return 1;
+  }
+  std::printf("OK: planner-selected %s at equal recall, %.1fx fewer bytes\n",
+              informed.planned.c_str(), reduction);
   return 0;
 }

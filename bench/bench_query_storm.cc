@@ -25,7 +25,7 @@
 // trip, and sweep sharing must actually engage. All checks are virtual-time
 // deterministic; wall clock is recorded but never gated.
 //
-// `--json[=path]` merges the metrics into the shared report (BENCH_PR9.json).
+// `--json[=path]` merges the metrics into the shared report (BENCH_PR10.json).
 
 #include <algorithm>
 #include <cinttypes>

@@ -14,10 +14,12 @@
 #                RelWithDebInfo build hides.
 #   --no-perf    Skip the perf-smoke step (bench_sim_core + bench_table1 +
 #                bench_range_scan + bench_multiway_join +
-#                bench_exec_vectorized + bench_query_storm with --json,
-#                merged into BENCH_PR9.json). The smoke fails only on a
-#                bench self-check mismatch (all deterministic) or the
-#                vectorized bench's >=5x speedup gate, never on raw timing.
+#                bench_exec_vectorized + bench_query_storm +
+#                bench_join_strategies with --json, merged into
+#                BENCH_PR10.json). The smoke fails only on a bench
+#                self-check mismatch (all deterministic), the vectorized
+#                bench's >=5x speedup gate, or the join-strategy bench's
+#                >=5x traffic-reduction gate, never on raw timing.
 #   --fuzz       Also run the extended fault-injection fuzz lane: configures
 #                with -DPIER_FUZZ_LANE=ON and runs `ctest -L fuzz`
 #                (PIER_FUZZ_ITERS scenarios, default 60). Failing seeds +
@@ -92,25 +94,30 @@ if [[ $PERF -eq 1 ]]; then
   # exact rows on both access paths, index touching < 25% of nodes while
   # the scan touches all of them, both answers closing well inside the
   # result window); wall-clock numbers are recorded, never gated on.
-  echo "== perf smoke (BENCH_PR9.json) =="
-  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR9.json
-  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR9.json | tail -4
+  echo "== perf smoke (BENCH_PR10.json) =="
+  "$BUILD_DIR/bench_sim_core" --json=BENCH_PR10.json
+  "$BUILD_DIR/bench_table1_top_intrusions" --json=BENCH_PR10.json | tail -4
   # Same Table 1 query under 20% link loss: records what the reliable
   # result plane paid (retransmit frames/bytes) and what the Completeness
   # summary admits about coverage. Non-gating on the 10/10 match — under
   # loss the contract is honesty, not telepathy.
-  "$BUILD_DIR/bench_table1_top_intrusions" --lossy --json=BENCH_PR9.json | tail -6
-  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR9.json | tail -3
-  "$BUILD_DIR/bench_multiway_join" --json=BENCH_PR9.json | tail -3
+  "$BUILD_DIR/bench_table1_top_intrusions" --lossy --json=BENCH_PR10.json | tail -6
+  "$BUILD_DIR/bench_range_scan" --json=BENCH_PR10.json | tail -3
+  "$BUILD_DIR/bench_multiway_join" --json=BENCH_PR10.json | tail -3
   # Self-check: the batch plane must hold its >=5x rows/s edge over the
   # tuple plane (deterministic row counts; the ratio gate rides wall-clock
   # but is interleaved best-of-N, far from the 5x line on any idle box).
-  "$BUILD_DIR/bench_exec_vectorized" --json=BENCH_PR9.json | tail -3
+  "$BUILD_DIR/bench_exec_vectorized" --json=BENCH_PR10.json | tail -3
   # The multi-tenant storm: 1000 mixed index/scan/join queries over 256
   # nodes. Gates on exact answers for every query, zero admission refusals
   # or budget trips at the raised budgets, and the scheduler's sweep
   # sharing actually engaging (store sweeps < scan tasks).
-  "$BUILD_DIR/bench_query_storm" --json=BENCH_PR9.json | tail -4
+  "$BUILD_DIR/bench_query_storm" --json=BENCH_PR10.json | tail -4
+  # Join-strategy ablation + planner selection. Gates on every strategy
+  # returning the exact join answer and on the stats-driven planner choice
+  # cutting query-plane bytes >=5x versus the stats-blind symmetric-hash
+  # plan for the same low-match workload (deterministic virtual time).
+  "$BUILD_DIR/bench_join_strategies" --json=BENCH_PR10.json | tail -6
 fi
 
 echo "== OK =="

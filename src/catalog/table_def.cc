@@ -14,6 +14,10 @@ void TableDef::Serialize(Writer* w) const {
     w->PutVarint32(static_cast<uint32_t>(idx.col));
     w->PutVarint32(static_cast<uint32_t>(idx.bucket_size));
   }
+  w->PutVarint64(stats.row_count);
+  w->PutVarint32(stats.avg_tuple_bytes);
+  w->PutVarint32(static_cast<uint32_t>(stats.distinct_per_col.size()));
+  for (uint64_t d : stats.distinct_per_col) w->PutVarint64(d);
 }
 
 Status TableDef::Deserialize(Reader* r, TableDef* out) {
@@ -43,6 +47,16 @@ Status TableDef::Deserialize(Reader* r, TableDef* out) {
     }
     out->indexes.push_back(
         IndexDef{static_cast<int>(col), static_cast<int>(bucket)});
+  }
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->stats.row_count));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&out->stats.avg_tuple_bytes));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 1000) return Status::Corruption("too many column stats");
+  out->stats.distinct_per_col.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t d = 0;
+    PIER_RETURN_IF_ERROR(r->GetVarint64(&d));
+    out->stats.distinct_per_col.push_back(d);
   }
   return Status::OK();
 }

@@ -35,6 +35,32 @@ struct IndexDef {
   }
 };
 
+/// Coarse per-table statistics for cost-based planning. PIER has no global
+/// catalog service, so these are application-declared estimates (shipped
+/// with the table definition like everything else), not maintained
+/// histograms. Zero means unknown; the planner treats unknown
+/// conservatively (symmetric-hash, never a suppressing strategy).
+struct TableStats {
+  /// Estimated network-wide row count. 0 = unknown (stats absent).
+  uint64_t row_count = 0;
+  /// Estimated serialized tuple width in bytes. 0 = unknown.
+  uint32_t avg_tuple_bytes = 0;
+  /// Estimated distinct values per column, parallel to the schema
+  /// (shorter vectors leave trailing columns unknown). 0 = unknown.
+  std::vector<uint64_t> distinct_per_col;
+
+  bool empty() const { return row_count == 0; }
+  /// Distinct estimate for `col`, falling back to `row_count` (every row
+  /// distinct) when the column is unknown.
+  uint64_t DistinctFor(int col) const {
+    if (col >= 0 && static_cast<size_t>(col) < distinct_per_col.size() &&
+        distinct_per_col[col] > 0) {
+      return distinct_per_col[col];
+    }
+    return row_count;
+  }
+};
+
 /// Binding of a relation to its DHT storage layout.
 struct TableDef {
   /// Relation name == DHT namespace.
@@ -46,6 +72,10 @@ struct TableDef {
   Duration ttl = Seconds(120);
   /// Secondary indexes maintained piggyback on every publish.
   std::vector<IndexDef> indexes;
+  /// Planner statistics (row counts, widths, key selectivity). Optional:
+  /// an empty() stats block keeps every plan on the conservative
+  /// symmetric-hash default.
+  TableStats stats;
 
   /// The index over `col`, or nullptr.
   const IndexDef* IndexOn(int col) const {

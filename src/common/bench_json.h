@@ -1,6 +1,6 @@
 // Machine-readable benchmark output: the shared `--json` harness.
 //
-// Every macro bench accepts `--json[=path]` (default BENCH_PR9.json) and, in
+// Every macro bench accepts `--json[=path]` (default BENCH_PR10.json) and, in
 // that mode, appends/replaces its entry in a merged report file so a CI step
 // can run several bench binaries and upload one artifact. The file is the
 // perf trajectory of the repo: each PR lands with fresh numbers, so a
@@ -34,7 +34,7 @@ namespace bench {
 /// harness did not consume, so benches can layer their own flags on top.
 struct JsonOptions {
   bool enabled = false;
-  std::string path = "BENCH_PR9.json";
+  std::string path = "BENCH_PR10.json";
   std::vector<std::string> args;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "planner/join_cost.h"
+
 namespace pier {
 namespace planner {
 
@@ -500,6 +502,20 @@ Result<QueryPlan> PlanMultiwayJoin(const SelectStmt& stmt,
     query::OpNode j;
     j.type = query::OpType::kJoin;
     j.strategy = query::JoinStrategy::kSymmetricHash;
+    // Per-edge strategy selection. Only the first edge joins two base-table
+    // scans; later edges consume a prior join's rehash output, whose
+    // tuples exist nowhere until that join runs — semi/Bloom pre-filtering
+    // has no scan to suppress, so those edges stay symmetric hash.
+    if (k == 0 && options.join_strategy ==
+                      query::JoinStrategy::kSymmetricHash) {
+      JoinCostInputs ci;
+      ci.left = &defs[0]->stats;
+      ci.right = &defs[steps[k].table]->stats;
+      ci.left_key_cols = steps[k].left_keys;
+      ci.right_key_cols = steps[k].right_keys;
+      j.strategy = ChooseJoinStrategy(ci).strategy;
+      plan.join_strategy = j.strategy;
+    }
     j.left_keys = steps[k].left_keys;
     j.right_keys = steps[k].right_keys;
     j.inputs = {upstream, right};
@@ -829,7 +845,19 @@ Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
   plan.join_strategy = options.join_strategy;
   if (options.prefer_fetch_matches &&
       right_def->partition_cols == plan.right_key_cols) {
+    // Partitioning alignment beats any cardinality argument: fetch-matches
+    // ships zero tuples for the inner relation.
     plan.join_strategy = query::JoinStrategy::kFetchMatches;
+  } else if (options.join_strategy == query::JoinStrategy::kSymmetricHash) {
+    // The caller left the strategy at its default, so the planner owns the
+    // choice: consult table statistics and pick the cheapest shipping
+    // strategy for this edge. Without stats this is a no-op (hash).
+    JoinCostInputs ci;
+    ci.left = &left_def->stats;
+    ci.right = &right_def->stats;
+    ci.left_key_cols = plan.left_key_cols;
+    ci.right_key_cols = plan.right_key_cols;
+    plan.join_strategy = ChooseJoinStrategy(ci).strategy;
   }
 
   if (has_agg) {

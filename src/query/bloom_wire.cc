@@ -1,0 +1,48 @@
+#include "query/bloom_wire.h"
+
+namespace pier {
+namespace query {
+
+void BloomPartFrame::Serialize(Writer* w) const {
+  w->PutVarint64(qid);
+  w->PutVarint32(join_node);
+  left.Serialize(w);
+  right.Serialize(w);
+}
+
+Status BloomPartFrame::Deserialize(Reader* r, BloomPartFrame* out) {
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->qid));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&out->join_node));
+  PIER_RETURN_IF_ERROR(BloomFilter::Deserialize(r, &out->left));
+  PIER_RETURN_IF_ERROR(BloomFilter::Deserialize(r, &out->right));
+  return Status::OK();
+}
+
+void BloomDistFrame::Serialize(Writer* w) const {
+  w->PutVarint64(qid);
+  w->PutVarint32(join_node);
+  w->PutVarint64(parts_expected);
+  w->PutVarint64(parts_reported);
+  w->PutBool(complete);
+  left.Serialize(w);
+  right.Serialize(w);
+}
+
+Status BloomDistFrame::Deserialize(Reader* r, BloomDistFrame* out) {
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->qid));
+  PIER_RETURN_IF_ERROR(r->GetVarint32(&out->join_node));
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->parts_expected));
+  PIER_RETURN_IF_ERROR(r->GetVarint64(&out->parts_reported));
+  PIER_RETURN_IF_ERROR(r->GetBool(&out->complete));
+  PIER_RETURN_IF_ERROR(BloomFilter::Deserialize(r, &out->left));
+  PIER_RETURN_IF_ERROR(BloomFilter::Deserialize(r, &out->right));
+  // A claimed-complete wave with an impossible accounting line is hostile
+  // or corrupt: refuse it rather than let it authorize suppression.
+  if (out->complete && out->parts_reported < out->parts_expected) {
+    return Status::Corruption("bloom dist frame: complete but under-reported");
+  }
+  return Status::OK();
+}
+
+}  // namespace query
+}  // namespace pier

@@ -168,6 +168,11 @@ struct QueryEngine::ActiveQuery {
   /// broadcast reached, and whether every subtree confirmed.
   uint64_t members_expected = 0;
   bool coverage_complete = false;
+
+  // -- Bloom filter waves (PR 10) --------------------------------------------
+  /// Origin-side: waves this query broadcast incomplete (parts lost/late
+  /// or coverage unknown at bloom_wait) — those edges ran the full rehash.
+  uint64_t filter_waves_degraded = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -469,14 +474,49 @@ void QueryEngine::SendQueryBytes(uint32_t to, const Writer& w) {
   SendDirect(static_cast<sim::HostId>(to), w);
 }
 
-void QueryEngine::BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+void QueryEngine::BroadcastBloomFilters(uint64_t qid, uint32_t node_id,
+                                        uint64_t parts_expected,
+                                        uint64_t parts_reported, bool complete,
+                                        const BloomFilter& left,
                                         const BloomFilter& right) {
+  // The wave's verdict is part of the query's answer-quality story: an
+  // incomplete wave means that edge ran the full rehash, and the batch's
+  // Completeness must say so.
+  auto it = queries_.find(qid);
+  if (it != queries_.end()) {
+    if (complete) {
+      ++stats_.bloom_waves_complete;
+    } else {
+      ++stats_.bloom_waves_degraded;
+      ++it->second->filter_waves_degraded;
+      PLOG(kInfo, "qe@" + std::to_string(transport_->self()))
+          << "query " << qid << " bloom wave incomplete ("
+          << parts_reported << "/" << parts_expected
+          << " parts): edge degrades to full rehash";
+    }
+  }
   Writer w;
   w.PutU8(static_cast<uint8_t>(BcastKind::kBloomDist));
-  w.PutVarint64(qid);
-  left.Serialize(&w);
-  right.Serialize(&w);
+  BloomDistFrame frame;
+  frame.qid = qid;
+  frame.join_node = node_id;
+  frame.parts_expected = parts_expected;
+  frame.parts_reported = parts_reported;
+  frame.complete = complete;
+  frame.left = left;
+  frame.right = right;
+  frame.Serialize(&w);
   broadcast_->Broadcast(sim::Payload(w.Release()));
+}
+
+void QueryEngine::QueryCoverage(uint64_t qid, uint64_t* members,
+                                bool* complete) const {
+  *members = 0;
+  *complete = false;
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  *members = it->second->members_expected;
+  *complete = it->second->coverage_complete;
 }
 
 sim::TimerId QueryEngine::ScheduleStageTimer(Duration delay, uint64_t qid,
@@ -1023,7 +1063,8 @@ Completeness QueryEngine::BuildCompleteness(ActiveQuery* aq, uint64_t epoch,
   }
   c.frames_retried += aq->outbox.retried;
   c.frames_lost += aq->outbox.lost;
-  c.exact = exact_certified;
+  c.filter_waves_degraded = aq->filter_waves_degraded;
+  c.exact = exact_certified && aq->filter_waves_degraded == 0;
   return c;
 }
 
@@ -1208,19 +1249,14 @@ void QueryEngine::OnBroadcast(sim::HostId /*bcast_origin*/, uint64_t /*seq*/,
       break;
     }
     case BcastKind::kBloomDist: {
-      uint64_t qid = 0;
-      if (!r.GetVarint64(&qid).ok()) return;
-      auto it = queries_.find(qid);
+      BloomDistFrame frame;
+      if (!BloomDistFrame::Deserialize(&r, &frame).ok()) return;
+      auto it = queries_.find(frame.qid);
       if (it == queries_.end() || it->second->ended ||
           it->second->runtime == nullptr) {
         return;
       }
-      BloomFilter left(64, 1), right(64, 1);
-      if (!BloomFilter::Deserialize(&r, &left).ok() ||
-          !BloomFilter::Deserialize(&r, &right).ok()) {
-        return;
-      }
-      it->second->runtime->OnBloomDist(std::move(left), std::move(right));
+      it->second->runtime->OnBloomDist(std::move(frame));
       break;
     }
     case BcastKind::kQueryEnd:
@@ -1573,14 +1609,16 @@ void QueryEngine::DispatchMessage(sim::HostId from, uint8_t type, Reader* r) {
       break;
     }
     case MsgType::kBloomPart: {
-      uint64_t qid = 0;
-      if (!r->GetVarint64(&qid).ok()) return;
-      auto it = queries_.find(qid);
+      BloomPartFrame frame;
+      if (!BloomPartFrame::Deserialize(r, &frame).ok()) return;
+      auto it = queries_.find(frame.qid);
       if (it == queries_.end() || !it->second->is_origin ||
           it->second->ended || it->second->runtime == nullptr) {
         return;
       }
-      it->second->runtime->OnBloomPart(r);
+      // `from` is the transport-level sender: parts are accounted per
+      // member, so a retransmitted part never double-counts.
+      it->second->runtime->OnBloomPart(from, frame);
       break;
     }
     default:

@@ -135,8 +135,12 @@ class QueryEngine : public ops::StageHost {
                            const std::vector<catalog::Tuple>& partials,
                            ExchangeKind route) override;
   void SendQueryBytes(uint32_t to, const Writer& w) override;
-  void BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+  void BroadcastBloomFilters(uint64_t qid, uint32_t node_id,
+                             uint64_t parts_expected, uint64_t parts_reported,
+                             bool complete, const BloomFilter& left,
                              const BloomFilter& right) override;
+  void QueryCoverage(uint64_t qid, uint64_t* members,
+                     bool* complete) const override;
   sim::TimerId ScheduleStageTimer(Duration delay, uint64_t qid,
                                   uint32_t node_id, uint64_t token) override;
   void CancelTimer(sim::TimerId id) override;

@@ -8,7 +8,29 @@ using catalog::Tuple;
 
 namespace {
 const std::string kNoNamespace;
+/// Origin: bloom_wait elapsed — account the wave and broadcast the union.
 constexpr uint64_t kBloomBroadcastToken = 0;
+/// Every node: the distribution never arrived — produce the full rehash.
+constexpr uint64_t kBloomFallbackToken = 1;
+
+/// Layout of the semi-join's rehashed key projection:
+/// [key columns (typed from the scan's schema)..., host, row id].
+catalog::Schema SemiProjectionSchema(const catalog::Schema& scan_schema,
+                                     const std::vector<int>& keys) {
+  std::vector<catalog::Column> cols;
+  cols.reserve(keys.size() + 2);
+  for (int c : keys) {
+    if (c >= 0 && static_cast<size_t>(c) < scan_schema.num_columns()) {
+      cols.push_back(scan_schema.column(static_cast<size_t>(c)));
+    } else {
+      cols.push_back(catalog::Column{"key", ValueType::kNull});
+    }
+  }
+  cols.push_back(catalog::Column{"semi_host", ValueType::kInt64});
+  cols.push_back(catalog::Column{"semi_row", ValueType::kInt64});
+  return catalog::Schema(scan_schema.relation(), std::move(cols));
+}
+
 }  // namespace
 
 JoinStage::JoinStage(StageHost* host, uint64_t qid, uint32_t node_id,
@@ -44,10 +66,31 @@ void JoinStage::InitOrigin() {
                             kBloomBroadcastToken);
 }
 
-void JoinStage::OnTimer(uint64_t /*token*/) {
-  // Bloom collection window over: redistribute the union network-wide.
-  if (collect_left_ == nullptr || collect_right_ == nullptr) return;
-  host_->BroadcastBloomFilters(qid_, *collect_left_, *collect_right_);
+void JoinStage::OnTimer(uint64_t token) {
+  if (token == kBloomBroadcastToken) {
+    // Bloom collection window over: close the wave, account the parts
+    // against the plan broadcast's confirmed coverage, and redistribute
+    // the union network-wide with the verdict.
+    if (!is_origin_ || collect_left_ == nullptr || wave_closed_) return;
+    wave_closed_ = true;
+    uint64_t expected = 0;
+    bool covered = false;
+    host_->QueryCoverage(qid_, &expected, &covered);
+    // +1: the origin's own scan contributed directly to the collectors.
+    uint64_t reported = static_cast<uint64_t>(part_senders_.size()) + 1;
+    bool complete = covered && expected > 0 && reported >= expected;
+    host_->BroadcastBloomFilters(qid_, node_id_, expected, reported,
+                                 complete, *collect_left_, *collect_right_);
+    return;
+  }
+  if (token == kBloomFallbackToken) {
+    // No kBloomDist by the deadline (lost broadcast, partitioned origin):
+    // this node's slices must still reach the rendezvous. Produce the full
+    // unsuppressed rehash — the degraded-but-lossless baseline.
+    if (produced_ || node_->strategy != JoinStrategy::kBloom) return;
+    ++host_->mutable_stats()->bloom_dist_timeouts;
+    ProduceFromScans(/*bloom_phase2=*/true);
+  }
 }
 
 void JoinStage::Setup() {
@@ -79,6 +122,11 @@ void JoinStage::Setup() {
 
   if (node_->strategy == JoinStrategy::kBloom) {
     BloomPhase1();
+    // Backstop for a lost distribution: twice the collection window gives
+    // the origin's bloom_wait timer plus the broadcast hop ample slack,
+    // and still lands well inside any sane result window.
+    host_->ScheduleStageTimer(2 * host_->engine_options().bloom_wait, qid_,
+                              node_id_, kBloomFallbackToken);
   } else {
     ProduceFromScans(/*bloom_phase2=*/false);
   }
@@ -88,10 +136,16 @@ void JoinStage::BloomPhase1() {
   const EngineOptions& o = host_->engine_options();
   BloomFilter left(o.bloom_bits, o.bloom_hashes);
   BloomFilter right(o.bloom_bits, o.bloom_hashes);
+  // One pass per side: the same scan builds the filter AND caches the rows
+  // phase 2 publishes. Besides halving the scan cost, this pins the filter
+  // and the published snapshot to the same instant — a tuple arriving
+  // between two separate passes used to be suppressed by a filter that had
+  // never seen its key.
   if (left_scan_ != nullptr) {
     ScanStage scan(host_, left_scan_, window_);
     scan.Run([&](const Tuple& t) {
       left.Add(catalog::HashTupleCols(t, node_->left_keys));
+      cached_left_.push_back(t);
       return true;
     });
   }
@@ -99,9 +153,11 @@ void JoinStage::BloomPhase1() {
     ScanStage scan(host_, right_scan_, window_);
     scan.Run([&](const Tuple& t) {
       right.Add(catalog::HashTupleCols(t, node_->right_keys));
+      cached_right_.push_back(t);
       return true;
     });
   }
+  scans_cached_ = true;
   if (is_origin_) {
     if (collect_left_ != nullptr) (void)collect_left_->UnionWith(left);
     if (collect_right_ != nullptr) (void)collect_right_->UnionWith(right);
@@ -109,50 +165,74 @@ void JoinStage::BloomPhase1() {
   }
   Writer w;
   w.PutU8(static_cast<uint8_t>(MsgType::kBloomPart));
-  w.PutVarint64(qid_);
-  left.Serialize(&w);
-  right.Serialize(&w);
+  BloomPartFrame frame;
+  frame.qid = qid_;
+  frame.join_node = node_id_;
+  frame.left = std::move(left);
+  frame.right = std::move(right);
+  frame.Serialize(&w);
   ++host_->mutable_stats()->bloom_filters_sent;
   host_->SendQueryBytes(origin_host_, w);
 }
 
-void JoinStage::OnBloomPart(Reader* r) {
+void JoinStage::OnBloomPart(uint32_t from, const BloomPartFrame& frame) {
   if (!is_origin_ || collect_left_ == nullptr) return;
-  BloomFilter left(64, 1), right(64, 1);
-  if (!BloomFilter::Deserialize(r, &left).ok() ||
-      !BloomFilter::Deserialize(r, &right).ok()) {
+  if (wave_closed_) {
+    // The union this part belongs to has already been broadcast; folding
+    // it in now would vouch for keys nobody will ever see. The wave that
+    // missed it went out flagged incomplete, so no suppression happened.
+    ++host_->mutable_stats()->bloom_parts_late;
     return;
   }
-  (void)collect_left_->UnionWith(left);
-  (void)collect_right_->UnionWith(right);
+  // A geometry-mismatched filter can only ADD bits (UnionWith refuses it),
+  // so a partial union is harmless; but such a part is not accounted.
+  bool ok = collect_left_->UnionWith(frame.left).ok();
+  ok = collect_right_->UnionWith(frame.right).ok() && ok;
+  if (!ok) return;
+  part_senders_.insert(from);
+  ++host_->mutable_stats()->bloom_parts_received;
 }
 
-void JoinStage::OnBloomDist(BloomFilter left, BloomFilter right) {
-  dist_left_ = std::make_unique<BloomFilter>(std::move(left));
-  dist_right_ = std::make_unique<BloomFilter>(std::move(right));
+void JoinStage::OnBloomDist(BloomDistFrame frame) {
+  if (node_->strategy != JoinStrategy::kBloom || produced_) return;
+  if (frame.complete) {
+    dist_left_ = std::make_unique<BloomFilter>(std::move(frame.left));
+    dist_right_ = std::make_unique<BloomFilter>(std::move(frame.right));
+  }
+  // An incomplete wave leaves the dist filters null: phase 2 publishes
+  // everything (full rehash). Degraded, never lossy.
   ProduceFromScans(/*bloom_phase2=*/true);
 }
 
 void JoinStage::ProduceFromScans(bool bloom_phase2) {
   std::vector<Tuple> left, right;
-  if (left_scan_ != nullptr) {
-    ScanStage scan(host_, left_scan_, window_);
-    scan.Run([&](const Tuple& t) {
-      left.push_back(t);
-      return true;
-    });
-  }
-  if (right_scan_ != nullptr) {
-    ScanStage scan(host_, right_scan_, window_);
-    scan.Run([&](const Tuple& t) {
-      right.push_back(t);
-      return true;
-    });
+  if (scans_cached_) {
+    left = std::move(cached_left_);
+    right = std::move(cached_right_);
+    cached_left_.clear();
+    cached_right_.clear();
+    scans_cached_ = false;
+  } else {
+    if (left_scan_ != nullptr) {
+      ScanStage scan(host_, left_scan_, window_);
+      scan.Run([&](const Tuple& t) {
+        left.push_back(t);
+        return true;
+      });
+    }
+    if (right_scan_ != nullptr) {
+      ScanStage scan(host_, right_scan_, window_);
+      scan.Run([&](const Tuple& t) {
+        right.push_back(t);
+        return true;
+      });
+    }
   }
 
   switch (node_->strategy) {
     case JoinStrategy::kBloom:
       if (!bloom_phase2) return;  // phase 2 starts when filters arrive
+      produced_ = true;
       [[fallthrough]];
     case JoinStrategy::kSymmetricHash: {
       auto publish_side = [&](std::vector<Tuple>& rows,
@@ -164,6 +244,8 @@ void JoinStage::ProduceFromScans(bool bloom_phase2) {
           for (Tuple& t : rows) {
             if (!suppress->MayContain(catalog::HashTupleCols(t, keys))) {
               ++host_->mutable_stats()->bloom_suppressed;
+              host_->mutable_stats()->bloom_bytes_saved +=
+                  catalog::TupleToBytes(t).size();
               continue;
             }
             if (&*kept != &t) *kept = std::move(t);  // self-move would clear t
@@ -186,16 +268,20 @@ void JoinStage::ProduceFromScans(bool bloom_phase2) {
       break;
     }
     case JoinStrategy::kSymmetricSemi: {
-      auto rehash_keys = [&](const std::vector<Tuple>& rows,
-                             const std::vector<int>& keys, int side) {
+      auto rehash_keys = [&](std::vector<Tuple>& rows,
+                             const std::vector<int>& keys,
+                             const OpNode* scan, int side) {
         std::vector<int> leading;
         for (size_t i = 0; i < keys.size(); ++i) {
           leading.push_back(static_cast<int>(i));
         }
-        for (const Tuple& t : rows) {
+        std::vector<Tuple> projs;
+        projs.reserve(rows.size());
+        uint64_t saved = 0;
+        for (Tuple& t : rows) {
           uint64_t row_id = next_row_id_++;
-          row_registry_.emplace(row_id, t);
           Tuple proj;
+          proj.reserve(keys.size() + 2);
           for (int c : keys) {
             proj.push_back(c >= 0 && static_cast<size_t>(c) < t.size()
                                ? t[c]
@@ -203,11 +289,27 @@ void JoinStage::ProduceFromScans(bool bloom_phase2) {
           }
           proj.push_back(Value::Int64(host_->self_host()));
           proj.push_back(Value::Int64(static_cast<int64_t>(row_id)));
-          exchange_->Publish(side, leading, proj);
+          size_t full = catalog::TupleToBytes(t).size();
+          size_t slim = catalog::TupleToBytes(proj).size();
+          if (full > slim) saved += full - slim;
+          row_registry_.emplace(row_id, std::move(t));
+          projs.push_back(std::move(proj));
         }
+        host_->mutable_stats()->semijoin_bytes_saved += saved;
+        if (host_->engine_options().vectorized && scan != nullptr &&
+            !projs.empty()) {
+          // Key projections ride the columnar plane exactly like the hash
+          // path: one frame per rendezvous owner instead of one put per
+          // row (this used to fall back to tuple-at-a-time silently).
+          exchange_->PublishBatch(side, leading,
+                                  SemiProjectionSchema(scan->schema, keys),
+                                  projs);
+          return;
+        }
+        for (const Tuple& p : projs) exchange_->Publish(side, leading, p);
       };
-      rehash_keys(left, node_->left_keys, 0);
-      rehash_keys(right, node_->right_keys, 1);
+      rehash_keys(left, node_->left_keys, left_scan_, 0);
+      rehash_keys(right, node_->right_keys, right_scan_, 1);
       break;
     }
     case JoinStrategy::kFetchMatches: {

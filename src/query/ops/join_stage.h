@@ -11,11 +11,21 @@
 // Strategy-specific choreography (Bloom filter collection/redistribution,
 // semi-join match-time tuple fetches) lives here too, driven by the
 // engine's message routing.
+//
+// The Bloom filter wave is accounted, never fire-and-forget: the origin
+// counts the parts it unioned against the members the plan broadcast's
+// cover wave confirmed, and broadcasts the verdict with the filters.
+// Members suppress only on a complete wave; an incomplete wave (lost or
+// late parts, unknown coverage) degrades that edge to the full rehash —
+// heavier, but no row a lost filter part would have vouched for is ever
+// dropped. A member that never receives the distribution at all (lost
+// broadcast, partition) produces the full rehash from a fallback timer.
 
 #ifndef PIER_QUERY_OPS_JOIN_STAGE_H_
 #define PIER_QUERY_OPS_JOIN_STAGE_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +33,7 @@
 #include "common/bloom.h"
 #include "exec/operator.h"
 #include "exec/operators.h"
+#include "query/bloom_wire.h"
 #include "query/exchange.h"
 #include "query/ops/scan_stage.h"
 #include "query/ops/stage.h"
@@ -62,8 +73,13 @@ class JoinStage : public Stage {
   void OnArrival(const dht::StoredItem& item);
   void OnFetchReq(uint32_t from, Reader* r);
   void OnFetchResp(Reader* r);
-  void OnBloomPart(Reader* r);
-  void OnBloomDist(BloomFilter left, BloomFilter right);
+  /// Origin-only: one member's filter-wave part. Parts after the wave
+  /// closed are counted late, never unioned (the broadcast they missed is
+  /// already out, flagged incomplete).
+  void OnBloomPart(uint32_t from, const BloomPartFrame& frame);
+  /// The origin's distributed union arrived. Suppress-and-produce on a
+  /// complete wave; full unsuppressed rehash otherwise.
+  void OnBloomDist(BloomDistFrame frame);
   void OnTimer(uint64_t token) override;
 
   JoinStrategy strategy() const { return node_->strategy; }
@@ -101,9 +117,19 @@ class JoinStage : public Stage {
   std::unordered_map<uint64_t, PendingMatch> pending_matches_;
   uint64_t next_match_id_ = 1;
 
-  // Bloom join: origin-side collectors and the distributed union.
+  // Bloom join: origin-side collectors, part accounting, and the
+  // distributed union (absent => produce without suppression).
   std::unique_ptr<BloomFilter> collect_left_, collect_right_;
   std::unique_ptr<BloomFilter> dist_left_, dist_right_;
+  std::set<uint32_t> part_senders_;  ///< origin: members unioned in-window
+  bool wave_closed_ = false;         ///< origin: bloom_wait broadcast fired
+  /// Phase 1's single scan pass caches the rows phase 2 publishes, so a
+  /// Bloom join costs one scan, not two.
+  std::vector<catalog::Tuple> cached_left_, cached_right_;
+  bool scans_cached_ = false;
+  /// Phase 2 ran (filters arrived or the fallback timer fired); guards
+  /// against double production when both happen.
+  bool produced_ = false;
 };
 
 }  // namespace ops

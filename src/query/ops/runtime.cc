@@ -541,22 +541,24 @@ void QueryRuntime::OnFetchResp(Reader* r) {
   }
 }
 
-void QueryRuntime::OnBloomPart(Reader* r) {
-  for (JoinStage* js : joins_) {
-    if (js->strategy() == JoinStrategy::kBloom) {
-      js->OnBloomPart(r);
-      return;
-    }
+void QueryRuntime::OnBloomPart(uint32_t from, const BloomPartFrame& frame) {
+  if (frame.join_node >= graph_->size() ||
+      graph_->nodes[frame.join_node].type != OpType::kJoin ||
+      graph_->nodes[frame.join_node].strategy != JoinStrategy::kBloom) {
+    return;
   }
+  Stage* s = stage(frame.join_node);
+  if (s != nullptr) static_cast<JoinStage*>(s)->OnBloomPart(from, frame);
 }
 
-void QueryRuntime::OnBloomDist(BloomFilter left, BloomFilter right) {
-  for (JoinStage* js : joins_) {
-    if (js->strategy() == JoinStrategy::kBloom) {
-      js->OnBloomDist(std::move(left), std::move(right));
-      return;
-    }
+void QueryRuntime::OnBloomDist(BloomDistFrame frame) {
+  if (frame.join_node >= graph_->size() ||
+      graph_->nodes[frame.join_node].type != OpType::kJoin ||
+      graph_->nodes[frame.join_node].strategy != JoinStrategy::kBloom) {
+    return;
   }
+  Stage* s = stage(frame.join_node);
+  if (s != nullptr) static_cast<JoinStage*>(s)->OnBloomDist(std::move(frame));
 }
 
 Stage* QueryRuntime::stage(uint32_t node_id) {

@@ -62,8 +62,11 @@ class QueryRuntime {
   void OnRemotePartial(uint64_t epoch, const catalog::Tuple& t);
   void OnFetchReq(uint32_t from, Reader* r);
   void OnFetchResp(Reader* r);
-  void OnBloomPart(Reader* r);
-  void OnBloomDist(BloomFilter left, BloomFilter right);
+  /// Filter-wave frames route per-edge by the frame's join node id (a
+  /// multiway graph can carry a Bloom edge next to plain hash edges); a
+  /// frame naming a non-Bloom node is dropped, never crashes.
+  void OnBloomPart(uint32_t from, const BloomPartFrame& frame);
+  void OnBloomDist(BloomDistFrame frame);
   Stage* stage(uint32_t node_id);
 
  private:

@@ -69,9 +69,21 @@ class StageHost {
                                    ExchangeKind route) = 0;
   /// Raw engine-protocol message (semi-join fetch and Bloom traffic).
   virtual void SendQueryBytes(uint32_t to, const Writer& w) = 0;
-  /// Bloom join: origin redistributes the unioned filters network-wide.
-  virtual void BroadcastBloomFilters(uint64_t qid, const BloomFilter& left,
+  /// Bloom join: origin redistributes the unioned filters network-wide with
+  /// the wave's accounting verdict (expected/reported parts, complete).
+  /// Receivers suppress only on a complete wave; the engine surfaces a
+  /// degraded wave in the query's Completeness.
+  virtual void BroadcastBloomFilters(uint64_t qid, uint32_t node_id,
+                                     uint64_t parts_expected,
+                                     uint64_t parts_reported, bool complete,
+                                     const BloomFilter& left,
                                      const BloomFilter& right) = 0;
+  /// What the latest plan broadcast's cover wave reported for `qid`:
+  /// `*members` nodes confirmed covered (origin included; 0 = wave not
+  /// back yet), `*complete` = every reachable subtree delivered. The Bloom
+  /// wave accounts its parts against exactly this population.
+  virtual void QueryCoverage(uint64_t qid, uint64_t* members,
+                             bool* complete) const = 0;
 
   /// Arms an engine-owned timer that invokes Stage::OnTimer(token) on graph
   /// node `node_id` of `qid` — but only if the query is still live, so

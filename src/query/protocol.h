@@ -154,6 +154,23 @@ struct EngineStats {
   uint64_t semijoin_fetches = 0;
   uint64_t bloom_filters_sent = 0;
   uint64_t bloom_suppressed = 0;
+  // -- Bloom filter-wave accounting (PR 10) ----------------------------------
+  uint64_t bloom_parts_received = 0;  ///< origin: parts unioned in-window
+  /// Origin: parts arriving after the bloom_wait broadcast closed the wave.
+  /// They are counted, never unioned — a filter already broadcast cannot be
+  /// amended, so the wave that missed them went out flagged incomplete.
+  uint64_t bloom_parts_late = 0;
+  uint64_t bloom_waves_complete = 0;  ///< origin: waves broadcast suppressing
+  uint64_t bloom_waves_degraded = 0;  ///< origin: waves broadcast non-suppressing
+  /// Member: kBloomDist never arrived (lost broadcast / partition); the
+  /// fallback timer produced the full unsuppressed rehash instead.
+  uint64_t bloom_dist_timeouts = 0;
+  /// Member: serialized bytes of tuples a complete filter wave suppressed
+  /// (traffic the Bloom strategy saved vs. the full rehash).
+  uint64_t bloom_bytes_saved = 0;
+  /// Member: full-tuple bytes minus key-projection bytes across semi-join
+  /// rehashes (traffic the semi-join strategy saved vs. the full rehash).
+  uint64_t semijoin_bytes_saved = 0;
   uint64_t recursion_expansions = 0;
   uint64_t recursion_duplicates = 0;
   // -- PHT index scans (origin-side) ----------------------------------------
@@ -231,6 +248,11 @@ struct Completeness {
   /// because a per-query resource budget tripped. Any trip bars exactness:
   /// the rows that were not shipped are declared, never silently dropped.
   uint64_t budget_trips = 0;
+  /// Bloom filter waves this query's origin had to broadcast incomplete
+  /// (parts lost/late or coverage unknown at bloom_wait): those join edges
+  /// ran the full rehash instead of suppressing — slower and heavier, but
+  /// no rows were dropped. Any degraded wave bars exactness.
+  uint64_t filter_waves_degraded = 0;
   bool cancelled = false;
   bool deadline_expired = false;
   /// Engine-certified: coverage complete, every member reported this epoch,
@@ -249,6 +271,9 @@ struct Completeness {
     s += " lost=" + std::to_string(frames_lost);
     s += " shed=" + std::to_string(members_shed);
     if (budget_trips > 0) s += " budget-trips=" + std::to_string(budget_trips);
+    if (filter_waves_degraded > 0) {
+      s += " filter-waves-degraded=" + std::to_string(filter_waves_degraded);
+    }
     if (cancelled) s += " cancelled";
     if (deadline_expired) s += " deadline-expired";
     return s;

@@ -14,6 +14,7 @@
 #include "exec/batch.h"
 #include "exec/expr.h"
 #include "index/pht.h"
+#include "query/bloom_wire.h"
 #include "query/exchange.h"
 #include "query/plan.h"
 #include "sql/parser.h"
@@ -521,6 +522,93 @@ TEST(FuzzDeserialize, ExchangeBatchFrameGarbage) {
       query::RehashExchange::DecodeBatchArrival(item, &side, &batch).ok());
   EXPECT_EQ(side, 1);
   EXPECT_EQ(batch.num_rows(), 3u);
+}
+
+// The Bloom filter wave's two frame bodies (kBloomPart member->origin,
+// kBloomDist origin->members). These arrive from arbitrary peers on the
+// open network, and the dist frame's verdict decides whether nodes may
+// SUPPRESS rows — a hostile frame must never parse into an authorization
+// the sender did not earn.
+std::string ValidBloomPartBytes() {
+  query::BloomPartFrame f;
+  f.qid = 77;
+  f.join_node = 2;
+  f.left = BloomFilter(512, 3);
+  f.right = BloomFilter(512, 3);
+  f.left.Add(42);
+  f.right.Add(1322);
+  Writer w;
+  f.Serialize(&w);
+  return w.Release();
+}
+
+std::string ValidBloomDistBytes(bool complete) {
+  query::BloomDistFrame f;
+  f.qid = 77;
+  f.join_node = 2;
+  f.parts_expected = 8;
+  f.parts_reported = complete ? 8 : 5;
+  f.complete = complete;
+  f.left = BloomFilter(512, 3);
+  f.right = BloomFilter(512, 3);
+  f.left.Add(42);
+  Writer w;
+  f.Serialize(&w);
+  return w.Release();
+}
+
+TEST(FuzzDeserialize, BloomPartFrameGarbage) {
+  auto parse = [](const std::string& b) {
+    Reader r(b);
+    query::BloomPartFrame f;
+    (void)query::BloomPartFrame::Deserialize(&r, &f);
+  };
+  NoCrashOnGarbage(parse, 3000, 160, 34);
+  NoCrashOnMutation(parse, ValidBloomPartBytes(), 35);
+  // The valid frame itself decodes with its filters intact.
+  std::string valid = ValidBloomPartBytes();
+  Reader r(valid);
+  query::BloomPartFrame back;
+  ASSERT_TRUE(query::BloomPartFrame::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.qid, 77u);
+  EXPECT_EQ(back.join_node, 2u);
+  EXPECT_TRUE(back.left.MayContain(42));
+  EXPECT_TRUE(back.right.MayContain(1322));
+}
+
+TEST(FuzzDeserialize, BloomDistFrameGarbage) {
+  auto parse = [](const std::string& b) {
+    Reader r(b);
+    query::BloomDistFrame f;
+    (void)query::BloomDistFrame::Deserialize(&r, &f);
+  };
+  NoCrashOnGarbage(parse, 3000, 160, 36);
+  NoCrashOnMutation(parse, ValidBloomDistBytes(true), 37);
+  NoCrashOnMutation(parse, ValidBloomDistBytes(false), 38);
+  std::string valid = ValidBloomDistBytes(true);
+  Reader r(valid);
+  query::BloomDistFrame back;
+  ASSERT_TRUE(query::BloomDistFrame::Deserialize(&r, &back).ok());
+  EXPECT_TRUE(back.complete);
+  EXPECT_EQ(back.parts_expected, 8u);
+  EXPECT_TRUE(back.left.MayContain(42));
+}
+
+TEST(FuzzDeserialize, BloomDistUnderReportedCompletenessRejected) {
+  // A frame claiming complete=true while admitting fewer parts than
+  // expected is self-contradictory: parsing must refuse it outright so a
+  // forged verdict can never authorize suppression downstream.
+  query::BloomDistFrame f;
+  f.qid = 77;
+  f.join_node = 2;
+  f.parts_expected = 8;
+  f.parts_reported = 5;
+  f.complete = true;
+  Writer w;
+  f.Serialize(&w);
+  Reader r(w.buffer());
+  query::BloomDistFrame back;
+  EXPECT_FALSE(query::BloomDistFrame::Deserialize(&r, &back).ok());
 }
 
 TEST(FuzzSql, ParserSurvivesGarbageText) {

@@ -588,6 +588,34 @@ TEST_P(QueryJoinTest, EquiJoinMatchesReference) {
   }
   EXPECT_EQ(got, fx.Expected())
       << "strategy " << JoinStrategyName(GetParam());
+  // Clean network: no filter wave may degrade, so every suppressing
+  // strategy matches the symmetric-hash answer above at full recall.
+  EXPECT_EQ(batches[0].completeness.filter_waves_degraded, 0u);
+  if (GetParam() == JoinStrategy::kBloom) {
+    uint64_t complete = 0, degraded = 0, parts = 0, saved = 0, cut = 0;
+    for (size_t i = 0; i < net.size(); ++i) {
+      const auto& st = net.node(i)->query_engine()->stats();
+      complete += st.bloom_waves_complete;
+      degraded += st.bloom_waves_degraded;
+      parts += st.bloom_parts_received;
+      saved += st.bloom_bytes_saved;
+      cut += st.bloom_suppressed;
+    }
+    EXPECT_EQ(complete, 1u);
+    EXPECT_EQ(degraded, 0u);
+    EXPECT_EQ(parts, net.size() - 1);  // every member reported its part
+    // alerts key 5 and rules key 9 have no partner: the complete filter
+    // union suppressed them before rehash, and the byte ledger saw it.
+    EXPECT_GT(cut, 0u);
+    EXPECT_GT(saved, 0u);
+  }
+  if (GetParam() == JoinStrategy::kSymmetricSemi) {
+    uint64_t saved = 0;
+    for (size_t i = 0; i < net.size(); ++i) {
+      saved += net.node(i)->query_engine()->stats().semijoin_bytes_saved;
+    }
+    EXPECT_GT(saved, 0u);  // key projections narrower than full tuples
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Strategies, QueryJoinTest,

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "core/network.h"
+#include "planner/join_cost.h"
 #include "planner/planner.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -361,6 +362,123 @@ TEST(PlannerTest, MultiwayJoinComposesOpgraph) {
   EXPECT_EQ(partial, 1);
   EXPECT_EQ(final_agg, 1);
   EXPECT_EQ(p.graph.nodes.back().type, query::OpType::kCollect);
+}
+
+// Catalog whose tables carry statistics, for the cost-based strategy
+// tests. `wide`/`narrow` are a semi-join-friendly pair (fat tuples, huge
+// key domain => few matches); `biga`/`bigb` are a Bloom-friendly pair
+// (many rows, skewed key domains => suppression pays, but per-match
+// fetches would not).
+catalog::Catalog StatsCatalog() {
+  catalog::Catalog cat;
+  auto add = [&](const std::string& name, uint64_t rows, uint32_t width,
+                 uint64_t key_distinct) {
+    TableDef def;
+    def.name = name;
+    def.schema = Schema(name, {{"k", ValueType::kInt64},
+                               {"payload", ValueType::kString}});
+    def.partition_cols = {0};
+    def.stats.row_count = rows;
+    def.stats.avg_tuple_bytes = width;
+    def.stats.distinct_per_col = {key_distinct, 1};
+    EXPECT_TRUE(cat.Register(def).ok());
+  };
+  add("wide", 400, 528, 20000);
+  add("narrow", 400, 528, 20000);
+  add("biga", 100000, 200, 100000);
+  add("bigb", 100000, 200, 10000);
+  add("nostats", 0, 0, 0);
+  return cat;
+}
+
+QueryPlan MustPlanStats(const std::string& text,
+                        const planner::PlannerOptions& options) {
+  auto stmt = sql::Parse(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  catalog::Catalog cat = StatsCatalog();
+  auto plan = planner::PlanStatement(stmt.value(), cat, options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.value();
+}
+
+TEST(PlannerTest, CostModelPicksByEstimatedBytes) {
+  catalog::Catalog cat = StatsCatalog();
+  planner::JoinCostInputs in;
+  in.left_key_cols = {0};
+  in.right_key_cols = {0};
+
+  // Fat tuples, huge key domain: semi-join's key-only rehash wins.
+  in.left = &cat.Find("wide")->stats;
+  in.right = &cat.Find("narrow")->stats;
+  planner::JoinChoice c = planner::ChooseJoinStrategy(in);
+  EXPECT_EQ(c.strategy, query::JoinStrategy::kSymmetricSemi);
+  EXPECT_LT(c.est_semi_bytes, c.est_hash_bytes);
+
+  // Large relations, skewed domains: enough matches to make per-match
+  // fetches expensive, enough suppression to amortize the filter wave.
+  in.left = &cat.Find("biga")->stats;
+  in.right = &cat.Find("bigb")->stats;
+  c = planner::ChooseJoinStrategy(in);
+  EXPECT_EQ(c.strategy, query::JoinStrategy::kBloom);
+  EXPECT_LT(c.est_bloom_bytes, c.est_hash_bytes);
+  EXPECT_LT(c.est_bloom_bytes, c.est_semi_bytes);
+
+  // A side without statistics can never authorize a suppressing strategy.
+  in.right = &cat.Find("nostats")->stats;
+  EXPECT_EQ(planner::ChooseJoinStrategy(in).strategy,
+            query::JoinStrategy::kSymmetricHash);
+}
+
+TEST(PlannerTest, StatsDriveBinaryJoinStrategy) {
+  planner::PlannerOptions opts;
+  opts.prefer_fetch_matches = false;  // isolate the statistics path
+  QueryPlan semi = MustPlanStats(
+      "SELECT w.k FROM wide w, narrow n WHERE w.k = n.k", opts);
+  EXPECT_EQ(semi.join_strategy, query::JoinStrategy::kSymmetricSemi);
+
+  QueryPlan bloom = MustPlanStats(
+      "SELECT a.k FROM biga a, bigb b WHERE a.k = b.k", opts);
+  EXPECT_EQ(bloom.join_strategy, query::JoinStrategy::kBloom);
+
+  // EXPLAIN surfaces the planner's choice per edge.
+  bloom.EnsureGraph();
+  EXPECT_NE(bloom.graph.ToString().find("join[bloom]"), std::string::npos)
+      << bloom.graph.ToString();
+
+  // No stats on one side: conservative symmetric hash.
+  QueryPlan hash = MustPlanStats(
+      "SELECT w.k FROM wide w, nostats x WHERE w.k = x.k", opts);
+  EXPECT_EQ(hash.join_strategy, query::JoinStrategy::kSymmetricHash);
+
+  // An explicit caller strategy is a directive, not a hint: the cost
+  // model must not override it.
+  opts.join_strategy = query::JoinStrategy::kBloom;
+  QueryPlan forced = MustPlanStats(
+      "SELECT w.k FROM wide w, narrow n WHERE w.k = n.k", opts);
+  EXPECT_EQ(forced.join_strategy, query::JoinStrategy::kBloom);
+}
+
+TEST(PlannerTest, StatsDriveMultiwayFirstEdgeOnly) {
+  planner::PlannerOptions opts;
+  opts.prefer_fetch_matches = false;
+  QueryPlan p = MustPlanStats(
+      "SELECT a.k FROM biga a, bigb b, nostats x "
+      "WHERE a.k = b.k AND b.k = x.k",
+      opts);
+  ASSERT_FALSE(p.graph.empty());
+  // Edge 0 joins two base-table scans and may use the cost-model choice;
+  // later edges consume a prior join's rehash output (nothing scanned to
+  // suppress), so they stay symmetric hash regardless of statistics.
+  std::vector<query::JoinStrategy> strategies;
+  for (const query::OpNode& n : p.graph.nodes) {
+    if (n.type == query::OpType::kJoin) strategies.push_back(n.strategy);
+  }
+  ASSERT_EQ(strategies.size(), 2u);
+  EXPECT_EQ(strategies[0], query::JoinStrategy::kBloom);
+  EXPECT_EQ(strategies[1], query::JoinStrategy::kSymmetricHash);
+  EXPECT_NE(p.graph.ToString().find("join[bloom]"), std::string::npos);
+  EXPECT_NE(p.graph.ToString().find("join[symmetric-hash]"),
+            std::string::npos);
 }
 
 TEST(PlannerTest, DisconnectedMultiwayJoinRejected) {

@@ -702,6 +702,118 @@ TEST(ScenarioTest, OriginCrashMidQueryReclaimsMemberState) {
   EXPECT_FALSE(report.queries[0].completed);
 }
 
+// Bloom-friendly statistics: large declared relations with skewed key
+// domains make the planner's cost model pick kBloom for kJoinSql (rules
+// stays partitioned on severity, so fetch-matches cannot preempt the
+// choice). The declared numbers are planning inputs only — the actual
+// published rows stay small.
+TableDef BloomStatsAlerts() {
+  TableDef def = AlertsTable();
+  def.stats.row_count = 100000;
+  def.stats.avg_tuple_bytes = 200;
+  def.stats.distinct_per_col = {100000, 1};
+  return def;
+}
+
+TableDef BloomStatsRules() {
+  TableDef def = RulesTable();
+  def.stats.row_count = 100000;
+  def.stats.avg_tuple_bytes = 200;
+  def.stats.distinct_per_col = {10000, 1};
+  return def;
+}
+
+// The loss-proof filter wave under fire. A one-way partition lets members
+// 5-7 receive the plan (and later the filter union) but blackholes their
+// kBloomPart frames toward the origin: the origin's wave accounting comes
+// up short, so the union broadcast carries complete=false and NO node is
+// allowed to suppress. The join degrades to a full rehash — visible as
+// filter_waves_degraded in the Completeness summary — and after the heal
+// every matching pair is in the answer. Before this accounting existed,
+// the origin unioned whatever arrived and members suppressed against a
+// filter that silently lacked three nodes' keys: matching rows vanished
+// with no trace in the answer's own completeness claim.
+// Post-run probe: the wave must have been tried (this was really a Bloom
+// join), counted as degraded at the origin, and no node may have
+// suppressed a single row against the incomplete union.
+class DegradedWaveChecker : public InvariantChecker {
+ public:
+  std::string name() const override { return "degraded-wave"; }
+  Status Check(const CheckContext& ctx) override {
+    uint64_t degraded = 0, complete = 0, suppressed = 0, parts = 0;
+    for (size_t i = 0; i < ctx.net->size(); ++i) {
+      const auto& st = ctx.net->node(i)->query_engine()->stats();
+      degraded += st.bloom_waves_degraded;
+      complete += st.bloom_waves_complete;
+      suppressed += st.bloom_suppressed;
+      parts += st.bloom_parts_received;
+    }
+    if (degraded != 1 || complete != 0) {
+      return Status::Internal("expected exactly one degraded wave, saw " +
+                              std::to_string(degraded) + " degraded / " +
+                              std::to_string(complete) + " complete");
+    }
+    if (parts == 0) {
+      return Status::Internal(
+          "no Bloom part ever arrived; was this a Bloom join at all?");
+    }
+    if (suppressed != 0) {
+      return Status::Internal(
+          std::to_string(suppressed) +
+          " rows suppressed against an incomplete filter union");
+    }
+    return Status::OK();
+  }
+};
+
+TEST(ScenarioTest, LostBloomPartsDegradeToFullRehashNotRowLoss) {
+  Scenario s(/*seed=*/4223);
+  FaultScript script;
+  FaultDirective d;
+  d.kind = FaultDirective::Kind::kAsymPartition;
+  // The blackhole swallows the one-shot kBloomPart frames (sent at ~30s on
+  // plan receipt) and outlives the wave close (issue+bloom_wait = 34s), so
+  // the origin must broadcast an incomplete wave. It heals inside the
+  // retransmit horizons of both planes the degraded rehash rides — DHT puts
+  // retry ~2s apart for ~6s, result frames for ~10s, both starting at the
+  // ~34s degraded produce — so every retried frame still lands well before
+  // the 55s finalization. Loss of the *filter* is permanent; loss of *rows*
+  // is not.
+  d.from = Seconds(29);
+  d.until = Seconds(37);
+  d.group_a = {5, 6, 7};
+  d.group_b = {0, 1, 2, 3, 4};
+  script.directives.push_back(d);
+  s.WithNodes(8)
+      .WithRouter(RouterKind::kOneHop)
+      .WithTable(BloomStatsAlerts())
+      .WithTable(BloomStatsRules())
+      .PublishRows("alerts", AlertRows(32))
+      .PublishRows("rules", RuleRows(4))
+      .WithFaults(script)
+      // Every alert matches a rule, so any suppressed row is a recall
+      // miss: the 1.0 floors are the "no silent loss" oracle.
+      .AddQuery({.sql = kJoinSql,
+                 .issue_at = Seconds(30),
+                 .min_recall = 1.0,
+                 .min_precision = 1.0})
+      .WithDefaultCheckers()
+      .WithChecker(std::make_unique<DegradedWaveChecker>());
+  // Finalization must land after the heal + retried rehash deliveries.
+  s.options().node.engine.result_wait = Seconds(25);
+  ScenarioReport report = s.Run();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.messages_faulted, 0u)
+      << "the partition never bit; the wave was not actually attacked";
+  ASSERT_EQ(report.queries.size(), 1u);
+  const QueryOutcome& q = report.queries[0];
+  ASSERT_TRUE(q.completed);
+  // The degradation is loud: the answer itself says its filter wave fell
+  // back, and the engine counted the incomplete wave and the late parts.
+  EXPECT_GE(q.batch.completeness.filter_waves_degraded, 1u);
+  EXPECT_FALSE(q.batch.completeness.exact);
+}
+
 }  // namespace
 }  // namespace testkit
 }  // namespace pier
